@@ -1,0 +1,64 @@
+// Fig. 1a/1b: vanilla-MP in fast-varying wireless environments.
+//
+// Replays a campus-walk Wi-Fi trace (fast variation, near-outage) and a
+// stable LTE trace under vanilla-MP while a video downloads, and prints
+// per-100ms link capacity, in-flight bytes, and CWND for each path. The
+// paper's observation to reproduce: when the Wi-Fi trace collapses, the
+// CWND cannot follow, the scheduler keeps the path loaded, and in-flight
+// bytes on the dying path stay high (the raw material of MP-HoL blocking).
+#include "bench_util.h"
+#include "trace/synthetic.h"
+
+using namespace xlink;
+
+int main() {
+  std::printf("Reproduction of paper Fig. 1a/1b (vanilla-MP dynamics)\n");
+
+  trace::LinkTrace wifi = trace::campus_walk_wifi(2024, sim::seconds(10));
+  trace::LinkTrace lte = trace::stable_lte(7, sim::seconds(10));
+  // Keep copies for capacity plotting.
+  const trace::LinkTrace wifi_copy = wifi;
+  const trace::LinkTrace lte_copy = lte;
+
+  harness::SessionConfig cfg;
+  cfg.scheme = core::Scheme::kVanillaMp;
+  cfg.seed = 5;
+  cfg.time_limit = sim::seconds(10);
+  cfg.video.duration = sim::seconds(30);  // keep downloading the whole time
+  cfg.video.bitrate_bps = 8'000'000;
+  cfg.client.chunk_bytes = 1024 * 1024;
+  cfg.client.max_concurrent = 3;
+  cfg.wireless_aware_primary = false;
+  cfg.paths.push_back(harness::make_path_spec(net::Wireless::kWifi,
+                                              std::move(wifi),
+                                              sim::millis(40)));
+  cfg.paths.push_back(harness::make_path_spec(net::Wireless::kLte,
+                                              std::move(lte),
+                                              sim::millis(90)));
+
+  auto [result, timeline] =
+      bench::run_with_timeline(std::move(cfg), sim::millis(100));
+  (void)result;
+
+  bench::heading("Fig. 1a (Wi-Fi path) and 1b (LTE path)");
+  stats::Table table({"t(s)", "wifi cap(Mbps)", "wifi inflight(KB)",
+                      "wifi cwnd(KB)", "lte cap(Mbps)", "lte inflight(KB)",
+                      "lte cwnd(KB)"});
+  for (const auto& s : timeline) {
+    if (s.t_seconds > 6.0) break;
+    const auto at = static_cast<sim::Time>(s.t_seconds * sim::kSecond);
+    table.add_row({bench::fmt(s.t_seconds, 1),
+                   bench::fmt(wifi_copy.window_bps(at, sim::millis(300)) / 1e6, 1),
+                   bench::fmt(s.inflight_kb_path0, 0),
+                   bench::fmt(s.cwnd_kb_path0, 0),
+                   bench::fmt(lte_copy.window_bps(at, sim::millis(300)) / 1e6, 1),
+                   bench::fmt(s.inflight_kb_path1, 0),
+                   bench::fmt(s.cwnd_kb_path1, 0)});
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: Wi-Fi capacity collapses during its outage while "
+      "Wi-Fi in-flight/CWND stay high\n(the scheduler keeps the path "
+      "loaded); LTE stays steady.\n");
+  return 0;
+}

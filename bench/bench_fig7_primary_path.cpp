@@ -1,0 +1,70 @@
+// Fig. 7: first-video-frame delivery time when starting a connection from
+// a 5G SA or a Wi-Fi interface, vs first-frame size.
+//
+// The primary path carries the handshake and (mostly) the first frame, so
+// its delay and ramp-up dominate start-up. 5G SA has the lower path delay
+// (paper §3.2), so 5G-primary should win, with the gap widening for larger
+// first frames.
+#include "bench_util.h"
+
+using namespace xlink;
+
+namespace {
+
+double first_frame_ms(std::uint64_t frame_bytes, bool fiveg_primary) {
+  harness::SessionConfig cfg;
+  cfg.scheme = core::Scheme::kXlink;
+  cfg.seed = 77;
+  cfg.time_limit = sim::seconds(30);
+  cfg.video.duration = sim::seconds(10);
+  cfg.video.bitrate_bps = 4'000'000;
+  cfg.video.first_frame_bytes = frame_bytes;
+  cfg.client.chunk_bytes = 2 * 1024 * 1024 + frame_bytes;
+  cfg.client.max_concurrent = 2;
+  cfg.wireless_aware_primary = false;  // explicit ordering below
+  // Bringing up the second radio on a phone is not instant; start-up is
+  // dominated by whichever interface begins the connection.
+  cfg.secondary_path_delay = sim::millis(150);
+
+  // Enterprise Wi-Fi: 25 Mbps, 20 ms RTT. 5G SA testbed: 30 Mbps, 10 ms.
+  auto wifi = harness::make_path_spec(net::Wireless::kWifi, {},
+                                      sim::millis(20));
+  wifi.fixed_rate_mbps = 25.0;
+  wifi.down_trace.reset();
+  auto sa = harness::make_path_spec(net::Wireless::k5gSa, {},
+                                    sim::millis(10));
+  sa.fixed_rate_mbps = 30.0;
+  sa.down_trace.reset();
+
+  if (fiveg_primary) {
+    cfg.paths.push_back(std::move(sa));
+    cfg.paths.push_back(std::move(wifi));
+  } else {
+    cfg.paths.push_back(std::move(wifi));
+    cfg.paths.push_back(std::move(sa));
+  }
+
+  harness::Session session(std::move(cfg));
+  const auto result = session.run();
+  return result.first_frame_seconds.value_or(99.0) * 1000.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Reproduction of paper Fig. 7 (primary path selection)\n");
+  bench::heading("First-video-frame delivery time (ms)");
+  stats::Table table({"First frame size", "WiFi primary", "5G primary"});
+  const std::pair<const char*, std::uint64_t> sizes[] = {
+      {"128K", 128 * 1024}, {"256K", 256 * 1024}, {"512K", 512 * 1024},
+      {"1M", 1024 * 1024},  {"2M", 2 * 1024 * 1024}};
+  for (const auto& [label, bytes] : sizes) {
+    table.add_row({label, bench::fmt(first_frame_ms(bytes, false), 0),
+                   bench::fmt(first_frame_ms(bytes, true), 0)});
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: 5G-SA primary delivers the first frame faster at "
+      "every size,\nwith the gap growing as the frame gets larger.\n");
+  return 0;
+}

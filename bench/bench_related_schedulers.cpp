@@ -1,0 +1,138 @@
+// Related-work scheduler comparison (paper §8).
+//
+// The paper positions XLINK against prediction-based schedulers (ECF,
+// BLEST, STMS) that estimate path characteristics to avoid HoL blocking
+// instead of re-injecting. This bench replays three regimes -- stable
+// heterogeneous paths (where predictions hold), fast-varying paths (where
+// they break), and an outage regime -- across min-RTT, ECF, BLEST, and
+// XLINK. Expected shape: prediction-based schedulers shine in the stable
+// regime and degrade under fast variation; XLINK stays robust everywhere,
+// paying a small redundancy cost.
+#include "bench_util.h"
+#include "mpquic/schedulers.h"
+#include "trace/synthetic.h"
+
+using namespace xlink;
+
+namespace {
+
+enum class Regime { kStableHetero, kFastVarying, kOutage };
+
+const char* regime_name(Regime r) {
+  switch (r) {
+    case Regime::kStableHetero: return "stable heterogeneous";
+    case Regime::kFastVarying: return "fast varying";
+    case Regime::kOutage: return "outage";
+  }
+  return "?";
+}
+
+harness::SessionConfig make_config(Regime regime, std::uint64_t seed,
+                                   std::shared_ptr<quic::Scheduler> sched) {
+  harness::SessionConfig cfg;
+  cfg.scheme = core::Scheme::kXlink;  // placeholder; scheduler overridden
+  cfg.seed = seed;
+  cfg.time_limit = sim::seconds(60);
+  cfg.video.duration = sim::seconds(12);
+  cfg.video.bitrate_bps = 3'000'000;
+  cfg.client.chunk_bytes = 384 * 1024;
+  cfg.wireless_aware_primary = false;
+
+  switch (regime) {
+    case Regime::kStableHetero: {
+      auto fast = harness::make_path_spec(net::Wireless::kWifi, {},
+                                          sim::millis(30));
+      fast.down_trace.reset();
+      fast.fixed_rate_mbps = 8.0;
+      auto slow = harness::make_path_spec(net::Wireless::kLte, {},
+                                          sim::millis(240));
+      slow.down_trace.reset();
+      slow.fixed_rate_mbps = 8.0;
+      cfg.paths.push_back(std::move(fast));
+      cfg.paths.push_back(std::move(slow));
+      break;
+    }
+    case Regime::kFastVarying:
+      cfg.paths.push_back(harness::make_path_spec(
+          net::Wireless::kWifi,
+          trace::campus_walk_wifi(seed * 5 + 1, sim::seconds(40)),
+          sim::millis(40)));
+      cfg.paths.push_back(harness::make_path_spec(
+          net::Wireless::kLte,
+          trace::hsr_cellular(seed * 5 + 2, sim::seconds(40)),
+          sim::millis(150)));
+      break;
+    case Regime::kOutage:
+      cfg.paths.push_back(harness::make_path_spec(
+          net::Wireless::kWifi,
+          bench::piecewise_trace({{8.0, sim::millis(900)},
+                                  {0.05, sim::millis(3000)},
+                                  {8.0, sim::seconds(28)}}),
+          sim::millis(40)));
+      cfg.paths.push_back(harness::make_path_spec(
+          net::Wireless::kLte,
+          bench::piecewise_trace({{5.5, sim::seconds(32)}}),
+          sim::millis(100)));
+      break;
+  }
+  // Override the server-side scheduler via a manual scheme config.
+  cfg.options.control.mode = core::ControlMode::kDoubleThreshold;
+  (void)sched;
+  return cfg;
+}
+
+struct Row {
+  stats::Summary rct;
+  double rebuffer_s = 0;
+  double cost_pct_sum = 0;
+  int n = 0;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Related-work schedulers vs XLINK (paper Sec. 8)\n");
+
+  struct Contender {
+    const char* label;
+    core::Scheme scheme;                      // for XLINK / vanilla
+    std::shared_ptr<quic::Scheduler> sched;   // for custom pickers
+  };
+
+  for (Regime regime :
+       {Regime::kStableHetero, Regime::kFastVarying, Regime::kOutage}) {
+    bench::heading(std::string("Regime: ") + regime_name(regime));
+    stats::Table table(
+        {"Scheduler", "RCT p50(s)", "RCT p99(s)", "rebuffer(s)", "cost(%)"});
+    const Contender contenders[] = {
+        {"min-RTT (vanilla)", core::Scheme::kVanillaMp, nullptr},
+        {"ECF", core::Scheme::kVanillaMp, mpquic::make_ecf_scheduler()},
+        {"BLEST", core::Scheme::kVanillaMp, mpquic::make_blest_scheduler()},
+        {"XLINK", core::Scheme::kXlink, nullptr},
+    };
+    for (const auto& c : contenders) {
+      Row row;
+      for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        auto cfg = make_config(regime, seed, nullptr);
+        cfg.scheme = c.scheme;
+        cfg.server_scheduler_override = c.sched;  // nullptr = scheme default
+        harness::Session session(std::move(cfg));
+        const auto result = session.run();
+        row.rct.add_all(result.chunk_rct_seconds);
+        row.rebuffer_s += result.rebuffer_seconds;
+        row.cost_pct_sum += result.redundancy_ratio * 100;
+        ++row.n;
+      }
+      table.add_row({c.label, bench::fmt(row.rct.percentile(50)),
+                     bench::fmt(row.rct.percentile(99)),
+                     bench::fmt(row.rebuffer_s, 2),
+                     bench::fmt(row.cost_pct_sum / row.n, 1)});
+    }
+    table.print();
+  }
+  std::printf(
+      "\nExpected shape: ECF/BLEST close to or better than min-RTT on "
+      "stable paths,\ndegrading under fast variation; XLINK robust in all "
+      "three regimes.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// §3.2 + Table 4: path delays in heterogeneous networks.
+//
+// Samples the per-technology RTT distributions and verifies the paper's
+// measured ratios: median LTE = 2.7x Wi-Fi and 5.5x 5G SA; p90 LTE = 3.3x
+// Wi-Fi. Also prints the cross-ISP LTE delay increase matrix (Table 4).
+#include "bench_util.h"
+#include "net/wireless.h"
+
+using namespace xlink;
+
+int main() {
+  std::printf("Reproduction of paper Sec. 3.2 + Table 4 (path delays)\n");
+
+  sim::Rng rng(99);
+  const net::Wireless techs[] = {net::Wireless::k5gSa, net::Wireless::kWifi,
+                                 net::Wireless::k5gNsa, net::Wireless::kLte};
+  std::map<net::Wireless, stats::Summary> rtts;
+  for (net::Wireless t : techs) {
+    for (int i = 0; i < 20000; ++i)
+      rtts[t].add(sim::to_millis(net::sample_rtt(t, rng)));
+  }
+
+  bench::heading("RTT by wireless technology (ms)");
+  stats::Table table({"Tech", "median", "p90", "p99"});
+  for (net::Wireless t : techs) {
+    table.add_row({net::to_string(t), bench::fmt(rtts[t].median(), 1),
+                   bench::fmt(rtts[t].percentile(90), 1),
+                   bench::fmt(rtts[t].percentile(99), 1)});
+  }
+  table.print();
+
+  const double lte_med = rtts[net::Wireless::kLte].median();
+  const double wifi_med = rtts[net::Wireless::kWifi].median();
+  const double sa_med = rtts[net::Wireless::k5gSa].median();
+  const double lte_p90 = rtts[net::Wireless::kLte].percentile(90);
+  const double wifi_p90 = rtts[net::Wireless::kWifi].percentile(90);
+  std::printf(
+      "\nratios: median LTE/WiFi = %.2f (paper: 2.7), median LTE/5G-SA = "
+      "%.2f (paper: 5.5), p90 LTE/WiFi = %.2f (paper: 3.3)\n",
+      lte_med / wifi_med, lte_med / sa_med, lte_p90 / wifi_p90);
+
+  bench::heading("Table 4: relative increase of cross-ISP LTE delay (%)");
+  stats::Table isp({"from\\to", "A", "B", "C"});
+  const char* names[] = {"A", "B", "C"};
+  for (int from = 0; from < 3; ++from) {
+    std::vector<std::string> row{names[from]};
+    for (int to = 0; to < 3; ++to)
+      row.push_back(bench::fmt(100.0 * net::cross_isp_increase(
+                                           static_cast<net::Isp>(from),
+                                           static_cast<net::Isp>(to)),
+                               0));
+    isp.add_row(row);
+  }
+  isp.print();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Scenario: tuning the double thresholds -- the cost/QoE dial.
+//
+// Replays the paper's Fig. 6 situation (the primary path suffers a
+// multi-second outage while the secondary can just about carry the video)
+// under several (Tth1, Tth2) settings and prints smoothness vs redundancy,
+// the trade-off of paper §5.2.2/Fig. 10. Use this to pick thresholds for
+// your own buffer distribution.
+//
+//   $ ./examples/threshold_tuning
+#include <cstdio>
+
+#include "harness/scenario.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+#include "trace/trace.h"
+
+using namespace xlink;
+
+namespace {
+
+trace::LinkTrace piecewise(
+    const std::vector<std::pair<double, sim::Duration>>& segs) {
+  std::vector<std::uint32_t> ms;
+  double credit = 0;
+  std::uint64_t t = 0;
+  for (const auto& [mbps, dur] : segs) {
+    for (std::uint64_t i = 0; i < dur / sim::kMillisecond; ++i) {
+      ++t;
+      credit += mbps * 1e6 / 8 / trace::kDeliveryMtu / 1000;
+      while (credit >= 1) {
+        ms.push_back(static_cast<std::uint32_t>(t));
+        credit -= 1;
+      }
+    }
+  }
+  return trace::LinkTrace(ms);
+}
+
+struct Outcome {
+  double rebuffer_s = 0;
+  double cost_pct = 0;
+  double first_frame_ms = 0;
+};
+
+Outcome run_with(core::ControlMode mode, sim::Duration tth1,
+                 sim::Duration tth2) {
+  Outcome out;
+  std::uint64_t payload = 0, dup = 0;
+  for (int i = 0; i < 4; ++i) {
+    harness::SessionConfig cfg;
+    cfg.scheme = core::Scheme::kXlink;
+    cfg.options.control.mode = mode;
+    cfg.options.control.tth1 = tth1;
+    cfg.options.control.tth2 = tth2;
+    cfg.seed = 300 + i;
+    cfg.video.duration = sim::seconds(14);
+    cfg.video.bitrate_bps = 3'500'000;
+    cfg.client.chunk_bytes = 384 * 1024;
+    cfg.wireless_aware_primary = false;
+    // Primary dies for 3.5s at a per-run offset; secondary barely copes.
+    cfg.paths.push_back(harness::make_path_spec(
+        net::Wireless::kWifi,
+        piecewise({{8.0, sim::millis(600 + 400 * i)},
+                   {0.05, sim::millis(3500)},
+                   {8.0, sim::seconds(28)}}),
+        sim::millis(40)));
+    cfg.paths.push_back(harness::make_path_spec(
+        net::Wireless::kLte, piecewise({{5.5, sim::seconds(33)}}),
+        sim::millis(90)));
+    harness::Session session(std::move(cfg));
+    const auto r = session.run();
+    out.rebuffer_s += r.rebuffer_seconds;
+    out.first_frame_ms += r.first_frame_seconds.value_or(0) * 250;  // avg/4
+    payload += r.stream_payload_bytes;
+    dup += r.reinjected_bytes;
+  }
+  out.cost_pct = payload ? 100.0 * static_cast<double>(dup) / payload : 0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Double-threshold tuning: primary-path outage, secondary barely "
+      "adequate\n\n");
+  stats::Table table({"Setting", "total rebuffer (s)", "redundancy (%)"});
+  struct Row {
+    const char* label;
+    core::ControlMode mode;
+    sim::Duration t1, t2;
+  };
+  const Row rows[] = {
+      {"re-injection off", core::ControlMode::kAlwaysOff, 0, 0},
+      {"Tth=(100ms, 300ms)", core::ControlMode::kDoubleThreshold,
+       sim::millis(100), sim::millis(300)},
+      {"Tth=(400ms, 1.2s)", core::ControlMode::kDoubleThreshold,
+       sim::millis(400), sim::millis(1200)},
+      {"Tth=(700ms, 2.5s)", core::ControlMode::kDoubleThreshold,
+       sim::millis(700), sim::millis(2500)},
+      {"always on", core::ControlMode::kAlwaysOn, 0, 0},
+  };
+  for (const auto& row : rows) {
+    const Outcome o = run_with(row.mode, row.t1, row.t2);
+    table.add_row({row.label, stats::Table::fmt(o.rebuffer_s, 2),
+                   stats::Table::fmt(o.cost_pct, 1)});
+  }
+  table.print();
+  std::printf(
+      "\nRe-injection off stalls through the outage; always-on pays the\n"
+      "most duplicate traffic; the double thresholds buy nearly the same\n"
+      "smoothness for a fraction of the cost.\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "core/double_threshold.h"
+
+#include "core/qoe_signals.h"
+
+namespace xlink::core {
+
+bool DoubleThresholdController::decide(
+    const std::optional<quic::QoeSignal>& qoe,
+    std::optional<sim::Duration> deliver_time_max) const {
+  switch (config_.mode) {
+    case ControlMode::kAlwaysOn:
+      return true;
+    case ControlMode::kAlwaysOff:
+      return false;
+    case ControlMode::kDoubleThreshold:
+      break;
+  }
+  // No feedback yet: the buffer is empty (start-up), urgency is maximal.
+  if (!qoe) return true;
+  const auto dt = play_time_left(*qoe);
+  if (!dt) return true;  // uninterpretable signal: stay safe
+  if (*dt > config_.tth2) return false;  // plenty cached: save cost
+  if (*dt < config_.tth1) return true;   // nearly dry: respond now
+  // Medium buffer: compare with the worst-case in-flight delivery time.
+  if (!deliver_time_max) return false;
+  return *dt < *deliver_time_max;
+}
+
+}  // namespace xlink::core

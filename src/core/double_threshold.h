@@ -1,0 +1,48 @@
+// Double thresholding control (paper Alg. 1).
+//
+// Decides whether packet re-injection should be enabled from the client's
+// QoE feedback:
+//   step 1: estimate play-time left dt (core/qoe_signals.h);
+//   step 2: dt < Tth1 -> ON (responsiveness);  dt > Tth2 -> OFF (cost);
+//   step 3: in between, ON iff dt < deliverTime_max, the largest RTT+var
+//           among paths with unacknowledged packets (Eq. 1).
+#pragma once
+
+#include <optional>
+
+#include "quic/frame.h"
+#include "sim/time.h"
+
+namespace xlink::core {
+
+/// Ablation switch: full Alg. 1, always-on (re-injection without QoE
+/// control, §5.2's 15%-overhead strawman), or always-off (vanilla-MP).
+enum class ControlMode { kDoubleThreshold, kAlwaysOn, kAlwaysOff };
+
+struct DoubleThresholdConfig {
+  sim::Duration tth1 = sim::millis(700);   // responsiveness threshold
+  sim::Duration tth2 = sim::millis(2500);  // cost threshold; tth1 < tth2
+  ControlMode mode = ControlMode::kDoubleThreshold;
+};
+
+class DoubleThresholdController {
+ public:
+  explicit DoubleThresholdController(DoubleThresholdConfig config)
+      : config_(config) {}
+
+  /// Alg. 1. `qoe` is the latest feedback (nullopt before any feedback:
+  /// treated as an empty buffer, i.e. re-injection allowed -- video
+  /// start-up is exactly when acceleration matters). `deliver_time_max`
+  /// is Eq. 1 evaluated by the caller over paths with unacked packets;
+  /// nullopt when no path has unacked packets (then step 3 returns false:
+  /// nothing in flight can be late).
+  bool decide(const std::optional<quic::QoeSignal>& qoe,
+              std::optional<sim::Duration> deliver_time_max) const;
+
+  const DoubleThresholdConfig& config() const { return config_; }
+
+ private:
+  DoubleThresholdConfig config_;
+};
+
+}  // namespace xlink::core

@@ -1,0 +1,25 @@
+#include "core/primary_path.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace xlink::core {
+
+std::vector<std::size_t> rank_paths(
+    const std::vector<net::Wireless>& interfaces) {
+  std::vector<std::size_t> order(interfaces.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return net::primary_path_rank(interfaces[a]) <
+                            net::primary_path_rank(interfaces[b]);
+                   });
+  return order;
+}
+
+std::size_t select_primary_path(
+    const std::vector<net::Wireless>& interfaces) {
+  return rank_paths(interfaces).front();
+}
+
+}  // namespace xlink::core

@@ -1,0 +1,24 @@
+// Wireless-aware primary path selection (paper §5.3).
+//
+// The primary path starts the connection, so its delay dominates handshake
+// and first-video-frame latency. XLINK ranks candidate interfaces by
+// technology: 5G SA > 5G NSA > WiFi > LTE (the ranking "should follow
+// local statistics"; this is the paper's default for its deployment).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/wireless.h"
+
+namespace xlink::core {
+
+/// Index of the interface that should become the primary path (path 0).
+/// Ties break toward the earlier index. Precondition: non-empty input.
+std::size_t select_primary_path(const std::vector<net::Wireless>& interfaces);
+
+/// Full preference order (best first) over the given interfaces.
+std::vector<std::size_t> rank_paths(
+    const std::vector<net::Wireless>& interfaces);
+
+}  // namespace xlink::core

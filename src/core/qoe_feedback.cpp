@@ -1,0 +1,53 @@
+#include "core/qoe_feedback.h"
+
+#include <cmath>
+
+#include "core/qoe_signals.h"
+
+namespace xlink::core {
+
+QoeFeedbackSender::QoeFeedbackSender(
+    quic::Connection& conn,
+    std::function<std::optional<quic::QoeSignal>()> provider, Config config)
+    : conn_(conn), provider_(std::move(provider)), config_(config) {
+  tick();
+}
+
+QoeFeedbackSender::~QoeFeedbackSender() {
+  stopped_ = true;
+  if (timer_) conn_.loop().cancel(timer_);
+}
+
+bool QoeFeedbackSender::material_change(const quic::QoeSignal& next) const {
+  if (!last_sent_) return true;
+  const auto before = play_time_left(*last_sent_);
+  const auto after = play_time_left(next);
+  if (before.has_value() != after.has_value()) return true;
+  if (!before) return *last_sent_ != next;
+  const double a = sim::to_seconds(*before);
+  const double b = sim::to_seconds(*after);
+  const double base = std::max(a, 0.05);  // 50ms floor avoids 0-division
+  return std::abs(b - a) / base >= config_.change_fraction;
+}
+
+void QoeFeedbackSender::tick() {
+  if (stopped_) return;
+  if (conn_.is_established() && !conn_.is_closed()) {
+    if (const auto signal = provider_()) {
+      const bool heartbeat_due =
+          conn_.loop().now() - last_sent_at_ >= config_.heartbeat;
+      if (material_change(*signal) || heartbeat_due) {
+        conn_.send_qoe_signal(*signal);
+        last_sent_ = *signal;
+        last_sent_at_ = conn_.loop().now();
+        ++frames_sent_;
+      }
+    }
+  }
+  timer_ = conn_.loop().schedule_in(config_.period, [this] {
+    timer_ = 0;
+    tick();
+  });
+}
+
+}  // namespace xlink::core

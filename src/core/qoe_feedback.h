@@ -1,0 +1,53 @@
+// Standalone QoE feedback sender (draft QOE_CONTROL_SIGNALS usage).
+//
+// The deployed XLINK piggybacked QoE on ACK_MP frames (paper §4), which
+// ties feedback frequency to ack frequency; the multipath draft's
+// QOE_CONTROL_SIGNALS frame lifts that restriction. This sender emits the
+// player's snapshot on its own clock, with change-detection so an idle
+// player does not generate traffic: a frame goes out when the signal
+// moved materially or a heartbeat interval elapsed.
+#pragma once
+
+#include <optional>
+
+#include "quic/connection.h"
+#include "sim/event_loop.h"
+
+namespace xlink::core {
+
+class QoeFeedbackSender {
+ public:
+  struct Config {
+    sim::Duration period = sim::millis(50);      // sampling cadence
+    sim::Duration heartbeat = sim::millis(500);  // max silence
+    /// Minimum relative change of play-time-left that counts as material.
+    double change_fraction = 0.2;
+  };
+
+  /// `provider` supplies the latest snapshot (same source the ack path
+  /// uses); the sender owns its timer for the connection's lifetime.
+  QoeFeedbackSender(quic::Connection& conn,
+                    std::function<std::optional<quic::QoeSignal>()> provider,
+                    Config config);
+  ~QoeFeedbackSender();
+
+  QoeFeedbackSender(const QoeFeedbackSender&) = delete;
+  QoeFeedbackSender& operator=(const QoeFeedbackSender&) = delete;
+
+  std::uint64_t frames_sent() const { return frames_sent_; }
+
+ private:
+  void tick();
+  bool material_change(const quic::QoeSignal& next) const;
+
+  quic::Connection& conn_;
+  std::function<std::optional<quic::QoeSignal>()> provider_;
+  Config config_;
+  std::optional<quic::QoeSignal> last_sent_;
+  sim::Time last_sent_at_ = 0;
+  std::uint64_t frames_sent_ = 0;
+  sim::EventId timer_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace xlink::core

@@ -1,0 +1,27 @@
+#include "core/qoe_signals.h"
+
+#include <algorithm>
+
+namespace xlink::core {
+
+std::optional<sim::Duration> play_time_left(const quic::QoeSignal& qoe) {
+  std::optional<double> by_bytes;
+  std::optional<double> by_frames;
+  if (qoe.bps > 0)
+    by_bytes = static_cast<double>(qoe.cached_bytes) * 8.0 /
+               static_cast<double>(qoe.bps);
+  if (qoe.fps > 0)
+    by_frames = static_cast<double>(qoe.cached_frames) /
+                static_cast<double>(qoe.fps);
+  std::optional<double> seconds;
+  if (by_bytes && by_frames)
+    seconds = std::min(*by_bytes, *by_frames);  // conservative estimate
+  else if (by_bytes)
+    seconds = by_bytes;
+  else if (by_frames)
+    seconds = by_frames;
+  if (!seconds) return std::nullopt;
+  return static_cast<sim::Duration>(*seconds * sim::kSecond);
+}
+
+}  // namespace xlink::core

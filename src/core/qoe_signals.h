@@ -1,0 +1,21 @@
+// QoE signal interpretation: estimating video play-time left.
+//
+// Alg. 1 step 1: estimate the play-time remaining in the client's buffer
+// from the QoE feedback. The paper recommends looking at BOTH
+// cached_bytes/bps and cached_frames/fps and taking the conservative
+// (smaller) value, since bps fluctuates for VBR content and fps can be
+// too coarse at low frame rates.
+#pragma once
+
+#include <optional>
+
+#include "quic/frame.h"
+#include "sim/time.h"
+
+namespace xlink::core {
+
+/// Conservative play-time-left estimate; nullopt only when the signal
+/// carries neither a usable rate nor frame information.
+std::optional<sim::Duration> play_time_left(const quic::QoeSignal& qoe);
+
+}  // namespace xlink::core

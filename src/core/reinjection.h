@@ -1,0 +1,42 @@
+// Priority-based re-injection engine (paper §5.1, Fig. 3/4).
+//
+// Re-injection duplicates still-unacknowledged stream ranges onto another
+// path to decouple paths and defeat multi-path head-of-line blocking. The
+// trigger follows the paper: a sent packet becomes re-injectable once the
+// send queue holds no first-transmission data of an equal-or-higher
+// priority class -- i.e. "the sender has sent out the last packet of
+// Stream 1" (stream level) or "of the first video frame" (frame level).
+// The insertion mode then distinguishes the paper's Fig. 4 variants:
+//   kAppend   -> traditional appending re-injection (Fig. 4a)
+//   kPriority -> stream/frame priority re-injection (Fig. 4b/4c)
+#pragma once
+
+#include "quic/connection.h"
+#include "quic/scheduler.h"
+
+namespace xlink::core {
+
+struct ReinjectionStats {
+  std::uint64_t records_reinjected = 0;
+  std::uint64_t bytes_reinjected = 0;
+};
+
+class ReinjectionEngine {
+ public:
+  explicit ReinjectionEngine(quic::InsertMode mode) : mode_(mode) {}
+
+  /// Scans unacked queues and re-injects eligible records. Call only when
+  /// re-injection is currently allowed (the QoE controller's decision).
+  void run(quic::Connection& conn);
+
+  const ReinjectionStats& stats() const { return stats_; }
+
+ private:
+  quic::InsertMode mode_;
+  ReinjectionStats stats_;
+};
+
+/// Eq. 1: max over paths with unacked packets of RTT + RTT variation.
+std::optional<sim::Duration> max_deliver_time(const quic::Connection& conn);
+
+}  // namespace xlink::core

@@ -1,0 +1,26 @@
+#include "core/xlink_scheduler.h"
+
+#include "mpquic/scheduler_util.h"
+
+namespace xlink::core {
+
+std::optional<quic::PathId> XlinkScheduler::select_path(
+    quic::Connection& conn) {
+  // Staleness-aware: stop trusting a path whose acks have gone silent
+  // (the QoE-driven "swiftly adapt packet distribution" behaviour).
+  return mpquic::pick_for_queue_head(conn, /*staleness_aware=*/true);
+}
+
+void XlinkScheduler::maybe_reinject(quic::Connection& conn) {
+  last_decision_ =
+      controller_.decide(conn.latest_peer_qoe(), max_deliver_time(conn));
+  if (!last_decision_) return;
+  engine_.run(conn);
+}
+
+std::shared_ptr<XlinkScheduler> make_xlink_scheduler(
+    XlinkSchedulerConfig config) {
+  return std::make_shared<XlinkScheduler>(config);
+}
+
+}  // namespace xlink::core

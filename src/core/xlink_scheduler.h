@@ -1,0 +1,53 @@
+// The XLINK scheduler: QoE-driven multipath scheduling (paper §5).
+//
+// Combines:
+//  - min-RTT path selection for first transmissions;
+//  - stream- and video-frame-priority re-injection (ReinjectionEngine);
+//  - double-thresholding QoE control gating re-injection on the client's
+//    buffer occupancy feedback (DoubleThresholdController);
+//  - re-injections always travel on a different path than the original.
+#pragma once
+
+#include <memory>
+
+#include "core/double_threshold.h"
+#include "core/reinjection.h"
+#include "quic/scheduler.h"
+
+namespace xlink::core {
+
+struct XlinkSchedulerConfig {
+  DoubleThresholdConfig control;
+  /// Fig. 4 insertion behaviour; kPriority is XLINK, kAppend the
+  /// traditional baseline.
+  quic::InsertMode insert_mode = quic::InsertMode::kPriority;
+};
+
+class XlinkScheduler final : public quic::Scheduler {
+ public:
+  explicit XlinkScheduler(XlinkSchedulerConfig config)
+      : config_(config), controller_(config.control),
+        engine_(config.insert_mode) {}
+
+  std::optional<quic::PathId> select_path(quic::Connection& conn) override;
+  void maybe_reinject(quic::Connection& conn) override;
+
+  std::string name() const override { return "xlink"; }
+
+  const ReinjectionStats& reinjection_stats() const { return engine_.stats(); }
+  const DoubleThresholdController& controller() const { return controller_; }
+
+  /// Last re-injection gating decision (for instrumentation/benches).
+  bool last_decision() const { return last_decision_; }
+
+ private:
+  XlinkSchedulerConfig config_;
+  DoubleThresholdController controller_;
+  ReinjectionEngine engine_;
+  bool last_decision_ = false;
+};
+
+std::shared_ptr<XlinkScheduler> make_xlink_scheduler(
+    XlinkSchedulerConfig config = {});
+
+}  // namespace xlink::core

@@ -1,0 +1,40 @@
+#include "energy/energy_model.h"
+
+#include <algorithm>
+
+namespace xlink::energy {
+
+RadioProfile radio_profile(net::Wireless tech) {
+  switch (tech) {
+    case net::Wireless::kWifi:
+      return {0.10, 0.85, sim::millis(200)};
+    case net::Wireless::kLte:
+      return {0.25, 1.60, sim::millis(1500)};
+    case net::Wireless::k5gNsa:
+      return {0.35, 2.30, sim::millis(1200)};
+    case net::Wireless::k5gSa:
+      return {0.30, 2.10, sim::millis(800)};
+  }
+  return {0.1, 1.0, 0};
+}
+
+EnergyReport compute_energy(const std::vector<RadioUsage>& radios,
+                            std::uint64_t total_bytes,
+                            sim::Duration duration) {
+  EnergyReport report;
+  const double secs = sim::to_seconds(duration);
+  for (const auto& r : radios) {
+    const RadioProfile p = radio_profile(r.tech);
+    const double active_secs =
+        std::min(sim::to_seconds(r.active_time + p.tail), secs);
+    const double idle_secs = std::max(0.0, secs - active_secs);
+    report.total_joules +=
+        p.active_watts * active_secs + p.baseline_watts * idle_secs;
+  }
+  const double bits = static_cast<double>(total_bytes) * 8.0;
+  if (bits > 0) report.energy_per_bit_nj = report.total_joules / bits * 1e9;
+  if (secs > 0) report.throughput_mbps = bits / secs / 1e6;
+  return report;
+}
+
+}  // namespace xlink::energy

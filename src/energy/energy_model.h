@@ -1,0 +1,52 @@
+// Radio energy model for the Fig. 14 experiment.
+//
+// The paper measured instantaneous current/voltage on 5G phones while
+// downloading with XLINK over single radios and radio pairs. We model each
+// radio with an RRC-flavoured two-state power profile: a baseline power
+// while the radio is attached plus an active-transfer power while bits
+// flow, with a post-transfer tail (the well-known cellular tail energy).
+// Energy-per-bit then falls out of power x time / bits -- reproducing the
+// paper's observation that dual radios raise instantaneous power but can
+// LOWER energy per bit because the transfer finishes sooner.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/wireless.h"
+#include "sim/time.h"
+
+namespace xlink::energy {
+
+struct RadioProfile {
+  double baseline_watts = 0.0;  // attached, idle
+  double active_watts = 0.0;    // while transferring
+  sim::Duration tail = 0;       // high-power tail after last activity
+};
+
+/// Representative profiles (Snapdragon-class numbers from the measurement
+/// literature; only ratios matter for the normalized Fig. 14 axes).
+RadioProfile radio_profile(net::Wireless tech);
+
+/// One radio's activity during a download.
+struct RadioUsage {
+  net::Wireless tech = net::Wireless::kWifi;
+  std::uint64_t bytes_transferred = 0;
+  sim::Duration active_time = 0;  // time with data flowing on this radio
+};
+
+struct EnergyReport {
+  double total_joules = 0.0;
+  double energy_per_bit_nj = 0.0;  // nanojoules per bit
+  double throughput_mbps = 0.0;    // aggregate goodput
+};
+
+/// Computes the energy of a download of `total_bytes` lasting `duration`
+/// over the given radios (all radios stay attached for the whole duration;
+/// that is what multipath costs).
+EnergyReport compute_energy(const std::vector<RadioUsage>& radios,
+                            std::uint64_t total_bytes,
+                            sim::Duration duration);
+
+}  // namespace xlink::energy

@@ -1,0 +1,36 @@
+#include "harness/endpoint.h"
+
+namespace xlink::harness {
+
+Endpoint::Endpoint(net::Network& network, quic::Connection& conn, Side side)
+    : network_(network), conn_(conn), side_(side) {
+  conn_.set_send_callback([this](quic::PathId path, net::Datagram d) {
+    if (network_.path_count() == 0) return;
+    // Path ids beyond the physical link count wrap around: connection
+    // migration may revisit an interface under a fresh connection ID, and
+    // the fresh CID sequence is a new transport path over the same link.
+    const std::size_t link = path % network_.path_count();
+    if (side_ == Side::kClient)
+      network_.path(link).send_up(std::move(d));
+    else
+      network_.path(link).send_down(std::move(d));
+  });
+}
+
+void Endpoint::bind_path(std::size_t index) {
+  auto& path = network_.path(index);
+  const auto id = static_cast<quic::PathId>(index);
+  if (side_ == Side::kClient) {
+    path.set_down_receiver(
+        [this, id](net::Datagram d) { conn_.on_datagram(id, d); });
+  } else {
+    path.set_up_receiver(
+        [this, id](net::Datagram d) { conn_.on_datagram(id, d); });
+  }
+}
+
+void Endpoint::bind_all() {
+  for (std::size_t i = 0; i < network_.path_count(); ++i) bind_path(i);
+}
+
+}  // namespace xlink::harness

@@ -1,0 +1,33 @@
+// Endpoint: binds a Connection to the emulated network fabric.
+//
+// Path id i of the connection maps to network path index i; clients send
+// on uplinks and listen on downlinks, servers the reverse. This stands in
+// for the UDP sockets + QUIC-LB consistent-hash routing of the deployed
+// system (all paths of a connection reach the same server process).
+#pragma once
+
+#include "net/network.h"
+#include "quic/connection.h"
+
+namespace xlink::harness {
+
+class Endpoint {
+ public:
+  enum class Side { kClient, kServer };
+
+  Endpoint(net::Network& network, quic::Connection& conn, Side side);
+
+  /// Wires one network path (receiver + the connection's send callback
+  /// covers all paths). Call for every path, including ones added mid-run.
+  void bind_path(std::size_t index);
+
+  /// Wires every path currently in the network.
+  void bind_all();
+
+ private:
+  net::Network& network_;
+  quic::Connection& conn_;
+  Side side_;
+};
+
+}  // namespace xlink::harness

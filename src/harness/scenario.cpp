@@ -1,0 +1,195 @@
+#include "harness/scenario.h"
+
+#include <algorithm>
+
+#include "core/primary_path.h"
+
+namespace xlink::harness {
+
+net::PathSpec make_path_spec(net::Wireless tech, trace::LinkTrace down_trace,
+                             sim::Duration rtt, double loss_rate) {
+  net::PathSpec spec;
+  spec.tech = tech;
+  spec.down_trace = std::move(down_trace);
+  spec.one_way_delay = rtt / 2;
+  spec.loss_rate = loss_rate;
+  // Uplink (requests + acks) is rarely the bottleneck: fixed 20 Mbps.
+  spec.fixed_rate_mbps = 20.0;
+  return spec;
+}
+
+Session::Session(SessionConfig config) : config_(std::move(config)) {
+  sim::Rng rng(config_.seed);
+  network_ = std::make_unique<net::Network>(loop_, rng.fork());
+
+  // Wireless-aware primary path selection: path 0 starts the connection.
+  std::vector<net::PathSpec> ordered = config_.paths;
+  if (config_.wireless_aware_primary && ordered.size() > 1) {
+    std::vector<net::Wireless> techs;
+    techs.reserve(ordered.size());
+    for (const auto& p : ordered) techs.push_back(p.tech);
+    std::vector<net::PathSpec> re;
+    re.reserve(ordered.size());
+    for (std::size_t idx : core::rank_paths(techs))
+      re.push_back(std::move(ordered[idx]));
+    ordered = std::move(re);
+  }
+  for (auto& spec : ordered) network_->add_path(std::move(spec));
+
+  video_model_ = std::make_shared<video::VideoModel>(config_.video);
+
+  client_conn_ = std::make_unique<quic::Connection>(
+      loop_, core::make_scheme_config(config_.scheme, quic::Role::kClient,
+                                      config_.options));
+  auto server_cfg = core::make_scheme_config(config_.scheme,
+                                             quic::Role::kServer,
+                                             config_.options);
+  if (config_.server_scheduler_override)
+    server_cfg.scheduler = config_.server_scheduler_override;
+  server_conn_ = std::make_unique<quic::Connection>(loop_,
+                                                    std::move(server_cfg));
+
+  client_ep_ = std::make_unique<Endpoint>(*network_, *client_conn_,
+                                          Endpoint::Side::kClient);
+  server_ep_ = std::make_unique<Endpoint>(*network_, *server_conn_,
+                                          Endpoint::Side::kServer);
+  client_ep_->bind_all();
+  server_ep_->bind_all();
+
+  media_server_ = std::make_unique<http::MediaServer>(*server_conn_,
+                                                      config_.server);
+  media_server_->add_video(config_.client.resource, video_model_);
+
+  media_client_ = std::make_unique<http::MediaClient>(
+      *client_conn_, *video_model_, config_.client);
+
+  if (config_.with_player) {
+    player_ = std::make_unique<video::VideoPlayer>(
+        loop_, *video_model_, config_.startup_buffer_frames);
+    media_client_->set_player(player_.get());
+    qoe_capture_ = std::make_unique<video::QoeCapture>(loop_, *player_,
+                                                       config_.qoe_period);
+    client_conn_->set_qoe_provider(
+        [this]() { return qoe_capture_->latest(); });
+    if (config_.standalone_qoe_feedback) {
+      qoe_sender_ = std::make_unique<core::QoeFeedbackSender>(
+          *client_conn_, [this]() { return qoe_capture_->latest(); },
+          core::QoeFeedbackSender::Config{});
+    }
+  }
+
+  client_conn_->on_established = [this] {
+    media_client_->start();
+    if (core::is_multipath(config_.scheme)) {
+      if (config_.secondary_path_delay == 0) {
+        open_secondary_paths();
+      } else {
+        loop_.schedule_in(config_.secondary_path_delay,
+                          [this] { open_secondary_paths(); });
+      }
+    }
+  };
+}
+
+Session::~Session() = default;
+
+void Session::open_secondary_paths() {
+  while (paths_opened_ < network_->path_count()) {
+    if (!client_conn_->open_path()) break;  // waiting for CIDs
+    ++paths_opened_;
+  }
+  if (paths_opened_ < network_->path_count()) {
+    loop_.schedule_in(sim::millis(10), [this] { open_secondary_paths(); });
+  }
+}
+
+void Session::cm_probe() {
+  if (finished()) return;
+  // Stall = no download progress (what a video app can actually observe;
+  // stray packets still trickle in during an outage, so packet arrival is
+  // a misleading liveness signal).
+  const std::uint64_t progress = media_client_->contiguous_bytes();
+  if (progress != cm_last_rx_packets_) {
+    cm_last_rx_packets_ = progress;
+    cm_last_progress_ = loop_.now();
+  } else if (!media_client_->all_done() &&
+             loop_.now() - cm_last_progress_ >= config_.cm_stall_threshold &&
+             network_->path_count() > 1) {
+    // Stalled: migrate to the next interface under a fresh connection ID
+    // (path ids wrap onto physical links in the endpoint). Migration stops
+    // silently once the CID supply is exhausted, like a real connection.
+    ++cm_current_path_;
+    client_conn_->migrate_to_path(
+        static_cast<quic::PathId>(cm_current_path_));
+    cm_last_progress_ = loop_.now();
+  }
+  loop_.schedule_in(config_.cm_probe_interval, [this] { cm_probe(); });
+}
+
+void Session::sample_tick() {
+  if (!on_sample) return;
+  on_sample(*this);
+  loop_.schedule_in(sample_period, [this] { sample_tick(); });
+}
+
+bool Session::finished() const {
+  if (!media_client_->all_done()) return false;
+  if (player_ && !player_->finished()) return false;
+  return true;
+}
+
+SessionResult Session::run() {
+  client_conn_->connect();
+  if (config_.scheme == core::Scheme::kConnMigration) {
+    cm_last_progress_ = loop_.now();
+    loop_.schedule_in(config_.cm_probe_interval, [this] { cm_probe(); });
+  }
+  if (on_sample) sample_tick();
+
+  // Run in slices so completion can stop the loop early.
+  const sim::Duration slice = sim::millis(20);
+  while (loop_.now() < config_.time_limit) {
+    loop_.run_until(std::min(config_.time_limit, loop_.now() + slice));
+    if (finished()) break;
+  }
+
+  SessionResult result;
+  result.chunk_rct_seconds = media_client_->completion_times_seconds();
+  result.chunks_total = media_client_->chunk_metrics().size();
+  result.chunks_completed = result.chunk_rct_seconds.size();
+  result.download_finished = media_client_->all_done();
+  // Censor incomplete chunks at the elapsed time (they are the tail).
+  for (const auto& m : media_client_->chunk_metrics()) {
+    if (!m.completed_at)
+      result.chunk_rct_seconds.push_back(
+          sim::to_seconds(loop_.now() - m.issued_at));
+  }
+  result.download_seconds =
+      media_client_->all_done_at()
+          ? sim::to_seconds(*media_client_->all_done_at())
+          : sim::to_seconds(loop_.now());
+
+  if (player_) {
+    if (auto ff = player_->first_frame_latency())
+      result.first_frame_seconds = sim::to_seconds(*ff);
+    result.rebuffer_rate = player_->rebuffer_rate();
+    result.rebuffer_seconds = sim::to_seconds(player_->total_rebuffer_time());
+    result.play_seconds = sim::to_seconds(player_->total_play_time());
+    result.rebuffer_count = player_->rebuffer_count();
+    result.video_finished = player_->finished();
+  }
+
+  const auto& server_stats = server_conn_->stats();
+  result.server_wire_bytes = server_stats.bytes_sent;
+  result.stream_payload_bytes = server_stats.stream_bytes_sent;
+  result.reinjected_bytes = server_stats.reinjected_bytes;
+  result.retransmitted_bytes = server_stats.retransmitted_bytes;
+  result.packets_lost = server_stats.packets_lost;
+  result.redundancy_ratio = server_stats.redundancy_ratio();
+  for (std::size_t i = 0; i < network_->path_count(); ++i)
+    result.path_down_bytes.push_back(
+        network_->path(i).down_stats().bytes_delivered);
+  return result;
+}
+
+}  // namespace xlink::harness

@@ -1,0 +1,135 @@
+// Session: one complete video-over-multipath-QUIC run.
+//
+// Owns the event loop, the emulated network, both connection endpoints,
+// the media server/client, the video player, and the QoE capture conduit.
+// This is the unit every bench and the A/B driver build on.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/qoe_feedback.h"
+#include "core/session.h"
+#include "harness/endpoint.h"
+#include "http/media_client.h"
+#include "http/media_server.h"
+#include "net/network.h"
+#include "video/player.h"
+#include "video/qoe_capture.h"
+
+namespace xlink::harness {
+
+struct SessionConfig {
+  core::Scheme scheme = core::Scheme::kXlink;
+  core::SchemeOptions options;
+  /// Replaces the server-side packet scheduler (for comparing custom
+  /// schedulers like ECF/BLEST outside the scheme catalogue).
+  std::shared_ptr<quic::Scheduler> server_scheduler_override;
+  std::vector<net::PathSpec> paths;  // candidate paths, any order
+  video::VideoSpec video;
+  http::MediaClient::Config client;
+  http::MediaServer::Config server;
+  sim::Duration qoe_period = sim::millis(100);
+  /// Also send standalone QOE_CONTROL_SIGNALS frames decoupled from acks
+  /// (the multipath draft's mechanism; the deployed paper system relied on
+  /// ACK_MP piggybacking alone).
+  bool standalone_qoe_feedback = false;
+  sim::Duration time_limit = sim::seconds(120);
+  /// Reorder candidate paths by the wireless-aware primary rank (§5.3).
+  bool wireless_aware_primary = true;
+  /// Attach a player (QoE metrics) or run as a plain download (Fig. 8).
+  bool with_player = true;
+  /// Extra delay before the client brings up secondary paths (models the
+  /// radio/interface bring-up cost on phones).
+  sim::Duration secondary_path_delay = 0;
+  std::uint32_t startup_buffer_frames = 1;
+  std::uint64_t seed = 1;
+  // Connection-migration baseline policy: migrate when no packet has
+  // arrived for this long while a download is outstanding.
+  sim::Duration cm_stall_threshold = sim::millis(600);
+  sim::Duration cm_probe_interval = sim::millis(100);
+};
+
+struct SessionResult {
+  std::vector<double> chunk_rct_seconds;  // completed chunks only
+  std::size_t chunks_total = 0;
+  std::size_t chunks_completed = 0;
+  std::optional<double> first_frame_seconds;
+  double rebuffer_rate = 0.0;
+  double rebuffer_seconds = 0.0;
+  double play_seconds = 0.0;
+  std::uint32_t rebuffer_count = 0;
+  bool video_finished = false;
+  bool download_finished = false;
+  double download_seconds = 0.0;  // start -> last chunk (or censored)
+  std::uint64_t server_wire_bytes = 0;
+  std::uint64_t stream_payload_bytes = 0;
+  std::uint64_t reinjected_bytes = 0;
+  std::uint64_t retransmitted_bytes = 0;
+  std::uint64_t packets_lost = 0;
+  double redundancy_ratio = 0.0;
+  /// Per network path: bytes the server pushed down it.
+  std::vector<std::uint64_t> path_down_bytes;
+};
+
+class Session {
+ public:
+  explicit Session(SessionConfig config);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Runs to completion (download + playback) or the time limit.
+  SessionResult run();
+
+  /// Optional periodic observer for time-series benches (Fig. 1, Fig. 6);
+  /// set before run().
+  std::function<void(Session&)> on_sample;
+  sim::Duration sample_period = sim::millis(50);
+
+  // Accessors for observers.
+  sim::EventLoop& loop() { return loop_; }
+  net::Network& network() { return *network_; }
+  quic::Connection& client_conn() { return *client_conn_; }
+  quic::Connection& server_conn() { return *server_conn_; }
+  video::VideoPlayer* player() { return player_.get(); }
+  http::MediaClient& media_client() { return *media_client_; }
+  const video::VideoModel& video_model() const { return *video_model_; }
+  const SessionConfig& config() const { return config_; }
+
+ private:
+  void open_secondary_paths();
+  void cm_probe();
+  void sample_tick();
+  bool finished() const;
+
+  SessionConfig config_;
+  sim::EventLoop loop_;
+  std::unique_ptr<net::Network> network_;
+  std::shared_ptr<video::VideoModel> video_model_;
+  std::unique_ptr<quic::Connection> client_conn_;
+  std::unique_ptr<quic::Connection> server_conn_;
+  std::unique_ptr<Endpoint> client_ep_;
+  std::unique_ptr<Endpoint> server_ep_;
+  std::unique_ptr<http::MediaServer> media_server_;
+  std::unique_ptr<http::MediaClient> media_client_;
+  std::unique_ptr<video::VideoPlayer> player_;
+  std::unique_ptr<video::QoeCapture> qoe_capture_;
+  std::unique_ptr<core::QoeFeedbackSender> qoe_sender_;
+
+  std::size_t paths_opened_ = 1;
+  // CM policy state.
+  std::uint64_t cm_last_rx_packets_ = 0;
+  sim::Time cm_last_progress_ = 0;
+  std::size_t cm_current_path_ = 0;
+};
+
+/// Convenience: builds a PathSpec for a technology with a trace and an RTT
+/// drawn from the technology's distribution.
+net::PathSpec make_path_spec(net::Wireless tech, trace::LinkTrace down_trace,
+                             sim::Duration rtt, double loss_rate = 0.0);
+
+}  // namespace xlink::harness

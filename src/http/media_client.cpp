@@ -1,0 +1,120 @@
+#include "http/media_client.h"
+
+#include <algorithm>
+
+#include "http/range_protocol.h"
+
+namespace xlink::http {
+
+MediaClient::MediaClient(quic::Connection& conn,
+                         const video::VideoModel& model, Config config)
+    : conn_(conn), model_(model), config_(std::move(config)) {
+  plan_ = video::ChunkPlan::fixed_size(model_.total_bytes(),
+                                       config_.chunk_bytes);
+  conn_.on_stream_readable = [this](quic::StreamId id) { on_readable(id); };
+  conn_.on_stream_data_finished = [this](quic::StreamId id) {
+    on_finished_stream(id);
+  };
+}
+
+void MediaClient::start() {
+  if (started_) return;
+  started_ = true;
+  issue_next();
+}
+
+void MediaClient::issue_next() {
+  while (next_chunk_ < plan_.chunks.size() &&
+         next_chunk_ - completed_ <
+             static_cast<std::size_t>(config_.max_concurrent)) {
+    const auto& chunk = plan_.chunks[next_chunk_];
+    const quic::StreamId id = conn_.open_stream();
+    // Earlier chunks play first: higher stream priority on our requests
+    // (the server applies the same rule to its response data).
+    conn_.set_stream_priority(id, -static_cast<int>(next_chunk_));
+    chunk_streams_.push_back(id);
+    ChunkMetrics m;
+    m.begin = chunk.begin;
+    m.end = chunk.end;
+    m.issued_at = conn_.loop().now();
+    metrics_.push_back(m);
+
+    RangeRequest req;
+    req.resource = config_.resource;
+    req.begin = chunk.begin;
+    req.end = chunk.end;
+    conn_.stream_send(id, encode_request(req), /*fin=*/true);
+    ++next_chunk_;
+  }
+}
+
+std::optional<std::size_t> MediaClient::chunk_of_stream(
+    quic::StreamId id) const {
+  const auto it =
+      std::find(chunk_streams_.begin(), chunk_streams_.end(), id);
+  if (it == chunk_streams_.end()) return std::nullopt;
+  return static_cast<std::size_t>(it - chunk_streams_.begin());
+}
+
+void MediaClient::on_readable(quic::StreamId id) {
+  const auto chunk = chunk_of_stream(id);
+  if (!chunk) return;
+  // Drain (updates flow control); progress is tracked via read offsets.
+  for (;;) {
+    auto data = conn_.consume_stream(id, 64 * 1024);
+    if (data.empty()) break;
+    if (config_.verify_content) {
+      const auto* stream = conn_.recv_stream(id);
+      const std::uint64_t end_off = stream->read_offset();
+      const std::uint64_t start_off = end_off - data.size();
+      const std::uint64_t base = plan_.chunks[*chunk].begin;
+      for (std::uint64_t i = 0; i < data.size(); ++i) {
+        if (data[i] != model_.byte_at(base + start_off + i))
+          ++content_mismatches_;
+      }
+    }
+  }
+  publish_progress();
+}
+
+void MediaClient::on_finished_stream(quic::StreamId id) {
+  const auto chunk = chunk_of_stream(id);
+  if (!chunk) return;
+  auto& m = metrics_[*chunk];
+  if (m.completed_at) return;
+  m.completed_at = conn_.loop().now();
+  ++completed_;
+  publish_progress();
+  issue_next();
+  if (all_done()) {
+    all_done_at_ = conn_.loop().now();
+    if (on_all_done) on_all_done();
+  }
+}
+
+std::uint64_t MediaClient::contiguous_bytes() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < chunk_streams_.size(); ++i) {
+    const auto* stream = conn_.recv_stream(chunk_streams_[i]);
+    const std::uint64_t have = stream ? stream->contiguous_received() : 0;
+    const std::uint64_t size = plan_.chunks[i].end - plan_.chunks[i].begin;
+    total += std::min(have, size);
+    if (have < size) break;  // gap: later chunks are not contiguous yet
+  }
+  return total;
+}
+
+void MediaClient::publish_progress() {
+  if (player_) player_->on_contiguous_bytes(contiguous_bytes());
+}
+
+std::vector<double> MediaClient::completion_times_seconds() const {
+  std::vector<double> out;
+  for (const auto& m : metrics_) {
+    if (const auto t = m.completion_time())
+      out.push_back(sim::to_seconds(*t));
+  }
+  return out;
+}
+
+}  // namespace xlink::http

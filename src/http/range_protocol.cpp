@@ -1,0 +1,48 @@
+#include "http/range_protocol.h"
+
+#include <algorithm>
+#include <charconv>
+
+namespace xlink::http {
+
+std::vector<std::uint8_t> encode_request(const RangeRequest& req) {
+  std::string line = "GET " + req.resource + " " +
+                     std::to_string(req.begin) + " " +
+                     std::to_string(req.end) + "\n";
+  return {line.begin(), line.end()};
+}
+
+std::optional<RangeRequest> parse_request(
+    const std::vector<std::uint8_t>& data) {
+  const auto nl = std::find(data.begin(), data.end(), std::uint8_t{'\n'});
+  if (nl == data.end()) return std::nullopt;
+  const std::string line(data.begin(), nl);
+
+  // Tokenize: "GET <resource> <begin> <end>".
+  std::vector<std::string> tokens;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    const std::size_t space = line.find(' ', pos);
+    if (space == std::string::npos) {
+      tokens.push_back(line.substr(pos));
+      break;
+    }
+    tokens.push_back(line.substr(pos, space - pos));
+    pos = space + 1;
+  }
+  if (tokens.size() != 4 || tokens[0] != "GET") return std::nullopt;
+
+  RangeRequest req;
+  req.resource = tokens[1];
+  auto parse_u64 = [](const std::string& s, std::uint64_t& out) {
+    const auto [ptr, ec] =
+        std::from_chars(s.data(), s.data() + s.size(), out);
+    return ec == std::errc() && ptr == s.data() + s.size();
+  };
+  if (!parse_u64(tokens[2], req.begin) || !parse_u64(tokens[3], req.end))
+    return std::nullopt;
+  if (req.end < req.begin) return std::nullopt;
+  return req;
+}
+
+}  // namespace xlink::http

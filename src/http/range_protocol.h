@@ -1,0 +1,33 @@
+// Minimal HTTP-style range request protocol carried over QUIC streams.
+//
+// The Taobao client's MediaCacheService issues HTTP range requests for
+// video chunks; one request/response pair maps to one bidirectional QUIC
+// stream. The wire format is a single text line:
+//     GET <resource> <begin> <end>\n
+// followed (server->client) by the raw bytes of [begin, end).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xlink::http {
+
+struct RangeRequest {
+  std::string resource;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;  // half-open
+
+  bool operator==(const RangeRequest&) const = default;
+};
+
+/// Serializes a request line (including the terminating newline).
+std::vector<std::uint8_t> encode_request(const RangeRequest& req);
+
+/// Parses a complete request line; nullopt if `data` holds no full line or
+/// the line is malformed.
+std::optional<RangeRequest> parse_request(
+    const std::vector<std::uint8_t>& data);
+
+}  // namespace xlink::http

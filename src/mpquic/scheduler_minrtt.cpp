@@ -1,0 +1,24 @@
+#include "mpquic/scheduler_util.h"
+#include "mpquic/schedulers.h"
+
+namespace xlink::mpquic {
+namespace {
+
+/// The vanilla-MP scheduler: lowest smoothed RTT among paths with window
+/// room. No re-injection, no QoE awareness -- the §3 baseline whose
+/// MP-HoL-blocking failures motivate XLINK.
+class MinRttScheduler final : public quic::Scheduler {
+ public:
+  std::optional<quic::PathId> select_path(quic::Connection& conn) override {
+    return pick_for_queue_head(conn);
+  }
+  std::string name() const override { return "min-rtt"; }
+};
+
+}  // namespace
+
+std::shared_ptr<quic::Scheduler> make_min_rtt_scheduler() {
+  return std::make_shared<MinRttScheduler>();
+}
+
+}  // namespace xlink::mpquic

@@ -1,0 +1,31 @@
+#include "mpquic/scheduler_util.h"
+#include "mpquic/schedulers.h"
+
+namespace xlink::mpquic {
+namespace {
+
+/// Naive round-robin over active paths with window room.
+class RoundRobinScheduler final : public quic::Scheduler {
+ public:
+  std::optional<quic::PathId> select_path(quic::Connection& conn) override {
+    const auto ids = conn.active_path_ids();
+    if (ids.empty()) return std::nullopt;
+    for (std::size_t tries = 0; tries < ids.size(); ++tries) {
+      const quic::PathId id = ids[next_++ % ids.size()];
+      if (conn.path_state(id).cwnd_available() >= kMinRoom) return id;
+    }
+    return std::nullopt;
+  }
+  std::string name() const override { return "round-robin"; }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+}  // namespace
+
+std::shared_ptr<quic::Scheduler> make_round_robin_scheduler() {
+  return std::make_shared<RoundRobinScheduler>();
+}
+
+}  // namespace xlink::mpquic

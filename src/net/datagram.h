@@ -1,0 +1,14 @@
+// UDP-datagram abstraction carried by emulated links.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace xlink::net {
+
+/// Raw datagram payload: in this simulator a datagram carries exactly one
+/// QUIC packet (the common case for video transport; coalescing is a wire
+/// optimization that does not affect scheduling behaviour).
+using Datagram = std::vector<std::uint8_t>;
+
+}  // namespace xlink::net

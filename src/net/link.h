@@ -1,0 +1,104 @@
+// One-directional emulated links.
+//
+// A link models the Mahimahi pipeline: droptail queue -> capacity process
+// (trace-driven delivery opportunities or a fixed rate) -> loss model ->
+// propagation delay -> receiver callback.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "net/datagram.h"
+#include "net/loss_model.h"
+#include "sim/event_loop.h"
+#include "sim/rng.h"
+#include "trace/trace.h"
+
+namespace xlink::net {
+
+struct LinkStats {
+  std::uint64_t packets_enqueued = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_dropped_queue = 0;  // droptail overflow
+  std::uint64_t packets_dropped_loss = 0;   // loss model
+  std::uint64_t bytes_delivered = 0;
+};
+
+class Link {
+ public:
+  using DeliverFn = std::function<void(Datagram)>;
+
+  virtual ~Link() = default;
+
+  /// Enqueues a datagram for transmission. May drop (droptail).
+  virtual void send(Datagram dgram) = 0;
+
+  /// Sets the receiver; must be set before the first delivery fires.
+  void set_receiver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  const LinkStats& stats() const { return stats_; }
+
+  /// Bytes currently queued (not yet transmitted).
+  std::size_t queued_bytes() const { return queued_bytes_; }
+
+ protected:
+  DeliverFn deliver_;
+  LinkStats stats_;
+  std::size_t queued_bytes_ = 0;
+};
+
+/// Configuration shared by all link types.
+struct LinkConfig {
+  sim::Duration propagation_delay = sim::millis(10);  // one-way
+  std::size_t queue_capacity_bytes = 1024 * 1024;     // droptail bound
+  std::shared_ptr<LossModel> loss;                    // nullptr = no loss
+};
+
+/// Trace-driven link: one packet departs per delivery opportunity of the
+/// trace (the trace loops past its end, with time offset by its period).
+class TraceLink final : public Link {
+ public:
+  TraceLink(sim::EventLoop& loop, trace::LinkTrace trace, LinkConfig cfg,
+            sim::Rng rng);
+
+  void send(Datagram dgram) override;
+
+  const trace::LinkTrace& trace() const { return trace_; }
+
+ private:
+  void arm_next_departure();
+  void depart_one();
+
+  sim::EventLoop& loop_;
+  trace::LinkTrace trace_;
+  LinkConfig cfg_;
+  sim::Rng rng_;
+  std::deque<Datagram> queue_;
+  std::uint64_t next_opportunity_ = 0;  // monotone cursor into the trace
+  bool departure_armed_ = false;
+};
+
+/// Fixed-rate link: serializes packets at `rate_bps` (store-and-forward).
+class FixedRateLink final : public Link {
+ public:
+  FixedRateLink(sim::EventLoop& loop, double rate_bps, LinkConfig cfg,
+                sim::Rng rng);
+
+  void send(Datagram dgram) override;
+
+ private:
+  void arm_next_departure();
+  void depart_one();
+
+  sim::EventLoop& loop_;
+  double rate_bps_;
+  LinkConfig cfg_;
+  sim::Rng rng_;
+  std::deque<Datagram> queue_;
+  sim::Time link_free_at_ = 0;  // when the serializer is next idle
+  bool departure_armed_ = false;
+};
+
+}  // namespace xlink::net

@@ -1,0 +1,28 @@
+#include "net/loss_model.h"
+
+namespace xlink::net {
+
+bool GilbertElliottLoss::should_drop(sim::Time /*now*/, sim::Rng& rng) {
+  if (bad_) {
+    if (rng.chance(p_bg_)) bad_ = false;
+  } else {
+    if (rng.chance(p_gb_)) bad_ = true;
+  }
+  return rng.chance(bad_ ? loss_bad_ : loss_good_);
+}
+
+bool OutageWindows::should_drop(sim::Time now, sim::Rng&) {
+  for (const auto& w : windows_)
+    if (now >= w.begin && now < w.end) return true;
+  return false;
+}
+
+bool CompositeLoss::should_drop(sim::Time now, sim::Rng& rng) {
+  bool drop = false;
+  // Evaluate every model so stateful models (Gilbert-Elliott) advance.
+  for (auto& m : models_)
+    if (m->should_drop(now, rng)) drop = true;
+  return drop;
+}
+
+}  // namespace xlink::net

@@ -1,0 +1,48 @@
+// Network fabric: the set of emulated paths between one client and one
+// server endpoint pair.
+//
+// Endpoints address paths by index (the transport maps connection-ID
+// sequence numbers onto these indices). The fabric also supports adding a
+// path mid-run (a phone turning on cellular) which the mobility experiments
+// use.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/path.h"
+
+namespace xlink::net {
+
+class Network {
+ public:
+  Network(sim::EventLoop& loop, sim::Rng rng) : loop_(loop), rng_(rng) {}
+
+  /// Adds a path and returns its index.
+  std::size_t add_path(PathSpec spec) {
+    paths_.push_back(
+        std::make_unique<EmulatedPath>(loop_, std::move(spec), rng_.fork()));
+    return paths_.size() - 1;
+  }
+
+  std::size_t path_count() const { return paths_.size(); }
+  EmulatedPath& path(std::size_t i) { return *paths_.at(i); }
+  const EmulatedPath& path(std::size_t i) const { return *paths_.at(i); }
+
+  /// Total bytes the server pushed into downlinks (the CDN egress the cost
+  /// metric is measured on).
+  std::uint64_t total_down_enqueued_bytes() const {
+    std::uint64_t sum = 0;
+    for (const auto& p : paths_) {
+      sum += p->down_stats().bytes_delivered;
+    }
+    return sum;
+  }
+
+ private:
+  sim::EventLoop& loop_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<EmulatedPath>> paths_;
+};
+
+}  // namespace xlink::net

@@ -1,0 +1,25 @@
+#include "net/path.h"
+
+namespace xlink::net {
+
+EmulatedPath::EmulatedPath(sim::EventLoop& loop, PathSpec spec, sim::Rng rng)
+    : spec_(std::move(spec)) {
+  up_ = make_link(loop, spec_.up_trace, rng.fork());
+  down_ = make_link(loop, spec_.down_trace, rng.fork());
+}
+
+std::unique_ptr<Link> EmulatedPath::make_link(
+    sim::EventLoop& loop, const std::optional<trace::LinkTrace>& t,
+    sim::Rng rng) const {
+  LinkConfig cfg;
+  cfg.propagation_delay = spec_.one_way_delay;
+  cfg.queue_capacity_bytes = spec_.queue_capacity_bytes;
+  if (spec_.loss_rate > 0.0)
+    cfg.loss = std::make_shared<BernoulliLoss>(spec_.loss_rate);
+  if (t.has_value())
+    return std::make_unique<TraceLink>(loop, *t, std::move(cfg), rng);
+  return std::make_unique<FixedRateLink>(loop, spec_.fixed_rate_mbps * 1e6,
+                                         std::move(cfg), rng);
+}
+
+}  // namespace xlink::net

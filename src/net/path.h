@@ -1,0 +1,62 @@
+// Bidirectional emulated network path (client <-> server).
+//
+// A path pairs an uplink and a downlink, each an independent Link, plus the
+// wireless technology label used by wireless-aware primary path selection.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "net/link.h"
+#include "net/wireless.h"
+#include "sim/event_loop.h"
+
+namespace xlink::net {
+
+/// Everything needed to build one emulated path.
+struct PathSpec {
+  Wireless tech = Wireless::kWifi;
+  /// Downlink trace (server -> client); empty means use fixed_rate_mbps.
+  std::optional<trace::LinkTrace> down_trace;
+  /// Uplink trace (client -> server); empty means use fixed_rate_mbps.
+  std::optional<trace::LinkTrace> up_trace;
+  double fixed_rate_mbps = 20.0;
+  sim::Duration one_way_delay = sim::millis(15);
+  double loss_rate = 0.0;                       // residual Bernoulli loss
+  std::size_t queue_capacity_bytes = 1024 * 1024;
+};
+
+class EmulatedPath {
+ public:
+  EmulatedPath(sim::EventLoop& loop, PathSpec spec, sim::Rng rng);
+
+  /// Client -> server direction.
+  void send_up(Datagram d) { up_->send(std::move(d)); }
+  void set_up_receiver(Link::DeliverFn fn) { up_->set_receiver(std::move(fn)); }
+
+  /// Server -> client direction.
+  void send_down(Datagram d) { down_->send(std::move(d)); }
+  void set_down_receiver(Link::DeliverFn fn) {
+    down_->set_receiver(std::move(fn));
+  }
+
+  Wireless tech() const { return spec_.tech; }
+  const PathSpec& spec() const { return spec_; }
+  const LinkStats& up_stats() const { return up_->stats(); }
+  const LinkStats& down_stats() const { return down_->stats(); }
+  std::size_t down_queued_bytes() const { return down_->queued_bytes(); }
+
+  /// Base two-way propagation delay (no queueing).
+  sim::Duration base_rtt() const { return 2 * spec_.one_way_delay; }
+
+ private:
+  std::unique_ptr<Link> make_link(sim::EventLoop& loop,
+                                  const std::optional<trace::LinkTrace>& t,
+                                  sim::Rng rng) const;
+
+  PathSpec spec_;
+  std::unique_ptr<Link> up_;
+  std::unique_ptr<Link> down_;
+};
+
+}  // namespace xlink::net

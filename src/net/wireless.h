@@ -1,0 +1,82 @@
+// Wireless technology model: per-technology path delay distributions and
+// the cross-ISP delay penalty matrix (paper §3.2, Table 4).
+//
+// The paper measured (to Taobao CDN servers): median LTE delay 2.7x Wi-Fi
+// and 5.5x 5G SA; 90th-percentile LTE delay 3.3x Wi-Fi. We encode lognormal
+// RTT distributions whose medians/tails match those ratios.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <string>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace xlink::net {
+
+enum class Wireless { kWifi, kLte, k5gSa, k5gNsa };
+
+inline std::string to_string(Wireless w) {
+  switch (w) {
+    case Wireless::kWifi: return "WiFi";
+    case Wireless::kLte: return "LTE";
+    case Wireless::k5gSa: return "5G-SA";
+    case Wireless::k5gNsa: return "5G-NSA";
+  }
+  return "?";
+}
+
+/// Lognormal parameters of the one-connection RTT (in milliseconds).
+struct RttDistribution {
+  double median_ms;
+  double sigma;  // of the underlying normal
+};
+
+/// Per-technology RTT distribution. Medians follow the paper's ratios:
+/// LTE = 2.7 x WiFi, LTE = 5.5 x 5G-SA; LTE's sigma is chosen so its p90 is
+/// ~3.3x WiFi's p90. 5G NSA rides the LTE core network, so it sits between.
+inline RttDistribution rtt_distribution(Wireless w) {
+  switch (w) {
+    case Wireless::kWifi: return {20.0, 0.45};
+    case Wireless::kLte: return {54.0, 0.61};
+    case Wireless::k5gSa: return {9.8, 0.35};
+    case Wireless::k5gNsa: return {30.0, 0.50};
+  }
+  return {20.0, 0.45};
+}
+
+/// Samples a full-path RTT for the technology.
+inline sim::Duration sample_rtt(Wireless w, sim::Rng& rng) {
+  const RttDistribution d = rtt_distribution(w);
+  const double ms = rng.lognormal(std::log(d.median_ms), d.sigma);
+  return static_cast<sim::Duration>(ms * sim::kMillisecond);
+}
+
+/// Wireless-aware primary path preference rank; lower is preferred.
+/// Paper order: 5G SA > 5G NSA > WiFi > LTE.
+inline int primary_path_rank(Wireless w) {
+  switch (w) {
+    case Wireless::k5gSa: return 0;
+    case Wireless::k5gNsa: return 1;
+    case Wireless::kWifi: return 2;
+    case Wireless::kLte: return 3;
+  }
+  return 4;
+}
+
+/// Cross-ISP LTE delay increase matrix from Table 4 (row = client ISP,
+/// column = server ISP), as a fraction (0.21 == +21%).
+constexpr std::array<std::array<double, 3>, 3> kCrossIspIncrease{{
+    {0.00, 0.21, 0.17},  // from ISP A
+    {0.42, 0.00, 0.54},  // from ISP B
+    {0.39, 0.34, 0.00},  // from ISP C
+}};
+
+enum class Isp { kA = 0, kB = 1, kC = 2 };
+
+inline double cross_isp_increase(Isp from, Isp to) {
+  return kCrossIspIncrease[static_cast<int>(from)][static_cast<int>(to)];
+}
+
+}  // namespace xlink::net

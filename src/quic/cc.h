@@ -1,0 +1,47 @@
+// Congestion controller interface. One instance per path ("decoupled"
+// congestion control, the configuration the paper deploys for mobile
+// multipath where Wi-Fi and cellular rarely share a bottleneck).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/time.h"
+
+namespace xlink::quic {
+
+constexpr std::size_t kDefaultMss = 1400;
+constexpr std::size_t kInitialWindowPackets = 10;
+constexpr std::size_t kMinWindowPackets = 2;
+
+class CongestionController {
+ public:
+  virtual ~CongestionController() = default;
+
+  virtual void on_packet_sent(std::size_t bytes, sim::Time now) = 0;
+  virtual void on_ack(std::size_t bytes, sim::Time sent_time, sim::Time now,
+                      sim::Duration srtt) = 0;
+  /// One congestion event per loss burst: `sent_time` of the newest lost pkt.
+  virtual void on_loss_event(sim::Time sent_time, sim::Time now) = 0;
+  /// Persistent congestion (RFC 9002 §7.6): collapse to minimum window.
+  virtual void on_persistent_congestion(sim::Time now) = 0;
+
+  virtual std::size_t cwnd_bytes() const = 0;
+  virtual bool in_slow_start() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Resets to the initial window (used by connection migration, which must
+  /// restart congestion control on the new path -- the cost Fig. 13 shows).
+  virtual void reset() = 0;
+};
+
+/// kCoupledLia needs per-connection shared state, so the Connection builds
+/// it through make_lia_controller (quic/cc_coupled.h) rather than this
+/// factory; the factory falls back to NewReno if asked directly.
+enum class CcAlgorithm { kNewReno, kCubic, kCoupledLia };
+
+std::unique_ptr<CongestionController> make_congestion_controller(
+    CcAlgorithm algo, std::size_t mss = kDefaultMss);
+
+}  // namespace xlink::quic

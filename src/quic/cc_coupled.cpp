@@ -1,0 +1,127 @@
+#include "quic/cc_coupled.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xlink::quic {
+
+double LiaGroup::alpha() const {
+  double best_ratio = 0.0;  // max cwnd_i / rtt_i^2
+  double denom = 0.0;       // sum cwnd_i / rtt_i
+  std::size_t total = 0;
+  for (const Member* m : members_) {
+    if (!m || m->srtt_seconds <= 0.0 || m->cwnd == 0) continue;
+    const double cwnd = static_cast<double>(m->cwnd);
+    best_ratio = std::max(best_ratio,
+                          cwnd / (m->srtt_seconds * m->srtt_seconds));
+    denom += cwnd / m->srtt_seconds;
+    total += m->cwnd;
+  }
+  if (denom <= 0.0 || total == 0) return 1.0;
+  return static_cast<double>(total) * best_ratio / (denom * denom);
+}
+
+std::size_t LiaGroup::total_cwnd() const {
+  std::size_t total = 0;
+  for (const Member* m : members_)
+    if (m) total += m->cwnd;
+  return total;
+}
+
+namespace {
+
+class LiaController final : public CongestionController {
+ public:
+  LiaController(std::shared_ptr<LiaGroup> group, std::size_t mss)
+      : group_(std::move(group)), mss_(mss),
+        cwnd_(kInitialWindowPackets * mss) {
+    member_ = new LiaGroup::Member{cwnd_, 0.0};
+    group_->members().push_back(member_);
+  }
+
+  ~LiaController() override {
+    auto& v = group_->members();
+    v.erase(std::remove(v.begin(), v.end(), member_), v.end());
+    delete member_;
+  }
+
+  void on_packet_sent(std::size_t, sim::Time) override {}
+
+  void on_ack(std::size_t bytes, sim::Time sent_time, sim::Time /*now*/,
+              sim::Duration srtt) override {
+    member_->srtt_seconds = sim::to_seconds(srtt);
+    if (sent_time <= recovery_start_) {
+      publish();
+      return;
+    }
+    if (in_slow_start()) {
+      cwnd_ += bytes;  // slow start is uncoupled (RFC 6356 §3)
+      publish();
+      return;
+    }
+    // Linked increase: min(alpha * acked * mss / total, acked * mss / cwnd),
+    // accumulated fractionally.
+    const double total = static_cast<double>(group_->total_cwnd());
+    const double coupled =
+        group_->alpha() * static_cast<double>(bytes) * mss_ /
+        std::max(total, 1.0);
+    const double uncoupled = static_cast<double>(bytes) * mss_ /
+                             static_cast<double>(cwnd_);
+    credit_ += std::min(coupled, uncoupled);
+    if (credit_ >= 1.0) {
+      const auto whole = static_cast<std::size_t>(credit_);
+      cwnd_ += whole;
+      credit_ -= static_cast<double>(whole);
+    }
+    publish();
+  }
+
+  void on_loss_event(sim::Time sent_time, sim::Time now) override {
+    if (sent_time <= recovery_start_) return;
+    recovery_start_ = now;
+    ssthresh_ = std::max(cwnd_ / 2, kMinWindowPackets * mss_);
+    cwnd_ = ssthresh_;
+    credit_ = 0;
+    publish();
+  }
+
+  void on_persistent_congestion(sim::Time now) override {
+    recovery_start_ = now;
+    cwnd_ = kMinWindowPackets * mss_;
+    ssthresh_ = cwnd_;
+    credit_ = 0;
+    publish();
+  }
+
+  std::size_t cwnd_bytes() const override { return cwnd_; }
+  bool in_slow_start() const override { return cwnd_ < ssthresh_; }
+  std::string name() const override { return "lia"; }
+
+  void reset() override {
+    cwnd_ = kInitialWindowPackets * mss_;
+    ssthresh_ = SIZE_MAX;
+    credit_ = 0;
+    recovery_start_ = 0;
+    publish();
+  }
+
+ private:
+  void publish() { member_->cwnd = cwnd_; }
+
+  std::shared_ptr<LiaGroup> group_;
+  LiaGroup::Member* member_;
+  std::size_t mss_;
+  std::size_t cwnd_;
+  std::size_t ssthresh_ = SIZE_MAX;
+  double credit_ = 0.0;
+  sim::Time recovery_start_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<CongestionController> make_lia_controller(
+    std::shared_ptr<LiaGroup> group, std::size_t mss) {
+  return std::make_unique<LiaController>(std::move(group), mss);
+}
+
+}  // namespace xlink::quic

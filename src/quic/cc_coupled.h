@@ -1,0 +1,50 @@
+// Coupled multipath congestion control: LIA (Linked Increases Algorithm,
+// RFC 6356).
+//
+// The paper deploys DECOUPLED per-path Cubic because Wi-Fi and cellular
+// rarely share a bottleneck, but §9 notes that 5G SA can move the
+// bottleneck toward the CDN where paths do share it and a coupled variant
+// is preferred for fairness. This implements that variant: all paths of a
+// connection register in one LiaGroup; congestion-avoidance growth on each
+// path is capped so the connection as a whole is no more aggressive than a
+// single TCP flow on the best path.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "quic/cc.h"
+
+namespace xlink::quic {
+
+class LiaGroup;
+
+/// Creates one path's controller, coupled through `group`.
+std::unique_ptr<CongestionController> make_lia_controller(
+    std::shared_ptr<LiaGroup> group, std::size_t mss = kDefaultMss);
+
+/// Shared state of one connection's coupled controllers.
+class LiaGroup {
+ public:
+  /// RFC 6356 alpha: cwnd_total * max_i(cwnd_i / rtt_i^2) /
+  ///                 (sum_i(cwnd_i / rtt_i))^2.
+  /// Computed over registered controllers with an RTT sample.
+  double alpha() const;
+
+  /// Sum of registered controllers' windows (bytes).
+  std::size_t total_cwnd() const;
+
+  /// One registered path's published state (controllers own their slot).
+  struct Member {
+    std::size_t cwnd = 0;
+    double srtt_seconds = 0.0;
+  };
+
+  std::vector<Member*>& members() { return members_; }
+  const std::vector<Member*>& members() const { return members_; }
+
+ private:
+  std::vector<Member*> members_;
+};
+
+}  // namespace xlink::quic

@@ -1,0 +1,141 @@
+// CUBIC congestion control (RFC 8312 window growth with RFC 9002 loss
+// handling). Cubic is the algorithm the paper's experiments run.
+#include <algorithm>
+#include <cmath>
+
+#include "quic/cc.h"
+
+namespace xlink::quic {
+
+namespace {
+
+constexpr double kCubicC = 0.4;         // scaling constant, RFC 8312
+constexpr double kCubicBeta = 0.7;      // multiplicative decrease
+
+class Cubic final : public CongestionController {
+ public:
+  explicit Cubic(std::size_t mss)
+      : mss_(mss), cwnd_(kInitialWindowPackets * mss) {}
+
+  void on_packet_sent(std::size_t, sim::Time) override {}
+
+  void on_ack(std::size_t bytes, sim::Time sent_time, sim::Time now,
+              sim::Duration srtt) override {
+    if (sent_time <= recovery_start_) return;
+    if (in_slow_start()) {
+      cwnd_ += bytes;
+      return;
+    }
+    if (epoch_start_ == 0) begin_epoch(now);
+    // Cubic target window (in bytes) at time t + srtt since the epoch.
+    const double t = sim::to_seconds(now + srtt - epoch_start_);
+    const double target_bytes =
+        (kCubicC * std::pow(t - k_, 3.0) + w_max_mss_) *
+        static_cast<double>(mss_);
+    const double cwnd = static_cast<double>(cwnd_);
+    // Increment credited for `bytes` acked: (target - cwnd) spread over one
+    // window of acks when above target, a small probe floor when below.
+    double incr;
+    if (target_bytes > cwnd) {
+      incr = (target_bytes - cwnd) * static_cast<double>(bytes) / cwnd;
+    } else {
+      incr = 0.01 * static_cast<double>(mss_) *
+             static_cast<double>(bytes) / cwnd;
+    }
+    // Reno-friendly region (RFC 8312 §4.2): never grow slower than the AIMD
+    // estimate W_est.
+    reno_credit_ += bytes;
+    const double w_est_bytes =
+        (w_est_start_mss_ +
+         3.0 * (1.0 - kCubicBeta) / (1.0 + kCubicBeta) *
+             (static_cast<double>(reno_credit_) / cwnd)) *
+        static_cast<double>(mss_);
+    if (w_est_bytes > cwnd + incr) incr = w_est_bytes - cwnd;
+
+    cwnd_fraction_ += incr;
+    if (cwnd_fraction_ >= 1.0) {
+      const auto whole = static_cast<std::size_t>(cwnd_fraction_);
+      cwnd_ += whole;
+      cwnd_fraction_ -= static_cast<double>(whole);
+    }
+  }
+
+  void on_loss_event(sim::Time sent_time, sim::Time now) override {
+    if (sent_time <= recovery_start_) return;
+    recovery_start_ = now;
+    // Fast convergence (RFC 8312 §4.6).
+    const double cwnd_mss = static_cast<double>(cwnd_) / mss_;
+    if (cwnd_mss < w_max_mss_) {
+      w_max_mss_ = cwnd_mss * (1.0 + kCubicBeta) / 2.0;
+    } else {
+      w_max_mss_ = cwnd_mss;
+    }
+    cwnd_ = std::max(static_cast<std::size_t>(cwnd_ * kCubicBeta),
+                     kMinWindowPackets * mss_);
+    ssthresh_ = cwnd_;
+    epoch_start_ = 0;
+  }
+
+  void on_persistent_congestion(sim::Time now) override {
+    recovery_start_ = now;
+    cwnd_ = kMinWindowPackets * mss_;
+    ssthresh_ = cwnd_;
+    w_max_mss_ = static_cast<double>(cwnd_) / mss_;
+    epoch_start_ = 0;
+  }
+
+  std::size_t cwnd_bytes() const override { return cwnd_; }
+  bool in_slow_start() const override { return cwnd_ < ssthresh_; }
+  std::string name() const override { return "cubic"; }
+
+  void reset() override {
+    cwnd_ = kInitialWindowPackets * mss_;
+    ssthresh_ = SIZE_MAX;
+    w_max_mss_ = 0;
+    epoch_start_ = 0;
+    recovery_start_ = 0;
+    cwnd_fraction_ = 0;
+    reno_credit_ = 0;
+  }
+
+ private:
+  void begin_epoch(sim::Time now) {
+    epoch_start_ = now;
+    const double cwnd_mss = static_cast<double>(cwnd_) / mss_;
+    if (w_max_mss_ < cwnd_mss) w_max_mss_ = cwnd_mss;
+    // K = cubic_root(W_max * (1 - beta) / C).
+    k_ = std::cbrt(w_max_mss_ * (1.0 - kCubicBeta) / kCubicC);
+    w_est_start_mss_ = cwnd_mss;
+    reno_credit_ = 0;
+  }
+
+  std::size_t mss_;
+  std::size_t cwnd_;
+  std::size_t ssthresh_ = SIZE_MAX;
+  double w_max_mss_ = 0.0;
+  double k_ = 0.0;
+  double w_est_start_mss_ = 0.0;
+  std::uint64_t reno_credit_ = 0;
+  sim::Time epoch_start_ = 0;
+  sim::Time recovery_start_ = 0;
+  double cwnd_fraction_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<CongestionController> make_newreno(std::size_t mss);
+
+std::unique_ptr<CongestionController> make_congestion_controller(
+    CcAlgorithm algo, std::size_t mss) {
+  switch (algo) {
+    case CcAlgorithm::kNewReno:
+      return make_newreno(mss);
+    case CcAlgorithm::kCubic:
+      return std::make_unique<Cubic>(mss);
+    case CcAlgorithm::kCoupledLia:
+      break;  // needs shared state; see quic/cc_coupled.h
+  }
+  return make_newreno(mss);
+}
+
+}  // namespace xlink::quic

@@ -1,0 +1,71 @@
+// NewReno congestion control per RFC 9002 §7.
+#include <algorithm>
+
+#include "quic/cc.h"
+
+namespace xlink::quic {
+
+namespace {
+
+class NewReno final : public CongestionController {
+ public:
+  explicit NewReno(std::size_t mss)
+      : mss_(mss), cwnd_(kInitialWindowPackets * mss) {}
+
+  void on_packet_sent(std::size_t, sim::Time) override {}
+
+  void on_ack(std::size_t bytes, sim::Time sent_time, sim::Time /*now*/,
+              sim::Duration /*srtt*/) override {
+    if (sent_time <= recovery_start_) return;  // in recovery: no growth
+    if (in_slow_start()) {
+      cwnd_ += bytes;
+    } else {
+      // Congestion avoidance: +MSS per cwnd of acked bytes.
+      avoidance_credit_ += bytes;
+      while (avoidance_credit_ >= cwnd_) {
+        avoidance_credit_ -= cwnd_;
+        cwnd_ += mss_;
+      }
+    }
+  }
+
+  void on_loss_event(sim::Time sent_time, sim::Time now) override {
+    if (sent_time <= recovery_start_) return;  // already reacted this burst
+    recovery_start_ = now;
+    ssthresh_ = std::max(cwnd_ / 2, kMinWindowPackets * mss_);
+    cwnd_ = ssthresh_;
+    avoidance_credit_ = 0;
+  }
+
+  void on_persistent_congestion(sim::Time now) override {
+    recovery_start_ = now;
+    cwnd_ = kMinWindowPackets * mss_;
+    avoidance_credit_ = 0;
+  }
+
+  std::size_t cwnd_bytes() const override { return cwnd_; }
+  bool in_slow_start() const override { return cwnd_ < ssthresh_; }
+  std::string name() const override { return "newreno"; }
+
+  void reset() override {
+    cwnd_ = kInitialWindowPackets * mss_;
+    ssthresh_ = SIZE_MAX;
+    avoidance_credit_ = 0;
+    recovery_start_ = 0;
+  }
+
+ private:
+  std::size_t mss_;
+  std::size_t cwnd_;
+  std::size_t ssthresh_ = SIZE_MAX;
+  std::size_t avoidance_credit_ = 0;
+  sim::Time recovery_start_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<CongestionController> make_newreno(std::size_t mss) {
+  return std::make_unique<NewReno>(mss);
+}
+
+}  // namespace xlink::quic

@@ -1,0 +1,1126 @@
+#include "quic/connection.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace xlink::quic {
+namespace {
+
+/// Priority class ordering: frame priority dominates, then stream priority.
+/// Higher class goes earlier in pkt_send_q.
+std::pair<int, int> item_class(const SendItem& it) {
+  return {it.frame_priority, it.stream_priority};
+}
+
+/// Deterministic CID bytes; in a real handshake these are exchanged, here
+/// both endpoints derive the same values so routing agrees by construction.
+/// `server_id` is embedded at kCidServerIdOffset for QUIC-LB routing.
+ConnectionId derive_cid(Role issuer, std::uint32_t seq,
+                        std::uint8_t server_id) {
+  ConnectionId cid;
+  cid.sequence = seq;
+  const std::uint64_t tag =
+      (issuer == Role::kClient ? 0xc11e57ULL : 0x5e47e2ULL);
+  std::uint64_t x = tag * 0x9e3779b97f4a7c15ULL + seq;
+  x ^= x >> 29;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  for (int i = 0; i < 8; ++i)
+    cid.bytes[i] = static_cast<std::uint8_t>(x >> (8 * i));
+  cid.bytes[kCidServerIdOffset] = server_id;
+  return cid;
+}
+
+std::array<std::uint8_t, 8> derive_challenge(PathId id) {
+  std::array<std::uint8_t, 8> d{};
+  std::uint64_t x = 0xabcd0000ULL + id;
+  x *= 0x2545f4914f6cdd1dULL;
+  for (int i = 0; i < 8; ++i) d[i] = static_cast<std::uint8_t>(x >> (8 * i));
+  return d;
+}
+
+constexpr int kMaxAckRanges = 32;
+constexpr int kAckElicitingThreshold = 2;
+
+}  // namespace
+
+std::string ConnectionId::hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string s;
+  for (std::uint8_t b : bytes) {
+    s.push_back(digits[b >> 4]);
+    s.push_back(digits[b & 0xf]);
+  }
+  return s;
+}
+
+Connection::Connection(sim::EventLoop& loop, Config config)
+    : loop_(loop), config_(std::move(config)), aead_(config_.aead_key) {
+  // CID sequence 0 for both directions exists from the start (handshake
+  // CIDs); the peer's params arrive later but path 0's CIDs are implicit.
+  local_cids_[0] = derive_cid(config_.role, 0, config_.cid_server_id);
+  peer_cids_[0] = derive_cid(
+      config_.role == Role::kClient ? Role::kServer : Role::kClient, 0,
+      config_.peer_cid_server_id);
+  next_local_cid_seq_ = 1;
+  local_max_data_ = config_.params.initial_max_data;
+  // Until the peer's params arrive, assume symmetric defaults (the true
+  // values are applied in handle_crypto).
+  peer_max_data_ = config_.params.initial_max_data;
+}
+
+Connection::~Connection() {
+  if (timer_id_) loop_.cancel(timer_id_);
+}
+
+// --------------------------------------------------------------- lifecycle
+
+void Connection::connect() {
+  assert(config_.role == Role::kClient);
+  if (handshake_sent_) return;
+  create_path(0, PathState::State::kActive);
+  send_handshake_initial();
+}
+
+void Connection::send_handshake_initial() {
+  handshake_sent_ = true;
+  CryptoFrame crypto;
+  crypto.data = encode_transport_params(config_.params);
+  queue_control(0, Frame{std::move(crypto)});
+  pump();
+}
+
+void Connection::close(std::uint64_t error_code, const std::string& reason) {
+  if (closed_) return;
+  if (!paths_.empty() && send_fn_) {
+    const PathId carrier = fastest_active_path();
+    send_control_packet(carrier,
+                        {Frame{ConnectionCloseFrame{error_code, reason}}},
+                        /*count_inflight=*/false);
+  }
+  closed_ = true;
+  if (timer_id_) {
+    loop_.cancel(timer_id_);
+    timer_id_ = 0;
+  }
+}
+
+// ------------------------------------------------------------------- paths
+
+PathState& Connection::create_path(PathId id, PathState::State state) {
+  auto it = paths_.find(id);
+  if (it != paths_.end()) return *it->second;
+  auto p = std::make_unique<PathState>();
+  p->id = id;
+  p->state = state;
+  if (config_.cc == CcAlgorithm::kCoupledLia) {
+    if (!lia_group_) lia_group_ = std::make_shared<LiaGroup>();
+    p->cc = make_lia_controller(lia_group_);
+  } else {
+    p->cc = make_congestion_controller(config_.cc);
+  }
+  p->challenge_data = derive_challenge(id);
+  auto [ins, _] = paths_.emplace(id, std::move(p));
+  return *ins->second;
+}
+
+std::optional<PathId> Connection::open_path() {
+  if (!established_ || !multipath_enabled_ || closed_) return std::nullopt;
+  // Next unused path id; requires an unused CID from the peer.
+  PathId id = 0;
+  for (const auto& [pid, _] : paths_) id = std::max(id, pid);
+  ++id;
+  if (!peer_cids_.contains(id) || !local_cids_.contains(id))
+    return std::nullopt;
+  PathState& p = create_path(id, PathState::State::kValidating);
+  queue_control(id, Frame{PathChallengeFrame{p.challenge_data}});
+  pump();
+  return id;
+}
+
+void Connection::abandon_path(PathId id) {
+  auto it = paths_.find(id);
+  if (it == paths_.end()) return;
+  PathState& p = *it->second;
+  if (p.state == PathState::State::kAbandoned) return;
+  p.state = PathState::State::kAbandoned;
+  // Tell the peer on a surviving path.
+  PathStatusFrame status;
+  status.path_id = id;
+  status.status_seq = ++p.status_seq_out;
+  status.status = PathStatusKind::kAbandon;
+  const PathId carrier = fastest_active_path();
+  if (carrier != id || active_path_ids().empty())
+    queue_control(carrier, Frame{status});
+  // Rescue in-flight data: requeue everything unacked on this path.
+  std::vector<SentRecord> rescued;
+  rescued.reserve(p.unacked.size());
+  for (auto& [pn, rec] : p.unacked) rescued.push_back(std::move(rec));
+  p.unacked.clear();
+  for (auto& rec : rescued) requeue_record(std::move(rec));
+  pump();
+}
+
+void Connection::set_path_status(PathId id, std::uint64_t status) {
+  auto it = paths_.find(id);
+  if (it == paths_.end()) return;
+  PathState& p = *it->second;
+  if (status == PathStatusKind::kAbandon) {
+    abandon_path(id);
+    return;
+  }
+  p.state = status == PathStatusKind::kStandby ? PathState::State::kStandby
+                                               : PathState::State::kActive;
+  PathStatusFrame f;
+  f.path_id = id;
+  f.status_seq = ++p.status_seq_out;
+  f.status = status;
+  queue_control(fastest_active_path(), Frame{f});
+  pump();
+}
+
+void Connection::migrate_to_path(PathId id) {
+  if (!peer_cids_.contains(id)) return;
+  // Connection migration restarts congestion control on the new path
+  // (RFC 9000 §9.5); modeled by the fresh controller in create_path.
+  std::vector<PathId> old_ids;
+  for (const auto& [pid, p] : paths_)
+    if (pid != id && p->state != PathState::State::kAbandoned)
+      old_ids.push_back(pid);
+  PathState& np = create_path(id, PathState::State::kActive);
+  np.cc->reset();
+  queue_control(id, Frame{PathChallengeFrame{np.challenge_data}});
+  for (PathId old : old_ids) abandon_path(old);
+  pump();
+}
+
+std::vector<PathId> Connection::path_ids() const {
+  std::vector<PathId> out;
+  out.reserve(paths_.size());
+  for (const auto& [id, _] : paths_) out.push_back(id);
+  return out;
+}
+
+std::vector<PathId> Connection::active_path_ids() const {
+  std::vector<PathId> out;
+  for (const auto& [id, p] : paths_)
+    if (p->state == PathState::State::kActive) out.push_back(id);
+  return out;
+}
+
+PathId Connection::fastest_active_path() const {
+  std::optional<PathId> best;
+  sim::Duration best_rtt = std::numeric_limits<sim::Duration>::max();
+  for (const auto& [id, p] : paths_) {
+    if (p->state != PathState::State::kActive) continue;
+    const sim::Duration rtt = p->rtt.smoothed();
+    if (!best || rtt < best_rtt) {
+      best = id;
+      best_rtt = rtt;
+    }
+  }
+  if (best) return *best;
+  // Fall back to any non-abandoned path (e.g. still validating).
+  for (const auto& [id, p] : paths_)
+    if (p->state != PathState::State::kAbandoned) return id;
+  return 0;
+}
+
+void Connection::issue_connection_ids() {
+  // NEW_CONNECTION_ID is base QUIC (migration needs it), not gated on the
+  // multipath extension.
+  if (cids_issued_) return;
+  cids_issued_ = true;
+  const auto limit = static_cast<std::uint32_t>(
+      std::min(config_.params.active_connection_id_limit,
+               peer_params_ ? peer_params_->active_connection_id_limit
+                            : std::uint64_t{4}));
+  for (std::uint32_t seq = next_local_cid_seq_; seq < limit; ++seq) {
+    local_cids_[seq] = derive_cid(config_.role, seq, config_.cid_server_id);
+    NewConnectionIdFrame f;
+    f.sequence = seq;
+    f.cid = local_cids_[seq].bytes;
+    queue_control(0, Frame{f});
+  }
+  next_local_cid_seq_ = limit;
+}
+
+// ----------------------------------------------------------------- streams
+
+StreamId Connection::open_stream() {
+  const StreamId id = client_bidi_stream(next_stream_++);
+  send_streams_.emplace(id, SendStream(id));
+  return id;
+}
+
+SendStream* Connection::send_stream(StreamId id) {
+  auto it = send_streams_.find(id);
+  return it == send_streams_.end() ? nullptr : &it->second;
+}
+
+RecvStream* Connection::recv_stream(StreamId id) {
+  auto it = recv_streams_.find(id);
+  return it == recv_streams_.end() ? nullptr : &it->second;
+}
+
+const RecvStream* Connection::recv_stream(StreamId id) const {
+  auto it = recv_streams_.find(id);
+  return it == recv_streams_.end() ? nullptr : &it->second;
+}
+
+void Connection::stream_send(StreamId id, std::vector<std::uint8_t> data,
+                             bool fin) {
+  stream_send_prioritized(id, std::move(data), fin, /*frame_priority=*/0,
+                          /*position=*/0, /*size=*/0);
+}
+
+void Connection::stream_send_prioritized(StreamId id,
+                                         std::vector<std::uint8_t> data,
+                                         bool fin, int frame_priority,
+                                         std::uint64_t position,
+                                         std::uint64_t size) {
+  auto it = send_streams_.find(id);
+  if (it == send_streams_.end())
+    it = send_streams_.emplace(id, SendStream(id)).first;
+  SendStream& stream = it->second;
+  const std::uint64_t len = data.size();
+  const std::uint64_t offset = stream.write(std::move(data), fin);
+  if (size > 0)
+    stream.set_frame_priority(position, size, frame_priority);
+
+  // Enqueue items split at video-frame priority boundaries so insertion
+  // ordering can act on them independently.
+  std::uint64_t cursor = offset;
+  const std::uint64_t end = offset + len;
+  while (cursor < end) {
+    const int prio = stream.frame_priority_at(cursor);
+    std::uint64_t run_end = cursor + 1;
+    while (run_end < end && stream.frame_priority_at(run_end) == prio)
+      ++run_end;
+    SendItem item;
+    item.stream_id = id;
+    item.offset = cursor;
+    item.length = run_end - cursor;
+    item.fin = fin && run_end == end;
+    item.stream_priority = stream.priority();
+    item.frame_priority = prio;
+    enqueue_item(item, InsertMode::kPriority);
+    cursor = run_end;
+  }
+  if (len == 0 && fin) {
+    SendItem item;
+    item.stream_id = id;
+    item.offset = offset;
+    item.length = 0;
+    item.fin = true;
+    item.stream_priority = stream.priority();
+    enqueue_item(item, InsertMode::kPriority);
+  }
+  pump();
+}
+
+void Connection::set_stream_priority(StreamId id, int priority) {
+  auto it = send_streams_.find(id);
+  if (it == send_streams_.end())
+    it = send_streams_.emplace(id, SendStream(id)).first;
+  it->second.set_priority(priority);
+}
+
+// --------------------------------------------------------------- QoE frame
+
+void Connection::send_qoe_signal(const QoeSignal& qoe) {
+  queue_control(fastest_active_path(), Frame{QoeControlSignalsFrame{qoe}});
+  pump();
+}
+
+// -------------------------------------------------------------- send queue
+
+void Connection::enqueue_item(SendItem item, InsertMode mode) {
+  switch (mode) {
+    case InsertMode::kAppend:
+      pkt_send_q_.push_back(item);
+      return;
+    case InsertMode::kPriority: {
+      auto it = std::find_if(pkt_send_q_.begin(), pkt_send_q_.end(),
+                             [&](const SendItem& other) {
+                               return item_class(other) < item_class(item);
+                             });
+      pkt_send_q_.insert(it, item);
+      return;
+    }
+    case InsertMode::kFrontOfClass: {
+      auto it = std::find_if(pkt_send_q_.begin(), pkt_send_q_.end(),
+                             [&](const SendItem& other) {
+                               return item_class(other) <= item_class(item);
+                             });
+      pkt_send_q_.insert(it, item);
+      return;
+    }
+  }
+}
+
+std::uint64_t Connection::reinject_record(SentRecord& record,
+                                          InsertMode mode) {
+  // Eligibility (including re-arming a record whose earlier duplicate did
+  // not resolve the block) is the scheduler's call; here we only do it.
+  record.reinjected = true;
+  record.reinjected_at = loop_.now();
+  std::uint64_t queued = 0;
+  for (const SendItem& item : record.items) {
+    auto* stream = send_stream(item.stream_id);
+    if (!stream) continue;
+    for (const auto& [b, e] :
+         stream->unacked_within(item.offset, item.offset + item.length)) {
+      SendItem dup = item;
+      dup.offset = b;
+      dup.length = e - b;
+      dup.fin = item.fin && e == item.offset + item.length;
+      dup.is_reinjection = true;
+      dup.origin_path = record.path;
+      enqueue_item(dup, mode);
+      queued += dup.length;
+    }
+  }
+  return queued;
+}
+
+std::uint64_t Connection::connection_send_window() const {
+  return peer_max_data_ > data_sent_ ? peer_max_data_ - data_sent_ : 0;
+}
+
+// --------------------------------------------------------------- send loop
+
+void Connection::pump() { pump_send(); }
+
+void Connection::pump_send() {
+  if (in_pump_ || closed_ || !send_fn_) return;
+  in_pump_ = true;
+
+  send_pending_acks();
+
+  // Flush control frames (handshake, path management, flow control). They
+  // are small and vital, so they bypass the congestion window.
+  for (auto& [path_id, queue] : pending_control_) {
+    if (queue.empty()) continue;
+    auto pit = paths_.find(path_id);
+    if (pit == paths_.end() ||
+        pit->second->state == PathState::State::kAbandoned) {
+      queue.clear();
+      continue;
+    }
+    std::vector<Frame> frames;
+    std::size_t used = 0;
+    while (!queue.empty()) {
+      const std::size_t sz = frame_wire_size(queue.front());
+      if (used + sz > kMaxPacketPayload && !frames.empty()) {
+        send_control_packet(path_id, std::move(frames), true);
+        frames = {};
+        used = 0;
+      }
+      frames.push_back(std::move(queue.front()));
+      queue.pop_front();
+      used += sz;
+    }
+    if (!frames.empty())
+      send_control_packet(path_id, std::move(frames), true);
+  }
+
+  // Stream data, scheduler-driven.
+  int guard = 0;
+  while (guard++ < 200000) {
+    if (pkt_send_q_.empty() && config_.scheduler)
+      config_.scheduler->maybe_reinject(*this);
+    if (pkt_send_q_.empty()) break;
+
+    std::optional<PathId> path;
+    if (config_.scheduler) {
+      path = config_.scheduler->select_path(*this);
+    } else {
+      // Single-path: the unique usable path, cwnd permitting.
+      for (const auto& [id, p] : paths_) {
+        if (p->usable() && p->cwnd_available() >= kDefaultMss / 2) {
+          path = id;
+          break;
+        }
+      }
+    }
+    if (!path) break;
+    if (!send_one_packet(*path)) break;
+    if (config_.scheduler) config_.scheduler->maybe_reinject(*this);
+  }
+
+  arm_timers();
+  in_pump_ = false;
+}
+
+bool Connection::send_one_packet(PathId path_id, bool ignore_cwnd) {
+  auto pit = paths_.find(path_id);
+  if (pit == paths_.end()) return false;
+  PathState& path = *pit->second;
+  if (!path.usable()) return false;
+
+  // PTO probes may exceed the congestion window (RFC 9002 §7.5): when the
+  // window is full of packets a dead path will never acknowledge, the probe
+  // is the only thing that can restart the ack clock.
+  const std::size_t budget =
+      ignore_cwnd ? kMaxPacketPayload
+                  : std::min<std::size_t>(kMaxPacketPayload,
+                                          path.cwnd_available());
+  if (budget < 64) return false;
+
+  std::vector<Frame> frames;
+  std::vector<SendItem> taken;
+  std::size_t used = 0;
+
+  while (!pkt_send_q_.empty()) {
+    SendItem& head = pkt_send_q_.front();
+    // A re-injection on its own origin path is a pointless duplicate; drop
+    // it (the original stays tracked by loss detection).
+    if (head.is_reinjection && head.origin_path &&
+        *head.origin_path == path_id) {
+      pkt_send_q_.pop_front();
+      continue;
+    }
+    auto* stream = send_stream(head.stream_id);
+    if (!stream) {
+      pkt_send_q_.pop_front();
+      continue;
+    }
+    // Skip ranges that were fully acked since queueing (duplicate rescue).
+    if (head.length > 0 &&
+        stream->range_acked(head.offset, head.offset + head.length)) {
+      pkt_send_q_.pop_front();
+      continue;
+    }
+    const std::size_t overhead =
+        stream_frame_overhead(head.stream_id, head.offset, head.length);
+    if (used + overhead + 1 > budget) break;
+
+    std::uint64_t can_take = std::min<std::uint64_t>(
+        head.length, budget - used - overhead);
+    // Flow control applies to first transmissions only (duplicates carry
+    // already-counted offsets).
+    if (!head.is_retransmission && !head.is_reinjection) {
+      can_take = std::min(can_take, connection_send_window());
+      auto limit_it = peer_max_stream_data_.find(head.stream_id);
+      const std::uint64_t stream_limit =
+          limit_it != peer_max_stream_data_.end()
+              ? limit_it->second
+              : (peer_params_ ? peer_params_->initial_max_stream_data
+                              : config_.params.initial_max_stream_data);
+      can_take = std::min(can_take, stream_limit > head.offset
+                                        ? stream_limit - head.offset
+                                        : 0);
+    }
+    if (can_take == 0 && !(head.length == 0 && head.fin)) break;
+
+    SendItem piece = head;
+    piece.length = can_take;
+    if (can_take < head.length) {
+      piece.fin = false;
+      head.offset += can_take;
+      head.length -= can_take;
+    } else {
+      pkt_send_q_.pop_front();
+    }
+
+    StreamFrame frame;
+    frame.stream_id = piece.stream_id;
+    frame.offset = piece.offset;
+    frame.fin = piece.fin;
+    frame.data = stream->read_range(piece.offset, piece.length);
+    used += overhead + frame.data.size();
+    frames.emplace_back(std::move(frame));
+
+    if (piece.is_reinjection) {
+      stats_.reinjected_bytes += piece.length;
+    } else if (piece.is_retransmission) {
+      stats_.retransmitted_bytes += piece.length;
+    } else {
+      stats_.stream_bytes_sent += piece.length;
+      data_sent_ += piece.length;
+    }
+    taken.push_back(std::move(piece));
+
+    if (used + 32 >= budget) break;  // packet effectively full
+  }
+
+  if (taken.empty()) return false;
+  build_and_send(path_id, std::move(frames), std::move(taken),
+                 /*ack_eliciting=*/true, /*is_probe=*/false);
+  return true;
+}
+
+void Connection::send_control_packet(PathId path_id, std::vector<Frame> frames,
+                                     bool count_inflight) {
+  build_and_send(path_id, std::move(frames), {}, count_inflight,
+                 /*is_probe=*/!count_inflight);
+}
+
+void Connection::build_and_send(PathId path_id, std::vector<Frame> frames,
+                                std::vector<SendItem> items,
+                                bool ack_eliciting, bool /*is_probe*/) {
+  auto pit = paths_.find(path_id);
+  if (pit == paths_.end() || !send_fn_) return;
+  PathState& path = *pit->second;
+
+  // Opportunistically piggyback this path's pending ack.
+  if (path.ack_pending && !path.recv_ranges.empty()) {
+    AckMpFrame ack;
+    ack.path_id = path_id;
+    ack.info.ranges = path.recv_ranges;
+    ack.info.ack_delay_us = loop_.now() - path.largest_recv_time;
+    if (config_.role == Role::kClient && config_.qoe_in_acks &&
+        qoe_provider_) {
+      ack.qoe = qoe_provider_();
+    }
+    frames.insert(frames.begin(), Frame{std::move(ack)});
+    path.ack_pending = false;
+    path.ack_eliciting_unacked = 0;
+    ++stats_.acks_sent;
+  }
+
+  PacketHeader header;
+  header.type = established_ ? PacketType::kOneRtt : PacketType::kInitial;
+  const auto cid_it = peer_cids_.find(path_id);
+  if (cid_it != peer_cids_.end()) header.dcid = cid_it->second.bytes;
+  const auto scid_it = local_cids_.find(path_id);
+  if (scid_it != local_cids_.end()) header.scid = scid_it->second.bytes;
+  header.cid_sequence = path_id;
+  header.packet_number = path.next_pn++;
+
+  const std::vector<std::uint8_t> wire =
+      seal_packet(aead_, header, frames);
+  const bool has_ack_eliciting_frame =
+      std::any_of(frames.begin(), frames.end(),
+                  [](const Frame& f) { return is_ack_eliciting(f); });
+  const bool eliciting = ack_eliciting && has_ack_eliciting_frame;
+
+  if (eliciting || !items.empty()) {
+    SentRecord rec;
+    rec.pn = header.packet_number;
+    rec.path = path_id;
+    rec.sent_time = loop_.now();
+    rec.bytes = wire.size();
+    rec.ack_eliciting = eliciting;
+    rec.is_reinjection =
+        !items.empty() &&
+        std::all_of(items.begin(), items.end(),
+                    [](const SendItem& i) { return i.is_reinjection; });
+    rec.items = std::move(items);
+    for (const Frame& f : frames) {
+      // Keep retransmittable control frames (not acks/padding/stream: the
+      // stream content is already represented by items).
+      if (std::holds_alternative<CryptoFrame>(f) ||
+          std::holds_alternative<NewConnectionIdFrame>(f) ||
+          std::holds_alternative<PathChallengeFrame>(f) ||
+          std::holds_alternative<PathResponseFrame>(f) ||
+          std::holds_alternative<PathStatusFrame>(f) ||
+          std::holds_alternative<MaxDataFrame>(f) ||
+          std::holds_alternative<MaxStreamDataFrame>(f) ||
+          std::holds_alternative<HandshakeDoneFrame>(f)) {
+        rec.control.push_back(f);
+      }
+    }
+    path.loss.on_packet_sent(rec.pn, rec.sent_time, rec.bytes, eliciting);
+    if (eliciting) {
+      path.last_ack_eliciting_sent = rec.sent_time;
+      path.cc->on_packet_sent(rec.bytes, rec.sent_time);
+    }
+    path.unacked.emplace(rec.pn, std::move(rec));
+  }
+
+  ++path.packets_sent;
+  path.bytes_sent += wire.size();
+  ++stats_.packets_sent;
+  stats_.bytes_sent += wire.size();
+  send_fn_(path_id, wire);
+}
+
+void Connection::send_pending_acks() {
+  for (auto& [id, p] : paths_) {
+    if (!p->ack_pending || p->recv_ranges.empty()) continue;
+    if (p->state == PathState::State::kAbandoned) {
+      p->ack_pending = false;
+      continue;
+    }
+    const bool due = p->ack_eliciting_unacked >= kAckElicitingThreshold ||
+                     p->ack_deadline <= loop_.now();
+    if (!due) continue;
+    AckMpFrame ack;
+    ack.path_id = id;
+    ack.info.ranges = p->recv_ranges;
+    ack.info.ack_delay_us = loop_.now() - p->largest_recv_time;
+    if (config_.role == Role::kClient && config_.qoe_in_acks &&
+        qoe_provider_) {
+      ack.qoe = qoe_provider_();
+    }
+    p->ack_pending = false;
+    p->ack_eliciting_unacked = 0;
+    ++stats_.acks_sent;
+    const auto carrier = ack_carrier_path(id);
+    if (!carrier) continue;
+    send_control_packet(*carrier, {Frame{std::move(ack)}},
+                        /*count_inflight=*/false);
+  }
+}
+
+std::optional<PathId> Connection::ack_carrier_path(PathId acked_path) const {
+  const auto it = paths_.find(acked_path);
+  const bool original_usable =
+      it != paths_.end() && it->second->state != PathState::State::kAbandoned;
+  if (config_.ack_policy == AckPathPolicy::kOriginalPath && original_usable)
+    return acked_path;
+  // Fastest active path; fall back to the original.
+  for (const auto& [id, p] : paths_) {
+    (void)id;
+    if (p->state == PathState::State::kActive) return fastest_active_path();
+  }
+  return original_usable ? std::optional<PathId>(acked_path) : std::nullopt;
+}
+
+// ------------------------------------------------------------ receive side
+
+void Connection::on_datagram(PathId arrival_path, const net::Datagram& dgram) {
+  if (closed_) return;
+  stats_.bytes_received += dgram.size();
+  auto pkt = parse_packet(dgram);
+  if (!pkt) return;
+  const PathId path_id = pkt->header.cid_sequence;
+  (void)arrival_path;  // header's CID sequence is authoritative
+
+  auto pit = paths_.find(path_id);
+  if (pit == paths_.end()) {
+    // New path initiated by the peer, or the server's first sight of the
+    // connection (path 0 handshake).
+    const bool handshake = pkt->header.type == PacketType::kInitial &&
+                           path_id == 0 && config_.role == Role::kServer;
+    // A valid unused CID admits a new path: simultaneous use under the
+    // multipath extension, or plain QUIC connection migration.
+    const bool new_subpath = established_ && local_cids_.contains(path_id);
+    if (!handshake && !new_subpath) return;
+    create_path(path_id, handshake ? PathState::State::kActive
+                                   : PathState::State::kValidating);
+    pit = paths_.find(path_id);
+  }
+  PathState& path = *pit->second;
+
+  auto frames = open_packet(aead_, *pkt);
+  if (!frames) {
+    ++stats_.auth_failures;
+    return;
+  }
+
+  ++path.packets_received;
+  path.bytes_received += dgram.size();
+  ++stats_.packets_received;
+
+  const bool eliciting =
+      std::any_of(frames->begin(), frames->end(),
+                  [](const Frame& f) { return is_ack_eliciting(f); });
+  const bool duplicate = already_received(path, pkt->header.packet_number);
+  note_received(path, pkt->header.packet_number, eliciting);
+  if (!duplicate)
+    handle_frames(path_id, pkt->header.packet_number, *frames);
+
+  pump_send();
+}
+
+bool Connection::already_received(const PathState& p, PacketNumber pn) const {
+  for (const AckRange& r : p.recv_ranges)
+    if (pn >= r.first && pn <= r.last) return true;
+  return false;
+}
+
+void Connection::note_received(PathState& p, PacketNumber pn,
+                               bool ack_eliciting) {
+  // Merge pn into the descending-sorted range list.
+  bool merged = false;
+  for (std::size_t i = 0; i < p.recv_ranges.size() && !merged; ++i) {
+    AckRange& r = p.recv_ranges[i];
+    if (pn >= r.first && pn <= r.last) {
+      merged = true;  // duplicate
+    } else if (pn == r.last + 1) {
+      r.last = pn;
+      if (i > 0 && p.recv_ranges[i - 1].first == r.last + 1) {
+        p.recv_ranges[i - 1].first = r.first;
+        p.recv_ranges.erase(p.recv_ranges.begin() + static_cast<long>(i));
+      }
+      merged = true;
+    } else if (pn + 1 == r.first) {
+      r.first = pn;
+      if (i + 1 < p.recv_ranges.size() &&
+          p.recv_ranges[i + 1].last + 1 == r.first) {
+        r.first = p.recv_ranges[i + 1].first;
+        p.recv_ranges.erase(p.recv_ranges.begin() + static_cast<long>(i + 1));
+      }
+      merged = true;
+    }
+  }
+  if (!merged) {
+    auto it = std::find_if(p.recv_ranges.begin(), p.recv_ranges.end(),
+                           [pn](const AckRange& r) { return r.last < pn; });
+    p.recv_ranges.insert(it, AckRange{pn, pn});
+  }
+  if (p.recv_ranges.size() > kMaxAckRanges) p.recv_ranges.pop_back();
+
+  if (pn == p.recv_ranges.front().last) p.largest_recv_time = loop_.now();
+  if (ack_eliciting) {
+    const sim::Time deadline =
+        loop_.now() + sim::millis(config_.params.max_ack_delay_ms);
+    if (!p.ack_pending || deadline < p.ack_deadline) p.ack_deadline = deadline;
+    p.ack_pending = true;
+    ++p.ack_eliciting_unacked;
+  }
+}
+
+void Connection::handle_frames(PathId path_id, PacketNumber /*pn*/,
+                               const std::vector<Frame>& frames) {
+  for (const Frame& frame : frames) {
+    if (closed_) return;
+    if (const auto* f = std::get_if<AckFrame>(&frame)) {
+      handle_ack_info(path_id, f->info);
+    } else if (const auto* f = std::get_if<AckMpFrame>(&frame)) {
+      handle_ack_info(f->path_id, f->info);
+      if (f->qoe) {
+        latest_peer_qoe_ = *f->qoe;
+        if (config_.scheduler) config_.scheduler->on_qoe(*this, *f->qoe);
+        if (on_qoe_feedback) on_qoe_feedback(*f->qoe);
+      }
+    } else if (const auto* f = std::get_if<QoeControlSignalsFrame>(&frame)) {
+      latest_peer_qoe_ = f->qoe;
+      if (config_.scheduler) config_.scheduler->on_qoe(*this, f->qoe);
+      if (on_qoe_feedback) on_qoe_feedback(f->qoe);
+    } else if (const auto* f = std::get_if<StreamFrame>(&frame)) {
+      handle_stream_frame(*f);
+    } else if (const auto* f = std::get_if<CryptoFrame>(&frame)) {
+      handle_crypto(path_id, *f);
+    } else if (const auto* f = std::get_if<PathChallengeFrame>(&frame)) {
+      queue_control(path_id, Frame{PathResponseFrame{f->data}});
+      auto& p = *paths_.at(path_id);
+      if (p.state == PathState::State::kValidating)
+        p.state = PathState::State::kActive;
+    } else if (const auto* f = std::get_if<PathResponseFrame>(&frame)) {
+      auto& p = *paths_.at(path_id);
+      if (p.state == PathState::State::kValidating &&
+          f->data == p.challenge_data) {
+        p.state = PathState::State::kActive;
+        if (on_path_validated) {
+          const PathId validated = path_id;
+          loop_.schedule_in(0, [this, validated] {
+            if (on_path_validated) on_path_validated(validated);
+          });
+        }
+      }
+    } else if (const auto* f = std::get_if<PathStatusFrame>(&frame)) {
+      auto it = paths_.find(f->path_id);
+      if (it != paths_.end() && f->status_seq > it->second->status_seq_in) {
+        it->second->status_seq_in = f->status_seq;
+        if (f->status == PathStatusKind::kAbandon) {
+          // Peer abandoned: stop using it, rescue in-flight data.
+          PathState& p = *it->second;
+          if (p.state != PathState::State::kAbandoned) {
+            p.state = PathState::State::kAbandoned;
+            std::vector<SentRecord> rescued;
+            for (auto& [pn2, rec] : p.unacked) rescued.push_back(std::move(rec));
+            p.unacked.clear();
+            for (auto& rec : rescued) requeue_record(std::move(rec));
+          }
+        } else if (f->status == PathStatusKind::kStandby) {
+          it->second->state = PathState::State::kStandby;
+        } else if (it->second->state == PathState::State::kStandby) {
+          it->second->state = PathState::State::kActive;
+        }
+      }
+    } else if (const auto* f = std::get_if<NewConnectionIdFrame>(&frame)) {
+      ConnectionId cid;
+      cid.bytes = f->cid;
+      cid.sequence = static_cast<std::uint32_t>(f->sequence);
+      peer_cids_[cid.sequence] = cid;
+    } else if (const auto* f = std::get_if<MaxDataFrame>(&frame)) {
+      peer_max_data_ = std::max(peer_max_data_, f->maximum);
+    } else if (const auto* f = std::get_if<MaxStreamDataFrame>(&frame)) {
+      auto& limit = peer_max_stream_data_[f->stream_id];
+      limit = std::max(limit, f->maximum);
+    } else if (std::get_if<ConnectionCloseFrame>(&frame)) {
+      closed_ = true;
+      if (timer_id_) {
+        loop_.cancel(timer_id_);
+        timer_id_ = 0;
+      }
+    }
+    // PING, PADDING, HANDSHAKE_DONE, RESET_STREAM, STOP_SENDING: no action.
+  }
+}
+
+void Connection::handle_crypto(PathId /*path_id*/, const CryptoFrame& f) {
+  auto params = parse_transport_params(f.data);
+  if (!params || peer_params_) return;  // duplicate handshake data
+  peer_params_ = *params;
+  peer_max_data_ = params->initial_max_data;
+  multipath_enabled_ =
+      config_.params.enable_multipath && params->enable_multipath;
+
+  if (config_.role == Role::kServer && !handshake_sent_) {
+    handshake_sent_ = true;
+    CryptoFrame reply;
+    reply.data = encode_transport_params(config_.params);
+    queue_control(0, Frame{std::move(reply)});
+    queue_control(0, Frame{HandshakeDoneFrame{}});
+  }
+  established_ = true;
+  issue_connection_ids();
+  if (on_established)
+    loop_.schedule_in(0, [this] {
+      if (on_established) on_established();
+    });
+}
+
+void Connection::handle_stream_frame(const StreamFrame& f) {
+  auto it = recv_streams_.find(f.stream_id);
+  if (it == recv_streams_.end())
+    it = recv_streams_.emplace(f.stream_id, RecvStream(f.stream_id)).first;
+  RecvStream& stream = it->second;
+
+  const std::uint64_t before = stream.contiguous_received();
+  const std::uint64_t prev_high =
+      std::max(stream.read_offset(), received_high_[f.stream_id]);
+  stream.on_data(f.offset, f.data, f.fin);
+  const std::uint64_t new_high = f.offset + f.data.size();
+  if (new_high > prev_high) {
+    data_received_ += new_high - prev_high;
+    received_high_[f.stream_id] = new_high;
+  }
+
+  const bool finished = stream.fully_received();
+  if (stream.contiguous_received() > before && on_stream_readable) {
+    const StreamId id = f.stream_id;
+    loop_.schedule_in(0, [this, id] {
+      if (on_stream_readable) on_stream_readable(id);
+    });
+  }
+  if (finished && on_stream_data_finished &&
+      !finished_notified_.contains(f.stream_id)) {
+    finished_notified_.insert(f.stream_id);
+    const StreamId id = f.stream_id;
+    loop_.schedule_in(0, [this, id] {
+      if (on_stream_data_finished) on_stream_data_finished(id);
+    });
+  }
+}
+
+void Connection::handle_ack_info(PathId acked_path, const AckInfo& info) {
+  auto pit = paths_.find(acked_path);
+  if (pit == paths_.end()) return;
+  PathState& p = *pit->second;
+
+  auto outcome = p.loss.on_ack_received(info, loop_.now(), p.rtt);
+  if (outcome.rtt_sample) {
+    p.rtt.on_sample(*outcome.rtt_sample,
+                    std::min<sim::Duration>(
+                        info.ack_delay_us,
+                        sim::millis(config_.params.max_ack_delay_ms)));
+  }
+  if (!outcome.newly_acked.empty()) {
+    p.pto_count = 0;
+    p.last_ack_received = loop_.now();
+  }
+
+  for (PacketNumber pn : outcome.newly_acked) {
+    auto rit = p.unacked.find(pn);
+    if (rit == p.unacked.end()) continue;
+    SentRecord rec = std::move(rit->second);
+    p.unacked.erase(rit);
+    for (const SendItem& item : rec.items) {
+      auto* stream = send_stream(item.stream_id);
+      if (stream)
+        stream->on_range_acked(item.offset, item.offset + item.length);
+    }
+    if (rec.ack_eliciting)
+      p.cc->on_ack(rec.bytes, rec.sent_time, loop_.now(), p.rtt.smoothed());
+  }
+  if (!outcome.lost.empty()) on_packets_lost(p, outcome.lost);
+}
+
+// ----------------------------------------------------------- loss handling
+
+void Connection::on_packets_lost(PathState& p,
+                                 const std::vector<PacketNumber>& pns) {
+  sim::Time latest_sent = 0;
+  std::vector<SentRecord> lost_records;
+  for (PacketNumber pn : pns) {
+    auto it = p.unacked.find(pn);
+    if (it == p.unacked.end()) continue;
+    latest_sent = std::max(latest_sent, it->second.sent_time);
+    lost_records.push_back(std::move(it->second));
+    p.unacked.erase(it);
+  }
+  if (lost_records.empty()) return;
+  p.packets_lost += lost_records.size();
+  stats_.packets_lost += lost_records.size();
+  p.cc->on_loss_event(latest_sent, loop_.now());
+  for (auto& rec : lost_records) requeue_record(std::move(rec));
+  if (config_.scheduler) config_.scheduler->on_loss(*this, p.id);
+}
+
+void Connection::requeue_record(SentRecord record) {
+  // Stream data: requeue the still-unacked subranges, front of their class.
+  for (const SendItem& item : record.items) {
+    auto* stream = send_stream(item.stream_id);
+    if (!stream) continue;
+    if (item.length == 0 && item.fin) {
+      if (!stream->fully_acked()) {
+        SendItem dup = item;
+        dup.is_retransmission = true;
+        enqueue_item(dup, InsertMode::kFrontOfClass);
+      }
+      continue;
+    }
+    for (const auto& [b, e] :
+         stream->unacked_within(item.offset, item.offset + item.length)) {
+      SendItem dup = item;
+      dup.offset = b;
+      dup.length = e - b;
+      dup.fin = item.fin && e == item.offset + item.length;
+      dup.is_retransmission = true;
+      // A lost re-injection stays a re-injection, with the path it just
+      // died on as its origin, so path selection steers it elsewhere.
+      if (dup.is_reinjection) dup.origin_path = record.path;
+      enqueue_item(dup, InsertMode::kFrontOfClass);
+    }
+  }
+  // Control frames: path frames stay on their path, the rest go anywhere.
+  for (Frame& f : record.control) {
+    const bool path_bound = std::holds_alternative<PathChallengeFrame>(f) ||
+                            std::holds_alternative<PathResponseFrame>(f);
+    if (path_bound) {
+      auto it = paths_.find(record.path);
+      if (it != paths_.end() &&
+          it->second->state != PathState::State::kAbandoned)
+        queue_control(record.path, std::move(f));
+    } else {
+      queue_control(fastest_active_path(), std::move(f));
+    }
+  }
+}
+
+void Connection::on_pto(PathState& p) {
+  ++stats_.ptos;
+  ++p.pto_count;
+  if (config_.tcp_style_rto) {
+    // TCP semantics: RTO collapses the window and slow-starts.
+    p.cc->on_persistent_congestion(loop_.now());
+  } else if (p.pto_count >= 3) {
+    p.cc->on_persistent_congestion(loop_.now());
+  }
+  if (config_.scheduler) config_.scheduler->on_pto(*this, p.id);
+
+  // Probe: retransmit the oldest unacked content (kept tracked;
+  // stream-level ack state dedupes), including control frames -- a lost
+  // handshake CRYPTO or PATH_CHALLENGE must be probed too. If no probe
+  // materializes anything sendable, ping so the PTO clock advances.
+  int probes = 0;
+  bool queued_payload = false;
+  for (auto& [pn, rec] : p.unacked) {
+    if (!rec.ack_eliciting) continue;
+    if (probes >= 2) break;
+    ++probes;
+    queued_payload |= !rec.items.empty() || !rec.control.empty();
+    SentRecord copy;
+    copy.items = rec.items;
+    copy.control = rec.control;
+    copy.path = rec.path;
+    requeue_record(std::move(copy));
+  }
+  if (!queued_payload) queue_control(p.id, Frame{PingFrame{}});
+  // Emit the probe now, bypassing the congestion window.
+  if (queued_payload) send_one_packet(p.id, /*ignore_cwnd=*/true);
+}
+
+// ----------------------------------------------------------------- timers
+
+void Connection::arm_timers() {
+  std::optional<sim::Time> earliest;
+  auto consider = [&earliest](std::optional<sim::Time> t) {
+    if (t && (!earliest || *t < *earliest)) earliest = t;
+  };
+  for (const auto& [id, p] : paths_) {
+    if (p->state == PathState::State::kAbandoned) continue;
+    if (p->ack_pending) consider(p->ack_deadline);
+    consider(p->loss.loss_time(p->rtt));
+    if (p->loss.has_ack_eliciting_in_flight()) {
+      const sim::Duration pto =
+          p->rtt.pto(sim::millis(config_.params.max_ack_delay_ms))
+          << std::min<std::uint32_t>(p->pto_count, 6);
+      consider(p->last_ack_eliciting_sent + pto);
+    }
+  }
+  if (timer_id_) {
+    loop_.cancel(timer_id_);
+    timer_id_ = 0;
+  }
+  if (!earliest || closed_) return;
+  // Floor 1ms ahead: a deadline that is already due is handled by the
+  // pump/timer pass that follows, and scheduling at `now` could otherwise
+  // re-fire within the same instant indefinitely.
+  const sim::Time at = std::max(*earliest, loop_.now() + sim::kMillisecond);
+  timer_id_ = loop_.schedule_at(at, [this] {
+    timer_id_ = 0;
+    on_timer();
+  });
+}
+
+void Connection::on_timer() {
+  const sim::Time now = loop_.now();
+  for (auto& [id, p] : paths_) {
+    if (p->state == PathState::State::kAbandoned) continue;
+    const auto lost = p->loss.detect_losses(now, p->rtt);
+    if (!lost.empty()) on_packets_lost(*p, lost);
+    if (p->loss.has_ack_eliciting_in_flight()) {
+      const sim::Duration pto =
+          p->rtt.pto(sim::millis(config_.params.max_ack_delay_ms))
+          << std::min<std::uint32_t>(p->pto_count, 6);
+      if (p->last_ack_eliciting_sent + pto <= now) on_pto(*p);
+    }
+  }
+  pump_send();
+}
+
+// ----------------------------------------------------------- flow control
+
+void Connection::queue_control(PathId path, Frame frame) {
+  pending_control_[path].push_back(std::move(frame));
+}
+
+std::vector<std::uint8_t> Connection::consume_stream(StreamId id,
+                                                     std::size_t max) {
+  auto it = recv_streams_.find(id);
+  if (it == recv_streams_.end()) return {};
+  auto data = it->second.read(max);
+  data_consumed_ += data.size();
+  maybe_send_flow_updates();
+  return data;
+}
+
+void Connection::maybe_send_flow_updates() {
+  // Connection level: extend when half the window is consumed.
+  const std::uint64_t window = config_.params.initial_max_data;
+  if (local_max_data_ - data_consumed_ < window / 2) {
+    local_max_data_ = data_consumed_ + window;
+    queue_control(fastest_active_path(), Frame{MaxDataFrame{local_max_data_}});
+  }
+  // Stream level.
+  const std::uint64_t stream_window = config_.params.initial_max_stream_data;
+  for (auto& [id, stream] : recv_streams_) {
+    auto& granted = local_max_stream_data_[id];
+    if (granted == 0) granted = stream_window;
+    if (granted - stream.read_offset() < stream_window / 2) {
+      granted = stream.read_offset() + stream_window;
+      queue_control(fastest_active_path(),
+                    Frame{MaxStreamDataFrame{id, granted}});
+    }
+  }
+  pump();
+}
+
+}  // namespace xlink::quic

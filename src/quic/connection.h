@@ -1,0 +1,353 @@
+// Multipath QUIC connection.
+//
+// Implements the transport described in the paper's §6 / draft-liu-
+// multipath-quic on top of the simulator:
+//  - simplified 1-RTT handshake exchanging transport parameters, including
+//    enable_multipath with single-path fallback;
+//  - connection IDs issued with NEW_CONNECTION_ID; the CID sequence number
+//    doubles as the path identifier and selects the per-path packet number
+//    space and AEAD nonce;
+//  - path initialization via PATH_CHALLENGE / PATH_RESPONSE, path close via
+//    PATH_STATUS(abandon);
+//  - ACK_MP per path with QoE signal piggybacking, with a pluggable return
+//    path policy (fastest-path vs original-path);
+//  - per-path RTT estimation, RFC 9002-style loss detection and PTO, and
+//    decoupled congestion control (Cubic default);
+//  - a priority-ordered packet send queue (the paper's pkt_send_q) driven
+//    by a pluggable multipath Scheduler, with re-injection support;
+//  - streams with connection- and stream-level flow control, and the
+//    paper's stream_send API for video-frame priority ranges.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/datagram.h"
+#include "quic/cc.h"
+#include "quic/cc_coupled.h"
+#include "quic/crypto.h"
+#include "quic/frame.h"
+#include "quic/loss_detection.h"
+#include "quic/packet.h"
+#include "quic/rtt.h"
+#include "quic/scheduler.h"
+#include "quic/stream.h"
+#include "quic/types.h"
+#include "sim/event_loop.h"
+
+namespace xlink::quic {
+
+enum class Role { kClient, kServer };
+
+/// Metadata of one sent packet kept until it is acked or lost; the per-path
+/// collection of these is the paper's unacked_q.
+struct SentRecord {
+  PacketNumber pn = 0;
+  PathId path = 0;
+  sim::Time sent_time = 0;
+  std::size_t bytes = 0;
+  bool ack_eliciting = false;
+  std::vector<SendItem> items;   // stream ranges carried
+  std::vector<Frame> control;    // retransmittable control frames carried
+  bool is_reinjection = false;   // this packet was itself a re-injection
+  bool reinjected = false;       // a duplicate of this packet was queued
+  sim::Time reinjected_at = 0;   // when that duplicate was queued
+};
+
+/// Per-path transport state (public so schedulers can inspect and, for
+/// baselines like MPTCP-style penalization, adjust).
+struct PathState {
+  enum class State { kValidating, kActive, kStandby, kAbandoned };
+
+  PathId id = 0;
+  State state = State::kValidating;
+  RttEstimator rtt;
+  std::unique_ptr<CongestionController> cc;
+  LossDetection loss;
+  std::map<PacketNumber, SentRecord> unacked;
+  PacketNumber next_pn = 0;
+  sim::Time last_ack_eliciting_sent = 0;
+  sim::Time last_ack_received = 0;  // last time this path's data was acked
+  std::uint32_t pto_count = 0;
+
+  // Receive side of this path's packet number space.
+  std::vector<AckRange> recv_ranges;  // sorted descending, capped
+  sim::Time largest_recv_time = 0;
+  bool ack_pending = false;
+  int ack_eliciting_unacked = 0;
+  sim::Time ack_deadline = 0;
+
+  // PATH_STATUS bookkeeping.
+  std::uint64_t status_seq_out = 0;
+  std::uint64_t status_seq_in = 0;
+
+  std::array<std::uint8_t, 8> challenge_data{};
+
+  // Stats.
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_received = 0;
+  std::uint64_t packets_lost = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+
+  bool usable() const {
+    return state == State::kActive || state == State::kValidating;
+  }
+  std::size_t cwnd_available() const {
+    const std::size_t cwnd = cc->cwnd_bytes();
+    const std::size_t inflight = loss.bytes_in_flight();
+    return inflight >= cwnd ? 0 : cwnd - inflight;
+  }
+};
+
+class Connection {
+ public:
+  struct Config {
+    Role role = Role::kClient;
+    TransportParams params;
+    CcAlgorithm cc = CcAlgorithm::kCubic;
+    std::uint64_t aead_key = 0x5eed;  // both endpoints must agree
+    AckPathPolicy ack_policy = AckPathPolicy::kFastestPath;
+    std::shared_ptr<Scheduler> scheduler;  // nullptr -> single path only
+    /// TCP-style RTO: collapse cwnd on probe timeout (MPTCP baseline).
+    bool tcp_style_rto = false;
+    /// Attach the QoE signal to every ACK_MP (client side).
+    bool qoe_in_acks = true;
+    /// Server id embedded in locally issued CIDs for QUIC-LB routing; the
+    /// peer's value must be mirrored (in a real handshake CIDs arrive on
+    /// the wire; the simulator derives them on both sides).
+    std::uint8_t cid_server_id = 0;
+    std::uint8_t peer_cid_server_id = 0;
+  };
+
+  struct Stats {
+    std::uint64_t packets_sent = 0;
+    std::uint64_t packets_received = 0;
+    std::uint64_t packets_lost = 0;
+    std::uint64_t ptos = 0;
+    std::uint64_t bytes_sent = 0;            // wire bytes out
+    std::uint64_t bytes_received = 0;        // wire bytes in
+    std::uint64_t stream_bytes_sent = 0;     // first transmissions
+    std::uint64_t retransmitted_bytes = 0;   // loss-triggered resends
+    std::uint64_t reinjected_bytes = 0;      // scheduler duplicates
+    std::uint64_t auth_failures = 0;         // AEAD open failures
+    std::uint64_t acks_sent = 0;
+
+    /// Redundancy ratio: duplicate stream bytes / first-transmission bytes.
+    double redundancy_ratio() const {
+      return stream_bytes_sent == 0
+                 ? 0.0
+                 : static_cast<double>(reinjected_bytes) /
+                       static_cast<double>(stream_bytes_sent);
+    }
+  };
+
+  using SendFn = std::function<void(PathId, net::Datagram)>;
+
+  Connection(sim::EventLoop& loop, Config config);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  // ---- wiring -------------------------------------------------------
+  /// Binds the datagram output (the harness routes to emulated paths).
+  void set_send_callback(SendFn fn) { send_fn_ = std::move(fn); }
+
+  /// Feeds a datagram that arrived on `path` (network-path index == path
+  /// id; the harness guarantees the mapping).
+  void on_datagram(PathId path, const net::Datagram& datagram);
+
+  // ---- lifecycle ----------------------------------------------------
+  /// Client: starts the handshake on the primary path (path 0).
+  void connect();
+  bool is_established() const { return established_; }
+  bool multipath_enabled() const { return multipath_enabled_; }
+  bool is_closed() const { return closed_; }
+  void close(std::uint64_t error_code, const std::string& reason);
+
+  std::function<void()> on_established;
+
+  // ---- paths --------------------------------------------------------
+  /// Client: initiates a new path; returns its id, or nullopt if multipath
+  /// is off, the handshake is pending, or no connection IDs are available.
+  std::optional<PathId> open_path();
+
+  /// Marks a path abandoned, tells the peer, and requeues its in-flight
+  /// data onto the remaining paths.
+  void abandon_path(PathId id);
+
+  /// Sends PATH_STATUS(standby/available) for a path.
+  void set_path_status(PathId id, std::uint64_t status);
+
+  /// Connection-migration baseline: abandons all current paths and moves
+  /// to `id` with congestion state reset (RFC 9000 §9.5 behaviour).
+  void migrate_to_path(PathId id);
+
+  std::vector<PathId> path_ids() const;
+  std::vector<PathId> active_path_ids() const;
+  bool has_path(PathId id) const { return paths_.contains(id); }
+  PathState& path_state(PathId id) { return *paths_.at(id); }
+  const PathState& path_state(PathId id) const { return *paths_.at(id); }
+
+  std::function<void(PathId)> on_path_validated;
+
+  // ---- streams ------------------------------------------------------
+  /// Opens the next client-initiated bidirectional stream.
+  StreamId open_stream();
+
+  /// Writes data (optionally final) to a send stream with default priority.
+  void stream_send(StreamId id, std::vector<std::uint8_t> data, bool fin);
+
+  /// The paper's extended stream_send: marks [position, position+size) of
+  /// this write's data with a video-frame priority.
+  void stream_send_prioritized(StreamId id, std::vector<std::uint8_t> data,
+                               bool fin, int frame_priority,
+                               std::uint64_t position, std::uint64_t size);
+
+  /// Sets the stream-level priority used by priority re-injection.
+  void set_stream_priority(StreamId id, int priority);
+
+  SendStream* send_stream(StreamId id);
+  RecvStream* recv_stream(StreamId id);
+  const RecvStream* recv_stream(StreamId id) const;
+
+  /// Reads up to `max` bytes from a receive stream, updating flow-control
+  /// grants (the application-facing read API).
+  std::vector<std::uint8_t> consume_stream(StreamId id, std::size_t max);
+
+  std::function<void(StreamId)> on_stream_readable;
+  std::function<void(StreamId)> on_stream_data_finished;
+
+  // ---- QoE feedback ---------------------------------------------------
+  /// Client side: supplies the latest player QoE snapshot for ACK_MP.
+  void set_qoe_provider(std::function<std::optional<QoeSignal>()> fn) {
+    qoe_provider_ = std::move(fn);
+  }
+  /// Server side: observers of received QoE signals.
+  std::function<void(const QoeSignal&)> on_qoe_feedback;
+  const std::optional<QoeSignal>& latest_peer_qoe() const {
+    return latest_peer_qoe_;
+  }
+
+  /// Sends a standalone QOE_CONTROL_SIGNALS frame (decoupled from acks).
+  void send_qoe_signal(const QoeSignal& qoe);
+
+  // ---- scheduler services --------------------------------------------
+  std::deque<SendItem>& send_queue() { return pkt_send_q_; }
+  const std::deque<SendItem>& send_queue() const { return pkt_send_q_; }
+
+  /// Inserts an item into pkt_send_q per the insertion mode.
+  void enqueue_item(SendItem item, InsertMode mode);
+
+  /// Duplicates the still-unacked stream ranges of `record` into the send
+  /// queue (marked re-injection, carrying origin path) with the given
+  /// insertion mode. Returns the number of bytes queued.
+  std::uint64_t reinject_record(SentRecord& record, InsertMode mode);
+
+  /// Kicks the send loop (harness calls after app writes).
+  void pump();
+
+  sim::EventLoop& loop() { return loop_; }
+  const sim::EventLoop& loop() const { return loop_; }
+  const Config& config() const { return config_; }
+  const Stats& stats() const { return stats_; }
+  Role role() const { return config_.role; }
+
+  /// Peer's flow-control limit headroom at connection level.
+  std::uint64_t connection_send_window() const;
+
+ private:
+  // Send-side machinery.
+  void pump_send();
+  bool send_one_packet(PathId path, bool ignore_cwnd = false);
+  void send_control_packet(PathId path, std::vector<Frame> frames,
+                           bool count_inflight);
+  void send_pending_acks();
+  void build_and_send(PathId path, std::vector<Frame> frames,
+                      std::vector<SendItem> items, bool ack_eliciting,
+                      bool is_probe);
+  std::optional<PathId> ack_carrier_path(PathId acked_path) const;
+  PathId fastest_active_path() const;
+
+  // Receive-side machinery.
+  void handle_frames(PathId path, PacketNumber pn,
+                     const std::vector<Frame>& frames);
+  void handle_ack_info(PathId acked_path, const AckInfo& info);
+  void handle_stream_frame(const StreamFrame& f);
+  void handle_crypto(PathId path, const CryptoFrame& f);
+  void note_received(PathState& p, PacketNumber pn, bool ack_eliciting);
+  bool already_received(const PathState& p, PacketNumber pn) const;
+
+  // Loss/timer machinery.
+  void on_packets_lost(PathState& p, const std::vector<PacketNumber>& pns);
+  void requeue_record(SentRecord record);
+  void on_pto(PathState& p);
+  void arm_timers();
+  void on_timer();
+
+  // Path/CID helpers.
+  PathState& create_path(PathId id, PathState::State state);
+  void issue_connection_ids();
+  void queue_control(PathId path, Frame frame);
+  void maybe_send_flow_updates();
+
+  // Handshake helpers.
+  void send_handshake_initial();
+
+  sim::EventLoop& loop_;
+  Config config_;
+  PacketProtection aead_;
+  SendFn send_fn_;
+
+  bool established_ = false;
+  bool multipath_enabled_ = false;
+  bool closed_ = false;
+  bool handshake_sent_ = false;
+
+  std::map<PathId, std::unique_ptr<PathState>> paths_;
+  std::deque<SendItem> pkt_send_q_;
+  /// Control frames waiting per path (acks excluded; built on demand).
+  std::map<PathId, std::deque<Frame>> pending_control_;
+
+  std::map<StreamId, SendStream> send_streams_;
+  std::map<StreamId, RecvStream> recv_streams_;
+  StreamId next_stream_ = 0;
+
+  // Flow control: peer's limits on us / our grants to the peer.
+  std::uint64_t peer_max_data_ = 0;
+  std::map<StreamId, std::uint64_t> peer_max_stream_data_;
+  std::uint64_t local_max_data_ = 0;
+  std::uint64_t data_sent_ = 0;       // stream bytes charged to peer_max_data_
+  std::uint64_t data_received_ = 0;   // stream bytes charged to local grant
+  std::uint64_t data_consumed_ = 0;   // stream bytes read by the application
+  std::map<StreamId, std::uint64_t> local_max_stream_data_;
+  std::map<StreamId, std::uint64_t> received_high_;  // per-stream max offset
+  std::set<StreamId> finished_notified_;
+
+  // Connection IDs: ours issued to the peer, and the peer's issued to us.
+  std::map<std::uint32_t, ConnectionId> local_cids_;
+  std::map<std::uint32_t, ConnectionId> peer_cids_;
+  std::uint32_t next_local_cid_seq_ = 0;
+  bool cids_issued_ = false;
+
+  std::optional<TransportParams> peer_params_;
+  std::function<std::optional<QoeSignal>()> qoe_provider_;
+  std::optional<QoeSignal> latest_peer_qoe_;
+
+  sim::EventId timer_id_ = 0;
+  bool in_pump_ = false;
+  std::shared_ptr<LiaGroup> lia_group_;  // only for kCoupledLia
+
+  Stats stats_;
+};
+
+}  // namespace xlink::quic

@@ -1,0 +1,104 @@
+#include "quic/loss_detection.h"
+
+#include <algorithm>
+
+namespace xlink::quic {
+
+void LossDetection::on_packet_sent(PacketNumber pn, sim::Time now,
+                                   std::size_t bytes, bool ack_eliciting) {
+  sent_.emplace(pn, Meta{now, bytes, ack_eliciting});
+  if (ack_eliciting) bytes_in_flight_ += bytes;
+}
+
+sim::Duration LossDetection::time_threshold(const RttEstimator& rtt) const {
+  const sim::Duration base = std::max(rtt.smoothed(), rtt.latest());
+  return std::max<sim::Duration>(
+      base * kTimeThresholdNum / kTimeThresholdDen, sim::kMillisecond);
+}
+
+LossDetection::AckOutcome LossDetection::on_ack_received(
+    const AckInfo& info, sim::Time now, const RttEstimator& rtt) {
+  AckOutcome out;
+  if (info.ranges.empty()) return out;
+  const PacketNumber largest = info.largest_acked();
+
+  for (const AckRange& range : info.ranges) {
+    auto it = sent_.lower_bound(range.first);
+    while (it != sent_.end() && it->first <= range.last) {
+      const Meta& m = it->second;
+      out.newly_acked.push_back(it->first);
+      out.acked_bytes += m.ack_eliciting ? m.bytes : 0;
+      if (m.ack_eliciting) bytes_in_flight_ -= m.bytes;
+      if (it->first == largest) {
+        out.largest_acked_sent_time = m.sent_time;
+        if (m.ack_eliciting)
+          out.rtt_sample = now >= m.sent_time ? now - m.sent_time : 0;
+      }
+      it = sent_.erase(it);
+    }
+  }
+  if (largest > largest_acked_ || !any_acked_) {
+    largest_acked_ = std::max(largest_acked_, largest);
+    any_acked_ = true;
+  }
+  out.lost = detect_losses(now, rtt);
+  return out;
+}
+
+std::vector<PacketNumber> LossDetection::detect_losses(
+    sim::Time now, const RttEstimator& rtt) {
+  std::vector<PacketNumber> lost;
+  if (!any_acked_) return lost;
+  const sim::Duration threshold = time_threshold(rtt);
+  for (auto it = sent_.begin(); it != sent_.end();) {
+    const PacketNumber pn = it->first;
+    if (pn >= largest_acked_) break;  // nothing newer acked: can't judge yet
+    const Meta& m = it->second;
+    const bool by_count = largest_acked_ >= pn + kPacketThreshold;
+    const bool by_time = m.sent_time + threshold <= now;
+    if (by_count || by_time) {
+      lost.push_back(pn);
+      if (m.ack_eliciting) bytes_in_flight_ -= m.bytes;
+      it = sent_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return lost;
+}
+
+std::optional<sim::Time> LossDetection::loss_time(
+    const RttEstimator& rtt) const {
+  if (!any_acked_) return std::nullopt;
+  const sim::Duration threshold = time_threshold(rtt);
+  std::optional<sim::Time> earliest;
+  for (const auto& [pn, m] : sent_) {
+    if (pn >= largest_acked_) break;
+    const sim::Time t = m.sent_time + threshold;
+    if (!earliest || t < *earliest) earliest = t;
+  }
+  return earliest;
+}
+
+std::optional<sim::Time> LossDetection::oldest_unacked_sent_time() const {
+  std::optional<sim::Time> earliest;
+  for (const auto& [pn, m] : sent_) {
+    if (!m.ack_eliciting) continue;
+    if (!earliest || m.sent_time < *earliest) earliest = m.sent_time;
+  }
+  return earliest;
+}
+
+bool LossDetection::has_ack_eliciting_in_flight() const {
+  return std::any_of(sent_.begin(), sent_.end(),
+                     [](const auto& kv) { return kv.second.ack_eliciting; });
+}
+
+void LossDetection::forget(PacketNumber pn) {
+  auto it = sent_.find(pn);
+  if (it == sent_.end()) return;
+  if (it->second.ack_eliciting) bytes_in_flight_ -= it->second.bytes;
+  sent_.erase(it);
+}
+
+}  // namespace xlink::quic

@@ -1,0 +1,86 @@
+// Per-path loss detection, RFC 9002 style.
+//
+// Multipath QUIC gives each path its own packet number space, so each path
+// owns one LossDetection instance. The class tracks sent-packet metadata
+// only; the connection keeps the frame contents keyed by packet number and
+// retransmits what this class declares acked or lost.
+//
+// A packet is declared lost when it is unacked and either
+//   largest_acked >= pn + kPacketThreshold            (packet threshold), or
+//   sent_time <= now - 9/8 * max(srtt, latest_rtt)    (time threshold,
+//                                                      once something newer
+//                                                      was acked).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "quic/frame.h"
+#include "quic/rtt.h"
+#include "quic/types.h"
+#include "sim/time.h"
+
+namespace xlink::quic {
+
+constexpr std::uint64_t kPacketThreshold = 3;
+constexpr int kTimeThresholdNum = 9;   // 9/8 of RTT
+constexpr int kTimeThresholdDen = 8;
+
+class LossDetection {
+ public:
+  void on_packet_sent(PacketNumber pn, sim::Time now, std::size_t bytes,
+                      bool ack_eliciting);
+
+  struct AckOutcome {
+    std::vector<PacketNumber> newly_acked;
+    std::vector<PacketNumber> lost;
+    std::size_t acked_bytes = 0;
+    /// RTT sample (now - send time of largest newly-acked, if ack-eliciting).
+    std::optional<sim::Duration> rtt_sample;
+    /// Send time of the largest newly-acked packet (CC recovery check).
+    sim::Time largest_acked_sent_time = 0;
+  };
+
+  /// Processes an ACK block; also runs loss detection with the new
+  /// largest-acked information.
+  AckOutcome on_ack_received(const AckInfo& info, sim::Time now,
+                             const RttEstimator& rtt);
+
+  /// Re-runs time-threshold loss detection (call when the loss timer fires).
+  std::vector<PacketNumber> detect_losses(sim::Time now,
+                                          const RttEstimator& rtt);
+
+  /// Earliest time at which a currently-tracked packet would cross the time
+  /// threshold; nullopt when no packet is waiting on it.
+  std::optional<sim::Time> loss_time(const RttEstimator& rtt) const;
+
+  /// Send time of the oldest ack-eliciting unacked packet (PTO base).
+  std::optional<sim::Time> oldest_unacked_sent_time() const;
+
+  std::size_t bytes_in_flight() const { return bytes_in_flight_; }
+  bool has_ack_eliciting_in_flight() const;
+  PacketNumber largest_acked() const { return largest_acked_; }
+  std::size_t tracked_packets() const { return sent_.size(); }
+
+  /// Forgets a packet without treating it as acked or lost (used when a
+  /// probe duplicates data that was since acked through another copy).
+  void forget(PacketNumber pn);
+
+ private:
+  struct Meta {
+    sim::Time sent_time = 0;
+    std::size_t bytes = 0;
+    bool ack_eliciting = false;
+  };
+
+  sim::Duration time_threshold(const RttEstimator& rtt) const;
+
+  std::map<PacketNumber, Meta> sent_;
+  std::size_t bytes_in_flight_ = 0;
+  PacketNumber largest_acked_ = 0;
+  bool any_acked_ = false;
+};
+
+}  // namespace xlink::quic

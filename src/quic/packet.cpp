@@ -1,0 +1,81 @@
+#include "quic/packet.h"
+
+namespace xlink::quic {
+namespace {
+
+constexpr std::uint8_t kLongHeaderByte = 0xc0;
+constexpr std::uint8_t kShortHeaderByte = 0x40;
+
+std::vector<std::uint8_t> encode_header(const PacketHeader& h) {
+  Writer w;
+  if (h.type == PacketType::kInitial) {
+    w.u8(kLongHeaderByte);
+    w.bytes(h.dcid);
+    w.bytes(h.scid);
+  } else {
+    w.u8(kShortHeaderByte);
+    w.bytes(h.dcid);
+  }
+  w.u32(h.cid_sequence);
+  w.varint(h.packet_number);
+  return w.take();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> seal_packet(const PacketProtection& aead,
+                                      const PacketHeader& header,
+                                      const std::vector<Frame>& frames) {
+  Writer payload;
+  for (const Frame& f : frames) encode_frame(f, payload);
+  const std::vector<std::uint8_t> hdr = encode_header(header);
+  std::vector<std::uint8_t> sealed = aead.seal(
+      header.cid_sequence, header.packet_number, hdr, payload.data());
+  std::vector<std::uint8_t> out = hdr;
+  out.insert(out.end(), sealed.begin(), sealed.end());
+  return out;
+}
+
+std::optional<ReceivedPacket> parse_packet(
+    std::span<const std::uint8_t> datagram) {
+  Reader r(datagram);
+  ReceivedPacket pkt;
+  const auto first = r.u8();
+  if (!first) return std::nullopt;
+  if (*first == kLongHeaderByte) {
+    pkt.header.type = PacketType::kInitial;
+    if (!r.bytes_into(pkt.header.dcid)) return std::nullopt;
+    if (!r.bytes_into(pkt.header.scid)) return std::nullopt;
+  } else if (*first == kShortHeaderByte) {
+    pkt.header.type = PacketType::kOneRtt;
+    if (!r.bytes_into(pkt.header.dcid)) return std::nullopt;
+  } else {
+    return std::nullopt;
+  }
+  const auto seq = r.u32();
+  const auto pn = r.varint();
+  if (!seq || !pn) return std::nullopt;
+  pkt.header.cid_sequence = *seq;
+  pkt.header.packet_number = *pn;
+  pkt.header_bytes.assign(datagram.begin(),
+                          datagram.begin() + static_cast<long>(r.position()));
+  pkt.ciphertext.assign(datagram.begin() + static_cast<long>(r.position()),
+                        datagram.end());
+  return pkt;
+}
+
+std::optional<std::vector<Frame>> open_packet(const PacketProtection& aead,
+                                              const ReceivedPacket& pkt) {
+  auto plaintext =
+      aead.open(pkt.header.cid_sequence, pkt.header.packet_number,
+                pkt.header_bytes, pkt.ciphertext);
+  if (!plaintext) return std::nullopt;
+  return parse_frames(*plaintext);
+}
+
+std::size_t header_size(PacketType type, PacketNumber pn) {
+  const std::size_t base = (type == PacketType::kInitial) ? 1 + 8 + 8 : 1 + 8;
+  return base + 4 + varint_size(pn);
+}
+
+}  // namespace xlink::quic

@@ -1,0 +1,34 @@
+#include "quic/rtt.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace xlink::quic {
+
+void RttEstimator::on_sample(sim::Duration latest, sim::Duration ack_delay) {
+  latest_ = latest;
+  if (!has_sample_) {
+    has_sample_ = true;
+    min_rtt_ = latest;
+    srtt_ = latest;
+    rttvar_ = latest / 2;
+    return;
+  }
+  min_rtt_ = std::min(min_rtt_, latest);
+  // Subtract ack delay only when the result stays above min_rtt.
+  sim::Duration adjusted = latest;
+  if (adjusted >= min_rtt_ + ack_delay) adjusted -= ack_delay;
+  const auto s = static_cast<std::int64_t>(srtt_);
+  const auto a = static_cast<std::int64_t>(adjusted);
+  const std::int64_t sample_var = s > a ? s - a : a - s;
+  rttvar_ = static_cast<sim::Duration>(
+      (3 * static_cast<std::int64_t>(rttvar_) + sample_var) / 4);
+  srtt_ = static_cast<sim::Duration>((7 * s + a) / 8);
+}
+
+sim::Duration RttEstimator::pto(sim::Duration max_ack_delay) const {
+  return srtt_ + std::max<sim::Duration>(4 * rttvar_, sim::kMillisecond) +
+         max_ack_delay;
+}
+
+}  // namespace xlink::quic

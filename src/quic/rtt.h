@@ -1,0 +1,36 @@
+// Per-path RTT estimation per RFC 9002 §5.
+#pragma once
+
+#include "sim/time.h"
+
+namespace xlink::quic {
+
+class RttEstimator {
+ public:
+  /// Feeds one RTT sample. `ack_delay` is the peer-reported delay, which is
+  /// subtracted when doing so does not go below min_rtt (RFC 9002 §5.3).
+  void on_sample(sim::Duration latest, sim::Duration ack_delay);
+
+  bool has_sample() const { return has_sample_; }
+
+  /// Smoothed RTT; before any sample, the RFC's initial 333ms guess.
+  sim::Duration smoothed() const { return srtt_; }
+  sim::Duration variation() const { return rttvar_; }
+  sim::Duration min() const { return min_rtt_; }
+  sim::Duration latest() const { return latest_; }
+
+  /// deliverTime contribution of the paper's Alg. 1: RTT + its variation.
+  sim::Duration rtt_plus_var() const { return srtt_ + rttvar_; }
+
+  /// PTO interval: srtt + max(4*rttvar, 1ms) + max_ack_delay.
+  sim::Duration pto(sim::Duration max_ack_delay) const;
+
+ private:
+  bool has_sample_ = false;
+  sim::Duration latest_ = 0;
+  sim::Duration min_rtt_ = 0;
+  sim::Duration srtt_ = sim::millis(333);
+  sim::Duration rttvar_ = sim::millis(166);
+};
+
+}  // namespace xlink::quic

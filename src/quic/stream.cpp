@@ -1,0 +1,96 @@
+#include "quic/stream.h"
+
+#include <algorithm>
+
+namespace xlink::quic {
+
+std::uint64_t SendStream::write(std::vector<std::uint8_t> data, bool fin) {
+  const std::uint64_t offset = buffer_.size();
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  if (fin) fin_written_ = true;
+  return offset;
+}
+
+void SendStream::set_frame_priority(std::uint64_t position, std::uint64_t size,
+                                    int priority) {
+  frame_priorities_.push_back({position, position + size, priority});
+}
+
+int SendStream::frame_priority_at(std::uint64_t offset) const {
+  int best = 0;
+  for (const auto& r : frame_priorities_)
+    if (offset >= r.begin && offset < r.end) best = std::max(best, r.priority);
+  return best;
+}
+
+std::vector<std::uint8_t> SendStream::read_range(std::uint64_t offset,
+                                                 std::size_t len) const {
+  if (offset >= buffer_.size()) return {};
+  const std::size_t n =
+      std::min<std::uint64_t>(len, buffer_.size() - offset);
+  return {buffer_.begin() + static_cast<long>(offset),
+          buffer_.begin() + static_cast<long>(offset + n)};
+}
+
+void SendStream::on_range_acked(std::uint64_t begin, std::uint64_t end) {
+  acked_.add(begin, end);
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> SendStream::unacked_within(
+    std::uint64_t begin, std::uint64_t end) const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  std::uint64_t cursor = begin;
+  for (const auto& [b, e] : acked_.intervals()) {
+    if (e <= cursor) continue;
+    if (b >= end) break;
+    if (b > cursor) out.emplace_back(cursor, std::min(b, end));
+    cursor = std::max(cursor, e);
+    if (cursor >= end) break;
+  }
+  if (cursor < end) out.emplace_back(cursor, end);
+  return out;
+}
+
+bool SendStream::fully_acked() const {
+  if (!fin_written_) return false;
+  if (buffer_.empty()) return true;
+  return acked_.contains(0, buffer_.size());
+}
+
+void RecvStream::on_data(std::uint64_t offset,
+                         const std::vector<std::uint8_t>& data, bool fin) {
+  if (fin) {
+    const std::uint64_t fs = offset + data.size();
+    if (!final_size_) final_size_ = fs;
+  }
+  if (!data.empty()) {
+    // Count bytes we already had (duplicates from re-injection).
+    for (const auto& [b, e] : received_.intervals()) {
+      const std::uint64_t lo = std::max<std::uint64_t>(b, offset);
+      const std::uint64_t hi =
+          std::min<std::uint64_t>(e, offset + data.size());
+      if (hi > lo) duplicate_bytes_ += hi - lo;
+    }
+    if (buffer_.size() < offset + data.size())
+      buffer_.resize(offset + data.size());
+    std::copy(data.begin(), data.end(),
+              buffer_.begin() + static_cast<long>(offset));
+    received_.add(offset, offset + data.size());
+  }
+}
+
+std::uint64_t RecvStream::readable_bytes() const {
+  const std::uint64_t contiguous = received_.next_gap(0);
+  return contiguous > read_offset_ ? contiguous - read_offset_ : 0;
+}
+
+std::vector<std::uint8_t> RecvStream::read(std::size_t max) {
+  const std::uint64_t n = std::min<std::uint64_t>(max, readable_bytes());
+  std::vector<std::uint8_t> out(
+      buffer_.begin() + static_cast<long>(read_offset_),
+      buffer_.begin() + static_cast<long>(read_offset_ + n));
+  read_offset_ += n;
+  return out;
+}
+
+}  // namespace xlink::quic

@@ -1,0 +1,125 @@
+// QUIC stream state, send and receive sides.
+//
+// The connection owns the packetization queue (the paper's pkt_send_q);
+// streams own their byte buffers, retransmission source data, ack state and
+// reassembly. XLINK's stream_send API attaches priorities at two levels:
+// per-stream priority (early chunk streams outrank later ones) and
+// per-range "video frame" priority inside a stream (the first video frame
+// of a short video outranks the rest of its stream).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "quic/interval_set.h"
+#include "quic/types.h"
+
+namespace xlink::quic {
+
+/// Priority attached to a byte range by the application (higher wins).
+/// Video frame priorities per the paper's stream_send(position, size) API.
+struct FramePriorityRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;  // half-open
+  int priority = 0;
+};
+
+class SendStream {
+ public:
+  explicit SendStream(StreamId id) : id_(id) {}
+
+  StreamId id() const { return id_; }
+
+  /// Appends data; returns the offset at which it was placed.
+  std::uint64_t write(std::vector<std::uint8_t> data, bool fin);
+
+  /// Marks [position, position+size) with a video-frame priority; the
+  /// paper's stream_send API for first-video-frame acceleration.
+  void set_frame_priority(std::uint64_t position, std::uint64_t size,
+                          int priority);
+
+  /// Video-frame priority of the byte at `offset` (0 = default).
+  int frame_priority_at(std::uint64_t offset) const;
+
+  /// Stream-level priority; smaller stream ids default to higher priority
+  /// (earlier chunks of a video play first). Higher value wins.
+  int priority() const { return priority_; }
+  void set_priority(int p) { priority_ = p; }
+
+  /// Copies [offset, offset+len) into `out`; clamps to written data.
+  std::vector<std::uint8_t> read_range(std::uint64_t offset,
+                                       std::size_t len) const;
+
+  void on_range_acked(std::uint64_t begin, std::uint64_t end);
+  bool range_acked(std::uint64_t begin, std::uint64_t end) const {
+    return acked_.contains(begin, end);
+  }
+
+  /// Subranges of [begin, end) not yet acknowledged; what retransmission
+  /// and re-injection actually need to duplicate.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> unacked_within(
+      std::uint64_t begin, std::uint64_t end) const;
+
+  std::uint64_t total_written() const { return buffer_.size(); }
+  bool fin_written() const { return fin_written_; }
+  std::uint64_t acked_bytes() const { return acked_.covered_bytes(); }
+
+  /// All data (and fin, if written) acknowledged.
+  bool fully_acked() const;
+
+ private:
+  StreamId id_;
+  int priority_ = 0;
+  std::vector<std::uint8_t> buffer_;
+  bool fin_written_ = false;
+  IntervalSet acked_;
+  std::vector<FramePriorityRange> frame_priorities_;
+};
+
+class RecvStream {
+ public:
+  explicit RecvStream(StreamId id) : id_(id) {}
+
+  StreamId id() const { return id_; }
+
+  /// Ingests a STREAM frame payload. Duplicate/overlapping ranges are fine
+  /// (re-injected packets arrive as duplicates by design).
+  void on_data(std::uint64_t offset, const std::vector<std::uint8_t>& data,
+               bool fin);
+
+  /// Contiguous bytes available past the read offset.
+  std::uint64_t readable_bytes() const;
+
+  /// Consumes up to `max` readable bytes.
+  std::vector<std::uint8_t> read(std::size_t max);
+
+  /// Total contiguously received prefix length.
+  std::uint64_t contiguous_received() const { return received_.next_gap(0); }
+
+  std::uint64_t read_offset() const { return read_offset_; }
+  std::optional<std::uint64_t> final_size() const { return final_size_; }
+
+  /// Stream fully received and fully consumed.
+  bool finished() const {
+    return final_size_ && read_offset_ == *final_size_;
+  }
+
+  /// Fully received (regardless of how much the app has read).
+  bool fully_received() const {
+    return final_size_ && contiguous_received() >= *final_size_;
+  }
+
+  /// Bytes received more than once (redundancy accounting).
+  std::uint64_t duplicate_bytes() const { return duplicate_bytes_; }
+
+ private:
+  StreamId id_;
+  std::vector<std::uint8_t> buffer_;
+  IntervalSet received_;
+  std::uint64_t read_offset_ = 0;
+  std::optional<std::uint64_t> final_size_;
+  std::uint64_t duplicate_bytes_ = 0;
+};
+
+}  // namespace xlink::quic

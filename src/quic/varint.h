@@ -1,0 +1,63 @@
+// RFC 9000 variable-length integer encoding plus byte-buffer reader/writer.
+//
+// All frames and packet headers serialize through these helpers so wire
+// sizes are authentic (they feed congestion control and pacing).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace xlink::quic {
+
+/// Largest value representable as a QUIC varint (2^62 - 1).
+constexpr std::uint64_t kVarintMax = (1ULL << 62) - 1;
+
+/// Number of bytes the varint encoding of `v` occupies (1, 2, 4 or 8).
+std::size_t varint_size(std::uint64_t v);
+
+/// Appends the varint encoding of `v` to `out`. `v` must be <= kVarintMax.
+void varint_encode(std::uint64_t v, std::vector<std::uint8_t>& out);
+
+/// Serialization cursor over a growing byte vector.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void varint(std::uint64_t v) { varint_encode(v, buf_); }
+  void bytes(std::span<const std::uint8_t> data);
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Parsing cursor over a byte span. All reads return nullopt on underrun,
+/// never throwing: malformed network input is data, not a programming error.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint32_t> u32();
+  std::optional<std::uint64_t> varint();
+  /// Reads exactly `n` bytes.
+  std::optional<std::vector<std::uint8_t>> bytes(std::size_t n);
+  /// Copies `n` bytes into `out` (avoids an allocation).
+  bool bytes_into(std::span<std::uint8_t> out);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t position() const { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace xlink::quic

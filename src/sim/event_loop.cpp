@@ -1,0 +1,62 @@
+#include "sim/event_loop.h"
+
+#include <algorithm>
+
+namespace xlink::sim {
+
+EventId EventLoop::schedule_at(Time at, Callback cb) {
+  const EventId id = next_id_++;
+  queue_.push(Entry{std::max(at, now_), next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool EventLoop::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+bool EventLoop::pop_next(Entry& out) {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (!callbacks_.contains(e.id)) continue;  // cancelled
+    out = e;
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::run() {
+  stopped_ = false;
+  Entry e;
+  while (!stopped_ && pop_next(e)) {
+    now_ = e.at;
+    fire(e.id);
+  }
+}
+
+void EventLoop::run_until(Time deadline) {
+  stopped_ = false;
+  while (!stopped_) {
+    Entry e;
+    if (!pop_next(e)) break;
+    if (e.at > deadline) {
+      // Not due yet: re-queue with the original sequence number so that the
+      // FIFO order among same-timestamp events is preserved.
+      queue_.push(e);
+      break;
+    }
+    now_ = e.at;
+    fire(e.id);
+  }
+  now_ = std::max(now_, deadline);
+}
+
+void EventLoop::fire(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return;  // cancelled between pop and fire
+  Callback cb = std::move(it->second);
+  callbacks_.erase(it);
+  ++fired_;
+  cb();
+}
+
+}  // namespace xlink::sim

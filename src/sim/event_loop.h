@@ -1,0 +1,82 @@
+// Discrete-event loop: the heart of the simulator.
+//
+// Events are (time, callback) pairs kept in a priority queue. Events that
+// share a timestamp fire in FIFO order of scheduling, which makes runs
+// deterministic given deterministic inputs. Scheduled events can be
+// cancelled through the returned handle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace xlink::sim {
+
+/// Identifies a scheduled event so it can be cancelled. Zero is never used.
+using EventId = std::uint64_t;
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `at` (clamped to >= now).
+  EventId schedule_at(Time at, Callback cb);
+
+  /// Schedules `cb` to run `delay` after the current time.
+  EventId schedule_in(Duration delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is a
+  /// harmless no-op (returns false).
+  bool cancel(EventId id);
+
+  /// Runs events until the queue is empty or `stop()` is called.
+  void run();
+
+  /// Runs events with time <= `deadline`, then sets now() to `deadline`.
+  void run_until(Time deadline);
+
+  /// Requests `run()`/`run_until()` to return after the current event.
+  void stop() { stopped_ = true; }
+
+  /// Number of events that have fired so far (useful in tests).
+  std::uint64_t events_fired() const { return fired_; }
+
+  /// Number of events still pending (scheduled and not cancelled).
+  std::size_t pending() const { return callbacks_.size(); }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;  // tie-break: FIFO for equal timestamps
+    EventId id;
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  // Pops the next live (non-cancelled) entry; returns false if none remain.
+  bool pop_next(Entry& out);
+  void fire(EventId id);
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t fired_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  // Callback presence in this map is what makes a queue entry "live";
+  // cancel() simply erases the callback.
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace xlink::sim

@@ -1,0 +1,66 @@
+#include "sim/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xlink::sim {
+
+std::uint64_t Rng::next_u64() {
+  // splitmix64 (Sebastiano Vigna, public domain).
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  // Rejection-free multiply-shift mapping; the bias is negligible for the
+  // bounds used in simulation (<< 2^32).
+  const std::uint64_t x = next_u64();
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(x) * bound) >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Rng::uniform_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_double(double lo, double hi) {
+  return lo + (hi - lo) * uniform_double();
+}
+
+bool Rng::chance(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return uniform_double() < p;
+}
+
+double Rng::exponential(double mean) {
+  double u = uniform_double();
+  // Avoid log(0).
+  u = std::max(u, 1e-300);
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = std::max(uniform_double(), 1e-300);
+  double u2 = uniform_double();
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * 3.14159265358979323846 * u2);
+  return mean + stddev * z;
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+Rng Rng::fork() {
+  // Derive a decorrelated seed by advancing and scrambling.
+  return Rng(next_u64() ^ 0xa0761d6478bd642fULL);
+}
+
+}  // namespace xlink::sim

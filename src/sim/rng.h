@@ -1,0 +1,52 @@
+// Deterministic random number generation for the simulator.
+//
+// Every stochastic component takes an explicit Rng (or a seed) so that whole
+// experiments are reproducible from a single top-level seed. The generator is
+// splitmix64-based: tiny state, excellent statistical quality for simulation
+// purposes, and cheap to fork into independent streams.
+#pragma once
+
+#include <cstdint>
+
+namespace xlink::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value (splitmix64).
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform_double(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponentially distributed double with the given mean.
+  double exponential(double mean);
+
+  /// Normally distributed double (Box-Muller).
+  double normal(double mean, double stddev);
+
+  /// Log-normally distributed double parameterized by the underlying
+  /// normal's mu/sigma.
+  double lognormal(double mu, double sigma);
+
+  /// Forks an independent generator; forks of the same Rng are decorrelated.
+  Rng fork();
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace xlink::sim

@@ -1,0 +1,36 @@
+// Simulated time for the discrete-event simulator.
+//
+// All timestamps in the simulator are expressed as microseconds since the
+// start of the simulation. A strong-ish alias plus helper constructors keep
+// unit mistakes (ms vs us) out of call sites.
+#pragma once
+
+#include <cstdint>
+
+namespace xlink::sim {
+
+/// Absolute simulated time in microseconds since simulation start.
+using Time = std::uint64_t;
+
+/// Relative duration in microseconds.
+using Duration = std::uint64_t;
+
+constexpr Duration kMicrosecond = 1;
+constexpr Duration kMillisecond = 1000;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+constexpr Duration micros(std::uint64_t n) { return n; }
+constexpr Duration millis(std::uint64_t n) { return n * kMillisecond; }
+constexpr Duration seconds(std::uint64_t n) { return n * kSecond; }
+
+/// Converts a simulated duration to fractional seconds (for reporting).
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Converts a simulated duration to fractional milliseconds (for reporting).
+constexpr double to_millis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace xlink::sim

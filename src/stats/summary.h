@@ -1,0 +1,57 @@
+// Sample accumulation and percentile statistics.
+//
+// Every experiment in the benchmark harness reports distributions (median,
+// p95, p99 request completion times, buffer levels, ...). Summary collects
+// raw samples and computes order statistics with linear interpolation, the
+// same convention as numpy's default percentile.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xlink::stats {
+
+class Summary {
+ public:
+  Summary() = default;
+
+  void add(double v) { samples_.push_back(v); }
+  void add_all(const std::vector<double>& vs);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+  double sum() const;
+
+  /// Percentile in [0, 100] with linear interpolation between order
+  /// statistics. Returns 0 for an empty summary.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  /// Fraction of samples strictly below `threshold`, in [0, 1].
+  double fraction_below(double threshold) const;
+
+  /// Raw samples (unsorted, in insertion order).
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// One-line human-readable digest.
+  std::string describe() const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Relative improvement of `ours` vs `baseline` in percent: positive means
+/// `ours` is lower/better for metrics where smaller is better.
+double improvement_pct(double baseline, double ours);
+
+}  // namespace xlink::stats

@@ -1,0 +1,40 @@
+// ASCII table rendering for benchmark output.
+//
+// Every bench binary prints the rows/series of the paper's table or figure;
+// Table keeps that output aligned and uniform.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace xlink::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 2);
+
+  /// Renders the table with a header rule, column-aligned.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes rows as CSV (header + rows) to the given path. Used by benches to
+/// emit machine-readable series next to the human-readable table.
+void write_csv(const std::string& path,
+               const std::vector<std::string>& headers,
+               const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace xlink::stats

@@ -1,0 +1,59 @@
+// Synthetic trace generators for the wireless environments of the paper.
+//
+// The paper's traces were collected with saturatr while walking on campus,
+// riding subways and high-speed rail. We cannot ship those captures, so we
+// generate traces with the same qualitative structure the paper describes:
+//  - campus-walk Wi-Fi: fast variation with a near-outage dip (Fig. 1a)
+//  - stable LTE: slowly varying medium rate (Fig. 1b)
+//  - high-speed-rail cellular: deep periodic fades from handoffs (Fig. 15a)
+//  - onboard Wi-Fi: low rate, frequent short outages (Fig. 15b)
+//  - subway cellular: bursty with tunnel blackouts
+//  - 5G NR: high rate, small coverage dropouts
+//
+// Generation model: a mean-reverting random-walk rate process sampled every
+// `step`, overlaid with an outage process (Bernoulli onset, random duration),
+// then converted to Mahimahi delivery opportunities.
+#pragma once
+
+#include "sim/rng.h"
+#include "sim/time.h"
+#include "trace/trace.h"
+
+namespace xlink::trace {
+
+/// Parameters of the rate random walk + outage overlay.
+struct SyntheticSpec {
+  double mean_mbps = 20.0;       // long-run mean rate
+  double min_mbps = 0.0;         // clamp floor
+  double max_mbps = 40.0;        // clamp ceiling
+  double volatility = 0.2;       // per-step relative stddev of the walk
+  double reversion = 0.2;        // pull toward mean per step, [0,1]
+  sim::Duration step = sim::millis(100);  // rate process resolution
+  double outage_per_second = 0.0;         // expected outage onsets / second
+  sim::Duration outage_min = sim::millis(200);
+  sim::Duration outage_max = sim::millis(800);
+  sim::Duration duration = sim::seconds(30);
+};
+
+/// Generates a trace from the spec using the given RNG.
+LinkTrace generate(const SyntheticSpec& spec, sim::Rng& rng);
+
+/// The rate curve (Mbps per step) underlying a generated trace; exposed so
+/// tests and plots can compare trace output to its generating process.
+std::vector<double> rate_curve(const SyntheticSpec& spec, sim::Rng rng);
+
+// Named environments used across benches. All take a seed for determinism.
+LinkTrace campus_walk_wifi(std::uint64_t seed,
+                           sim::Duration duration = sim::seconds(30));
+LinkTrace stable_lte(std::uint64_t seed,
+                     sim::Duration duration = sim::seconds(30));
+LinkTrace hsr_cellular(std::uint64_t seed,
+                       sim::Duration duration = sim::seconds(60));
+LinkTrace onboard_wifi(std::uint64_t seed,
+                       sim::Duration duration = sim::seconds(60));
+LinkTrace subway_cellular(std::uint64_t seed,
+                          sim::Duration duration = sim::seconds(60));
+LinkTrace nr_5g(std::uint64_t seed, sim::Duration duration = sim::seconds(30),
+                double cap_mbps = 30.0);
+
+}  // namespace xlink::trace

@@ -1,0 +1,93 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace xlink::trace {
+
+LinkTrace::LinkTrace(std::vector<std::uint32_t> opportunities_ms)
+    : ms_(std::move(opportunities_ms)) {
+  if (!std::is_sorted(ms_.begin(), ms_.end()))
+    throw std::runtime_error("LinkTrace: opportunities must be non-decreasing");
+  period_ms_ = ms_.empty() ? 1 : std::max<std::uint32_t>(ms_.back(), 1);
+}
+
+LinkTrace LinkTrace::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("LinkTrace: cannot open " + path);
+  std::vector<std::uint32_t> ms;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::size_t pos = 0;
+    const long v = std::stol(line, &pos);
+    if (v < 0) throw std::runtime_error("LinkTrace: negative timestamp");
+    ms.push_back(static_cast<std::uint32_t>(v));
+  }
+  return LinkTrace(std::move(ms));
+}
+
+void LinkTrace::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("LinkTrace: cannot write " + path);
+  for (std::uint32_t t : ms_) out << t << '\n';
+}
+
+sim::Time LinkTrace::opportunity_time(std::uint64_t n) const {
+  if (ms_.empty()) return 0;
+  const std::uint64_t period = n / ms_.size();
+  const std::size_t idx = static_cast<std::size_t>(n % ms_.size());
+  return sim::millis(period * period_ms_ + ms_[idx]);
+}
+
+std::uint64_t LinkTrace::first_opportunity_at_or_after(sim::Time at) const {
+  if (ms_.empty()) return 0;
+  const std::uint64_t at_ms = at / sim::kMillisecond +
+                              ((at % sim::kMillisecond) ? 1 : 0);
+  const std::uint64_t period = at_ms / period_ms_;
+  const auto within = static_cast<std::uint32_t>(at_ms % period_ms_);
+  const auto it = std::lower_bound(ms_.begin(), ms_.end(), within);
+  if (it == ms_.end())
+    return (period + 1) * ms_.size();
+  return period * ms_.size() + static_cast<std::uint64_t>(it - ms_.begin());
+}
+
+double LinkTrace::average_bps() const {
+  if (ms_.empty()) return 0.0;
+  const double bits = static_cast<double>(ms_.size()) * kDeliveryMtu * 8.0;
+  return bits / (static_cast<double>(period_ms_) / 1000.0);
+}
+
+double LinkTrace::window_bps(sim::Time from, sim::Duration window) const {
+  if (ms_.empty() || window == 0) return 0.0;
+  const std::uint64_t first = first_opportunity_at_or_after(from);
+  std::uint64_t n = first;
+  std::uint64_t count = 0;
+  while (opportunity_time(n) < from + window) {
+    ++count;
+    ++n;
+  }
+  const double bits = static_cast<double>(count) * kDeliveryMtu * 8.0;
+  return bits / sim::to_seconds(window);
+}
+
+LinkTrace constant_rate_trace(double mbps, sim::Duration duration) {
+  // Packets per millisecond at `mbps`: mbps * 1e6 / 8 / 1500 / 1000.
+  const double pkts_per_ms = mbps * 1e6 / 8.0 / kDeliveryMtu / 1000.0;
+  const auto total_ms = static_cast<std::uint64_t>(duration / sim::kMillisecond);
+  std::vector<std::uint32_t> ms;
+  double credit = 0.0;
+  for (std::uint64_t t = 1; t <= total_ms; ++t) {
+    credit += pkts_per_ms;
+    while (credit >= 1.0) {
+      ms.push_back(static_cast<std::uint32_t>(t));
+      credit -= 1.0;
+    }
+  }
+  if (ms.empty()) ms.push_back(static_cast<std::uint32_t>(total_ms));
+  return LinkTrace(std::move(ms));
+}
+
+}  // namespace xlink::trace

@@ -1,0 +1,70 @@
+// Mahimahi-style packet-delivery traces.
+//
+// The paper replays Wi-Fi/LTE/5G link traces with Mahimahi's mpshell. A
+// Mahimahi trace is a list of millisecond timestamps; each occurrence of a
+// timestamp grants one delivery opportunity of one MTU-sized packet (1500
+// bytes) at that millisecond. When the trace ends it loops, offset by its
+// duration. LinkTrace stores those opportunities and answers the question
+// the emulated link asks: "given that I last used opportunity k, when is
+// opportunity k+1?"
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace xlink::trace {
+
+/// Bytes deliverable per opportunity, Mahimahi's fixed MTU.
+constexpr std::uint32_t kDeliveryMtu = 1500;
+
+class LinkTrace {
+ public:
+  LinkTrace() = default;
+
+  /// Builds from millisecond delivery-opportunity timestamps. Must be
+  /// non-decreasing; the trace period is the last timestamp (or 1ms min).
+  explicit LinkTrace(std::vector<std::uint32_t> opportunities_ms);
+
+  /// Parses the Mahimahi on-disk format: one integer (ms) per line. Throws
+  /// std::runtime_error on unreadable file or unparsable/decreasing input.
+  static LinkTrace load(const std::string& path);
+
+  /// Writes the Mahimahi on-disk format.
+  void save(const std::string& path) const;
+
+  /// Simulated time of the n-th delivery opportunity (n is 0-based and may
+  /// exceed one trace period: the trace loops).
+  sim::Time opportunity_time(std::uint64_t n) const;
+
+  /// Index of the first opportunity at time >= `at`.
+  std::uint64_t first_opportunity_at_or_after(sim::Time at) const;
+
+  /// Number of opportunities in one period of the trace.
+  std::size_t opportunities_per_period() const { return ms_.size(); }
+
+  /// Duration of one trace period.
+  sim::Duration period() const { return sim::millis(period_ms_); }
+
+  bool empty() const { return ms_.empty(); }
+
+  /// Average throughput over one period, in bits per second.
+  double average_bps() const;
+
+  /// Throughput of the window [from, from+window), in bits per second,
+  /// assuming every opportunity is used. Used for plotting "link capacity".
+  double window_bps(sim::Time from, sim::Duration window) const;
+
+  const std::vector<std::uint32_t>& opportunities_ms() const { return ms_; }
+
+ private:
+  std::vector<std::uint32_t> ms_;  // sorted opportunity timestamps, ms
+  std::uint32_t period_ms_ = 1;
+};
+
+/// Builds a constant-rate trace: `mbps` megabits/s for `duration`.
+LinkTrace constant_rate_trace(double mbps, sim::Duration duration);
+
+}  // namespace xlink::trace

@@ -1,0 +1,114 @@
+#include "video/player.h"
+
+namespace xlink::video {
+
+VideoPlayer::VideoPlayer(sim::EventLoop& loop, const VideoModel& model,
+                         std::uint32_t startup_buffer_frames)
+    : loop_(loop),
+      model_(model),
+      startup_buffer_frames_(startup_buffer_frames),
+      start_time_(loop.now()) {}
+
+void VideoPlayer::on_contiguous_bytes(std::uint64_t bytes) {
+  contiguous_bytes_ = std::max(contiguous_bytes_, bytes);
+  if (state_ == State::kStartup) {
+    try_start();
+  } else if (state_ == State::kRebuffering) {
+    // Resume once the stalled frame has fully arrived.
+    if (model_.frames_in_prefix(contiguous_bytes_) > next_frame_) {
+      if (loop_.now() == rebuffer_started_at_) {
+        // Resolved within the same instant: not a user-visible stall.
+        --rebuffer_count_;
+      }
+      rebuffer_accum_ += loop_.now() - rebuffer_started_at_;
+      state_ = State::kPlaying;
+      play_started_at_ = loop_.now();
+      on_frame_due();
+    }
+  }
+}
+
+void VideoPlayer::try_start() {
+  const std::uint32_t have = model_.frames_in_prefix(contiguous_bytes_);
+  if (have < startup_buffer_frames_) return;
+  first_frame_time_ = loop_.now() - start_time_;
+  state_ = State::kPlaying;
+  play_started_at_ = loop_.now();
+  on_frame_due();  // renders frame 0 immediately
+}
+
+void VideoPlayer::schedule_frame_deadline() {
+  frame_timer_ = loop_.schedule_in(model_.frame_interval(), [this] {
+    frame_timer_ = 0;
+    on_frame_due();
+  });
+}
+
+void VideoPlayer::on_frame_due() {
+  if (state_ != State::kPlaying) return;
+  if (next_frame_ >= model_.frame_count()) {
+    state_ = State::kFinished;
+    play_time_accum_ += loop_.now() - play_started_at_;
+    if (frame_timer_) {
+      loop_.cancel(frame_timer_);
+      frame_timer_ = 0;
+    }
+    if (on_finished) on_finished();
+    return;
+  }
+  const std::uint32_t available = model_.frames_in_prefix(contiguous_bytes_);
+  if (available > next_frame_) {
+    ++next_frame_;
+    schedule_frame_deadline();
+    return;
+  }
+  // Stall: the due frame has not fully arrived.
+  state_ = State::kRebuffering;
+  ++rebuffer_count_;
+  rebuffer_started_at_ = loop_.now();
+  play_time_accum_ += loop_.now() - play_started_at_;
+}
+
+quic::QoeSignal VideoPlayer::qoe_snapshot() const {
+  quic::QoeSignal q;
+  const std::uint32_t available = model_.frames_in_prefix(contiguous_bytes_);
+  q.cached_frames = available > next_frame_ ? available - next_frame_ : 0;
+  q.cached_bytes = buffered_bytes_ahead();
+  q.bps = model_.spec().bitrate_bps;
+  q.fps = model_.spec().fps;
+  return q;
+}
+
+std::uint64_t VideoPlayer::buffered_bytes_ahead() const {
+  const std::uint64_t playhead = model_.frame_offset(
+      std::min(next_frame_, model_.frame_count()));
+  return contiguous_bytes_ > playhead ? contiguous_bytes_ - playhead : 0;
+}
+
+sim::Duration VideoPlayer::buffer_level() const {
+  const std::uint32_t available = model_.frames_in_prefix(contiguous_bytes_);
+  const std::uint32_t ahead =
+      available > next_frame_ ? available - next_frame_ : 0;
+  return static_cast<sim::Duration>(ahead) * model_.frame_interval();
+}
+
+sim::Duration VideoPlayer::total_rebuffer_time() const {
+  sim::Duration total = rebuffer_accum_;
+  if (state_ == State::kRebuffering)
+    total += loop_.now() - rebuffer_started_at_;
+  return total;
+}
+
+sim::Duration VideoPlayer::total_play_time() const {
+  sim::Duration total = play_time_accum_;
+  if (state_ == State::kPlaying) total += loop_.now() - play_started_at_;
+  return total;
+}
+
+double VideoPlayer::rebuffer_rate() const {
+  const double play = sim::to_seconds(total_play_time());
+  if (play <= 0.0) return 0.0;
+  return sim::to_seconds(total_rebuffer_time()) / play;
+}
+
+}  // namespace xlink::video

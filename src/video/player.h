@@ -1,0 +1,79 @@
+// Client-side video player simulation.
+//
+// Mirrors the paper's evaluation player (Appx. B): consumes the received
+// byte stream at the video's frame rate and records the QoE metrics the
+// paper reports -- first-video-frame latency, rebuffer events/time, and
+// the rebuffer rate sum(rebuffer time)/sum(play time). Playback is
+// event-driven: each frame has a due time; a frame whose bytes have not
+// fully arrived by its due time stalls playback until they do.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "quic/frame.h"
+#include "sim/event_loop.h"
+#include "video/video_model.h"
+
+namespace xlink::video {
+
+class VideoPlayer {
+ public:
+  /// `startup_buffer_frames`: frames that must be buffered before playback
+  /// starts (1 = render as soon as the first frame lands, paper behaviour).
+  VideoPlayer(sim::EventLoop& loop, const VideoModel& model,
+              std::uint32_t startup_buffer_frames = 1);
+
+  /// Reports download progress: total contiguous bytes available from the
+  /// start of the video.
+  void on_contiguous_bytes(std::uint64_t bytes);
+
+  /// Current QoE snapshot for the feedback channel (cached bytes/frames
+  /// ahead of the playhead, bitrate, framerate).
+  quic::QoeSignal qoe_snapshot() const;
+
+  // ---- metrics ----
+  /// Time from construction (request start) to first frame rendered.
+  std::optional<sim::Duration> first_frame_latency() const {
+    return first_frame_time_;
+  }
+  sim::Duration total_rebuffer_time() const;
+  std::uint32_t rebuffer_count() const { return rebuffer_count_; }
+  /// Wall time spent in the playing state so far.
+  sim::Duration total_play_time() const;
+  /// sum(rebuffer time) / sum(play time); 0 when nothing played.
+  double rebuffer_rate() const;
+  bool finished() const { return state_ == State::kFinished; }
+  std::uint32_t frames_played() const { return next_frame_; }
+  /// Buffered play-time ahead of the playhead right now.
+  sim::Duration buffer_level() const;
+  std::uint64_t buffered_bytes_ahead() const;
+
+  std::function<void()> on_finished;
+
+ private:
+  enum class State { kStartup, kPlaying, kRebuffering, kFinished };
+
+  void try_start();
+  void schedule_frame_deadline();
+  void on_frame_due();
+
+  sim::EventLoop& loop_;
+  const VideoModel& model_;
+  std::uint32_t startup_buffer_frames_;
+
+  State state_ = State::kStartup;
+  std::uint64_t contiguous_bytes_ = 0;
+  std::uint32_t next_frame_ = 0;      // next frame to render
+  sim::Time start_time_;
+  std::optional<sim::Duration> first_frame_time_;
+  sim::Time play_started_at_ = 0;     // current playing-state entry
+  sim::Duration play_time_accum_ = 0;
+  sim::Time rebuffer_started_at_ = 0;
+  sim::Duration rebuffer_accum_ = 0;
+  std::uint32_t rebuffer_count_ = 0;
+  sim::EventId frame_timer_ = 0;
+};
+
+}  // namespace xlink::video

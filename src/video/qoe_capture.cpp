@@ -1,0 +1,26 @@
+#include "video/qoe_capture.h"
+
+namespace xlink::video {
+
+QoeCapture::QoeCapture(sim::EventLoop& loop, const VideoPlayer& player,
+                       sim::Duration period)
+    : loop_(loop), player_(player), period_(period) {
+  tick();
+}
+
+QoeCapture::~QoeCapture() {
+  stopped_ = true;
+  if (timer_) loop_.cancel(timer_);
+}
+
+void QoeCapture::tick() {
+  if (stopped_) return;
+  latest_ = player_.qoe_snapshot();
+  ++samples_;
+  timer_ = loop_.schedule_in(period_, [this] {
+    timer_ = 0;
+    tick();
+  });
+}
+
+}  // namespace xlink::video

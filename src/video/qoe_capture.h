@@ -1,0 +1,47 @@
+// QoE signal capture pipeline (paper §5.2.1, Fig. 5).
+//
+// In the deployed system the Source Pipe and Decoder periodically push
+// cached-frame/byte counts and rates to TNET (the Android network SDK),
+// which XLINK queries when emitting ACK_MPs. QoeCapture reproduces that
+// periodic, slightly-stale conduit: it samples the player every `period`
+// and hands out the last sample -- the transport never reads the player's
+// instantaneous state directly, matching the paper's footnote about
+// feedback frequency (stale feedback is extrapolated by the controller
+// being conservative).
+#pragma once
+
+#include <optional>
+
+#include "quic/frame.h"
+#include "sim/event_loop.h"
+#include "video/player.h"
+
+namespace xlink::video {
+
+class QoeCapture {
+ public:
+  QoeCapture(sim::EventLoop& loop, const VideoPlayer& player,
+             sim::Duration period = sim::millis(100));
+  ~QoeCapture();
+
+  QoeCapture(const QoeCapture&) = delete;
+  QoeCapture& operator=(const QoeCapture&) = delete;
+
+  /// Latest sampled signal; nullopt before the first sampling tick.
+  std::optional<quic::QoeSignal> latest() const { return latest_; }
+
+  std::uint64_t samples_taken() const { return samples_; }
+
+ private:
+  void tick();
+
+  sim::EventLoop& loop_;
+  const VideoPlayer& player_;
+  sim::Duration period_;
+  std::optional<quic::QoeSignal> latest_;
+  std::uint64_t samples_ = 0;
+  sim::EventId timer_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace xlink::video

@@ -1,0 +1,57 @@
+#include "video/video_model.h"
+
+#include <algorithm>
+
+#include "sim/rng.h"
+
+namespace xlink::video {
+
+VideoModel::VideoModel(VideoSpec spec) : spec_(spec) {
+  const std::uint64_t frames = std::max<std::uint64_t>(
+      1, spec_.duration * spec_.fps / sim::kSecond);
+  const double avg_frame_bytes =
+      static_cast<double>(spec_.bitrate_bps) / 8.0 / spec_.fps;
+  std::uint64_t first = spec_.first_frame_bytes;
+  if (first == 0)
+    first = static_cast<std::uint64_t>(avg_frame_bytes * 12.0);
+
+  sim::Rng rng(spec_.seed);
+  frame_offsets_.reserve(frames + 1);
+  frame_offsets_.push_back(0);
+  frame_offsets_.push_back(first);
+  for (std::uint64_t i = 1; i < frames; ++i) {
+    // P-frames: deterministic +-35% variation around the residual average
+    // so the whole video still averages to bitrate_bps.
+    const double scale = 0.65 + 0.7 * rng.uniform_double();
+    const auto size = static_cast<std::uint64_t>(
+        std::max(64.0, avg_frame_bytes * scale));
+    frame_offsets_.push_back(frame_offsets_.back() + size);
+  }
+}
+
+std::uint32_t VideoModel::frames_in_prefix(std::uint64_t bytes) const {
+  // First index whose end-offset exceeds `bytes`.
+  const auto it =
+      std::upper_bound(frame_offsets_.begin() + 1, frame_offsets_.end(), bytes);
+  return static_cast<std::uint32_t>(it - (frame_offsets_.begin() + 1));
+}
+
+std::uint8_t VideoModel::byte_at(std::uint64_t offset) const {
+  std::uint64_t x = offset ^ (spec_.seed * 0x9e3779b97f4a7c15ULL);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return static_cast<std::uint8_t>(x);
+}
+
+ChunkPlan ChunkPlan::fixed_size(std::uint64_t total_bytes,
+                                std::uint64_t chunk_bytes) {
+  ChunkPlan plan;
+  for (std::uint64_t begin = 0; begin < total_bytes; begin += chunk_bytes) {
+    plan.chunks.push_back({begin, std::min(begin + chunk_bytes, total_bytes)});
+  }
+  if (plan.chunks.empty()) plan.chunks.push_back({0, 0});
+  return plan;
+}
+
+}  // namespace xlink::video

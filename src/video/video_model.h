@@ -1,0 +1,76 @@
+// Deterministic short-video model.
+//
+// A video is a sequence of frames at a fixed fps. Frame 0 (the first video
+// frame, an I-frame) is much larger than the rest; the paper's
+// first-video-frame acceleration exists because delivering exactly these
+// bytes gates start-up. Frame sizes vary deterministically around the
+// target bitrate so the byte<->frame mapping is reproducible everywhere
+// (server, client, tests) without shipping content.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace xlink::video {
+
+struct VideoSpec {
+  sim::Duration duration = sim::seconds(15);
+  std::uint32_t fps = 30;
+  std::uint64_t bitrate_bps = 2'000'000;
+  /// Size of the first video frame (I-frame). 0 = derive as 12x average.
+  std::uint64_t first_frame_bytes = 0;
+  /// Seed for the deterministic frame-size variation.
+  std::uint64_t seed = 1;
+};
+
+class VideoModel {
+ public:
+  explicit VideoModel(VideoSpec spec);
+
+  const VideoSpec& spec() const { return spec_; }
+  std::uint32_t frame_count() const {
+    return static_cast<std::uint32_t>(frame_offsets_.size() - 1);
+  }
+  std::uint64_t total_bytes() const { return frame_offsets_.back(); }
+  std::uint64_t first_frame_bytes() const { return frame_offsets_[1]; }
+
+  std::uint64_t frame_offset(std::uint32_t i) const {
+    return frame_offsets_[i];
+  }
+  std::uint64_t frame_size(std::uint32_t i) const {
+    return frame_offsets_[i + 1] - frame_offsets_[i];
+  }
+
+  /// Number of whole frames contained in the contiguous byte prefix.
+  std::uint32_t frames_in_prefix(std::uint64_t bytes) const;
+
+  /// Deterministic content byte at `offset` (server fill / client check).
+  std::uint8_t byte_at(std::uint64_t offset) const;
+
+  /// Play duration of one frame.
+  sim::Duration frame_interval() const {
+    return sim::kSecond / spec_.fps;
+  }
+
+ private:
+  VideoSpec spec_;
+  std::vector<std::uint64_t> frame_offsets_;  // size frame_count()+1
+};
+
+/// Splits [0, total) into fixed-size chunks (last one short). The media
+/// client requests one chunk per QUIC stream.
+struct ChunkPlan {
+  struct Chunk {
+    std::uint64_t begin;
+    std::uint64_t end;  // half-open
+  };
+  std::vector<Chunk> chunks;
+
+  static ChunkPlan fixed_size(std::uint64_t total_bytes,
+                              std::uint64_t chunk_bytes);
+};
+
+}  // namespace xlink::video

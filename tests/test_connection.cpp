@@ -1,0 +1,317 @@
+// Integration tests: two Connections over an in-memory wire -- handshake,
+// multipath negotiation, path lifecycle, stream transfer, flow control,
+// loss recovery, migration, and QoE plumbing.
+#include <gtest/gtest.h>
+
+#include "mpquic/schedulers.h"
+#include "test_support.h"
+
+namespace xlink::quic {
+namespace {
+
+using test::WirePair;
+
+WirePair::Options mp_options() {
+  WirePair::Options o;
+  o.client_config = test::multipath_config();
+  o.server_config = test::multipath_config();
+  o.client_config.scheduler = mpquic::make_min_rtt_scheduler();
+  o.server_config.scheduler = mpquic::make_min_rtt_scheduler();
+  return o;
+}
+
+TEST(Connection, HandshakeEstablishesBothSides) {
+  WirePair pair(mp_options());
+  EXPECT_FALSE(pair.client->is_established());
+  ASSERT_TRUE(pair.establish());
+  EXPECT_TRUE(pair.client->multipath_enabled());
+  EXPECT_TRUE(pair.server->multipath_enabled());
+}
+
+TEST(Connection, MultipathFallsBackWhenServerDeclines) {
+  WirePair::Options o = mp_options();
+  o.server_config.params.enable_multipath = false;
+  WirePair pair(std::move(o));
+  ASSERT_TRUE(pair.establish());
+  EXPECT_FALSE(pair.client->multipath_enabled());
+  EXPECT_FALSE(pair.server->multipath_enabled());
+  EXPECT_FALSE(pair.client->open_path().has_value());
+}
+
+TEST(Connection, OpenPathBeforeEstablishFails) {
+  WirePair pair(mp_options());
+  EXPECT_FALSE(pair.client->open_path().has_value());
+}
+
+TEST(Connection, OpenPathValidatesViaChallenge) {
+  WirePair pair(mp_options());
+  ASSERT_TRUE(pair.establish());
+  pair.run_for(sim::millis(100));  // let NEW_CONNECTION_IDs flow
+
+  bool validated = false;
+  pair.client->on_path_validated = [&](PathId id) {
+    validated = id == 1;
+  };
+  const auto id = pair.client->open_path();
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(*id, 1u);
+  EXPECT_EQ(pair.client->path_state(1).state,
+            PathState::State::kValidating);
+  pair.run_for(sim::millis(100));
+  EXPECT_TRUE(validated);
+  EXPECT_EQ(pair.client->path_state(1).state, PathState::State::kActive);
+  EXPECT_TRUE(pair.server->has_path(1));
+}
+
+TEST(Connection, StreamTransferClientToServer) {
+  WirePair pair(mp_options());
+  ASSERT_TRUE(pair.establish());
+  const StreamId id = pair.client->open_stream();
+  const auto payload = test::pattern_bytes(50000);
+  pair.client->stream_send(id, payload, true);
+  pair.run_for(sim::seconds(2));
+  auto* stream = pair.server->recv_stream(id);
+  ASSERT_NE(stream, nullptr);
+  ASSERT_TRUE(stream->fully_received());
+  EXPECT_EQ(pair.server->consume_stream(id, 100000), payload);
+}
+
+TEST(Connection, StreamTransferServerToClient) {
+  WirePair pair(mp_options());
+  ASSERT_TRUE(pair.establish());
+  const StreamId id = pair.client->open_stream();
+  pair.client->stream_send(id, test::bytes_of("req"), true);
+  pair.run_for(sim::millis(100));
+  const auto payload = test::pattern_bytes(80000, 9);
+  pair.server->stream_send(id, payload, true);
+  pair.run_for(sim::seconds(2));
+  auto* stream = pair.client->recv_stream(id);
+  ASSERT_NE(stream, nullptr);
+  EXPECT_TRUE(stream->fully_received());
+  EXPECT_EQ(pair.client->consume_stream(id, 100000), payload);
+}
+
+TEST(Connection, LargeTransferExceedsInitialFlowControlWindows) {
+  WirePair::Options o = mp_options();
+  o.client_config.params.initial_max_data = 64 * 1024;
+  o.client_config.params.initial_max_stream_data = 32 * 1024;
+  o.server_config.params.initial_max_data = 64 * 1024;
+  o.server_config.params.initial_max_stream_data = 32 * 1024;
+  WirePair pair(std::move(o));
+  ASSERT_TRUE(pair.establish());
+  const StreamId id = pair.client->open_stream();
+  pair.client->stream_send(id, test::bytes_of("r"), true);
+  pair.run_for(sim::millis(100));
+
+  // 256 KB >> the 32 KB stream window: requires MAX_STREAM_DATA updates,
+  // which require the receiving app to consume.
+  const auto payload = test::pattern_bytes(256 * 1024, 3);
+  pair.server->stream_send(id, payload, true);
+  std::vector<std::uint8_t> received;
+  for (int i = 0; i < 200 && received.size() < payload.size(); ++i) {
+    pair.run_for(sim::millis(50));
+    auto chunk = pair.client->consume_stream(id, 1 << 20);
+    received.insert(received.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(received, payload);
+}
+
+TEST(Connection, FlowControlBlocksWithoutConsumption) {
+  WirePair::Options o = mp_options();
+  o.server_config.params.initial_max_data = 64 * 1024;
+  o.server_config.params.initial_max_stream_data = 32 * 1024;
+  // (limits the server's grants to the client sender)
+  WirePair pair(std::move(o));
+  ASSERT_TRUE(pair.establish());
+  const StreamId id = pair.client->open_stream();
+  pair.client->stream_send(id, test::pattern_bytes(256 * 1024), true);
+  pair.run_for(sim::seconds(3));
+  auto* stream = pair.server->recv_stream(id);
+  ASSERT_NE(stream, nullptr);
+  // Nothing consumed: at most the stream window may arrive.
+  EXPECT_LE(stream->contiguous_received(), 32 * 1024u + kMaxPacketPayload);
+  EXPECT_FALSE(stream->fully_received());
+}
+
+TEST(Connection, RecoversFromBurstLoss) {
+  WirePair pair(mp_options());
+  ASSERT_TRUE(pair.establish());
+  // Drop every server->client packet for 200ms in the middle of a
+  // transfer.
+  bool dropping = false;
+  pair.drop_server_to_client = [&dropping](PathId, const net::Datagram&) {
+    return dropping;
+  };
+  const StreamId id = pair.client->open_stream();
+  pair.client->stream_send(id, test::bytes_of("r"), true);
+  pair.run_for(sim::millis(50));
+  pair.server->stream_send(id, test::pattern_bytes(200 * 1024, 5), true);
+  pair.run_for(sim::millis(30));
+  dropping = true;
+  pair.run_for(sim::millis(200));
+  dropping = false;
+  // Give loss detection and retransmission time to finish the job.
+  for (int i = 0; i < 100; ++i) {
+    pair.run_for(sim::millis(50));
+    pair.client->consume_stream(id, 1 << 20);
+    auto* stream = pair.client->recv_stream(id);
+    if (stream && stream->fully_received()) break;
+  }
+  auto* stream = pair.client->recv_stream(id);
+  ASSERT_NE(stream, nullptr);
+  EXPECT_TRUE(stream->fully_received());
+  EXPECT_GT(pair.server->stats().packets_lost +
+                pair.server->stats().retransmitted_bytes,
+            0u);
+}
+
+TEST(Connection, AbandonPathRescuesInFlightData) {
+  WirePair pair(mp_options());
+  ASSERT_TRUE(pair.establish());
+  pair.run_for(sim::millis(100));
+  ASSERT_TRUE(pair.client->open_path().has_value());
+  pair.run_for(sim::millis(100));
+  ASSERT_EQ(pair.client->active_path_ids().size(), 2u);
+
+  // Black-hole path 1 and start a transfer, then abandon path 1.
+  bool blackhole = false;
+  pair.drop_server_to_client = [&blackhole](PathId path,
+                                            const net::Datagram&) {
+    return blackhole && path == 1;
+  };
+  const StreamId id = pair.client->open_stream();
+  pair.client->stream_send(id, test::bytes_of("r"), true);
+  pair.run_for(sim::millis(50));
+  blackhole = true;
+  pair.server->stream_send(id, test::pattern_bytes(300 * 1024, 7), true);
+  pair.run_for(sim::millis(120));
+  pair.server->abandon_path(1);
+  for (int i = 0; i < 100; ++i) {
+    pair.run_for(sim::millis(50));
+    pair.client->consume_stream(id, 1 << 20);
+    auto* stream = pair.client->recv_stream(id);
+    if (stream && stream->fully_received()) break;
+  }
+  auto* stream = pair.client->recv_stream(id);
+  ASSERT_NE(stream, nullptr);
+  EXPECT_TRUE(stream->fully_received());
+}
+
+TEST(Connection, MigrationMovesTrafficAndResetsCwnd) {
+  WirePair::Options o;  // single-path configs (CM is base QUIC)
+  WirePair pair(std::move(o));
+  ASSERT_TRUE(pair.establish());
+  pair.run_for(sim::millis(100));  // NCIDs
+
+  const StreamId id = pair.client->open_stream();
+  pair.client->stream_send(id, test::bytes_of("r"), true);
+  pair.run_for(sim::millis(50));
+  pair.server->stream_send(id, test::pattern_bytes(100 * 1024, 2), true);
+  pair.run_for(sim::millis(60));
+
+  pair.client->migrate_to_path(1);
+  pair.run_for(sim::millis(30));
+  EXPECT_EQ(pair.client->path_state(0).state, PathState::State::kAbandoned);
+  EXPECT_TRUE(pair.client->has_path(1));
+
+  for (int i = 0; i < 100; ++i) {
+    pair.run_for(sim::millis(50));
+    pair.client->consume_stream(id, 1 << 20);
+    auto* stream = pair.client->recv_stream(id);
+    if (stream && stream->fully_received()) break;
+  }
+  auto* stream = pair.client->recv_stream(id);
+  ASSERT_TRUE(stream && stream->fully_received());
+  // Server learned about the abandon and stopped using path 0.
+  EXPECT_EQ(pair.server->path_state(0).state, PathState::State::kAbandoned);
+}
+
+TEST(Connection, QoeSignalsReachServerViaAcks) {
+  WirePair::Options o = mp_options();
+  WirePair pair(std::move(o));
+  QoeSignal signal{123456, 60, 2'000'000, 30};
+  pair.client->set_qoe_provider([&]() { return signal; });
+  std::optional<QoeSignal> seen;
+  pair.server->on_qoe_feedback = [&](const QoeSignal& q) { seen = q; };
+  ASSERT_TRUE(pair.establish());
+  const StreamId id = pair.client->open_stream();
+  pair.client->stream_send(id, test::bytes_of("r"), true);
+  pair.run_for(sim::millis(100));
+  pair.server->stream_send(id, test::pattern_bytes(50 * 1024), true);
+  pair.run_for(sim::seconds(1));
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(*seen, signal);
+  EXPECT_EQ(pair.server->latest_peer_qoe(), signal);
+}
+
+TEST(Connection, StandaloneQoeControlSignalsFrame) {
+  WirePair pair(mp_options());
+  ASSERT_TRUE(pair.establish());
+  std::optional<QoeSignal> seen;
+  pair.server->on_qoe_feedback = [&](const QoeSignal& q) { seen = q; };
+  pair.client->send_qoe_signal(QoeSignal{1, 2, 3, 4});
+  pair.run_for(sim::millis(100));
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(*seen, (QoeSignal{1, 2, 3, 4}));
+}
+
+TEST(Connection, TamperedDatagramsCountAuthFailures) {
+  WirePair pair(mp_options());
+  ASSERT_TRUE(pair.establish());
+  // Deliver a corrupted datagram directly.
+  net::Datagram garbage{0x40, 1, 2, 3, 4, 5, 6, 7, 8, 0, 0, 0, 0, 1, 9, 9,
+                        9, 9, 9, 9, 9, 9, 9};
+  const auto before = pair.server->stats().auth_failures;
+  pair.server->on_datagram(0, garbage);
+  EXPECT_EQ(pair.server->stats().auth_failures, before + 1);
+}
+
+TEST(Connection, MismatchedKeysNeverEstablish) {
+  WirePair::Options o;
+  o.client_config.aead_key = 1;
+  o.server_config.aead_key = 2;
+  WirePair pair(std::move(o));
+  EXPECT_FALSE(pair.establish(sim::millis(500)));
+  EXPECT_GT(pair.server->stats().auth_failures, 0u);
+}
+
+TEST(Connection, CloseStopsTraffic) {
+  WirePair pair(mp_options());
+  ASSERT_TRUE(pair.establish());
+  pair.client->close(0, "done");
+  pair.run_for(sim::millis(100));
+  EXPECT_TRUE(pair.client->is_closed());
+  EXPECT_TRUE(pair.server->is_closed());
+  // Writes after close are ignored.
+  const StreamId id = pair.client->open_stream();
+  pair.client->stream_send(id, test::pattern_bytes(1000), true);
+  const auto sent_before = pair.packets_c2s;
+  pair.run_for(sim::millis(200));
+  EXPECT_EQ(pair.packets_c2s, sent_before);
+}
+
+TEST(Connection, PathStatusStandbyHonoured) {
+  WirePair pair(mp_options());
+  ASSERT_TRUE(pair.establish());
+  pair.run_for(sim::millis(100));
+  ASSERT_TRUE(pair.client->open_path().has_value());
+  pair.run_for(sim::millis(100));
+  pair.client->set_path_status(1, PathStatusKind::kStandby);
+  pair.run_for(sim::millis(100));
+  EXPECT_EQ(pair.server->path_state(1).state, PathState::State::kStandby);
+  // Standby paths are excluded from active scheduling.
+  EXPECT_EQ(pair.server->active_path_ids(),
+            (std::vector<PathId>{0}));
+}
+
+TEST(Connection, StatsTrackRedundancy) {
+  WirePair pair(mp_options());
+  ASSERT_TRUE(pair.establish());
+  Connection::Stats stats = pair.server->stats();
+  stats.stream_bytes_sent = 1000;
+  stats.reinjected_bytes = 150;
+  EXPECT_DOUBLE_EQ(stats.redundancy_ratio(), 0.15);
+}
+
+}  // namespace
+}  // namespace xlink::quic

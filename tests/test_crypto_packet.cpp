@@ -1,0 +1,204 @@
+// Unit tests: packet protection, multipath nonce construction, and packet
+// header encoding.
+#include <gtest/gtest.h>
+
+#include "quic/crypto.h"
+#include "quic/packet.h"
+
+namespace xlink::quic {
+namespace {
+
+TEST(Nonce, DraftLayout) {
+  // 32-bit CID sequence number, 2 zero bits, 62-bit packet number.
+  const Nonce n = build_multipath_nonce(0x01020304, 0x0506070805060708ULL);
+  EXPECT_EQ(n[0], 0x01);
+  EXPECT_EQ(n[1], 0x02);
+  EXPECT_EQ(n[2], 0x03);
+  EXPECT_EQ(n[3], 0x04);
+  // Top two bits of the packet number field must be zero.
+  EXPECT_EQ(n[4] & 0xc0, 0x04 & 0xc0);
+  // Packet number occupies the low 62 bits in network byte order.
+  const Nonce small = build_multipath_nonce(0, 1);
+  EXPECT_EQ(small[11], 1);
+  for (int i = 0; i < 11; ++i) EXPECT_EQ(small[static_cast<size_t>(i)], 0);
+}
+
+TEST(Nonce, DistinctAcrossPathsAndPackets) {
+  EXPECT_NE(build_multipath_nonce(0, 5), build_multipath_nonce(1, 5));
+  EXPECT_NE(build_multipath_nonce(0, 5), build_multipath_nonce(0, 6));
+  // Same (path, pn) must collide -- that is the deterministic mapping.
+  EXPECT_EQ(build_multipath_nonce(3, 9), build_multipath_nonce(3, 9));
+}
+
+TEST(Aead, SealOpenRoundtrip) {
+  PacketProtection aead(0xdead);
+  const std::vector<std::uint8_t> aad{1, 2, 3};
+  const std::vector<std::uint8_t> plaintext{10, 20, 30, 40, 50};
+  const auto sealed = aead.seal(1, 7, aad, plaintext);
+  EXPECT_EQ(sealed.size(), plaintext.size() + kAeadTagSize);
+  const auto opened = aead.open(1, 7, aad, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, plaintext);
+}
+
+TEST(Aead, CiphertextDiffersFromPlaintext) {
+  PacketProtection aead(0xdead);
+  const std::vector<std::uint8_t> plaintext(64, 0xaa);
+  const std::vector<std::uint8_t> none;
+  const auto sealed = aead.seal(0, 0, none, plaintext);
+  bool differs = false;
+  for (std::size_t i = 0; i < plaintext.size(); ++i)
+    differs |= sealed[i] != plaintext[i];
+  EXPECT_TRUE(differs);
+}
+
+TEST(Aead, WrongKeyFails) {
+  PacketProtection a(1), b(2);
+  const std::vector<std::uint8_t> none;
+  const std::vector<std::uint8_t> pt{1, 2, 3};
+  const auto sealed = a.seal(0, 0, none, pt);
+  EXPECT_FALSE(b.open(0, 0, none, sealed).has_value());
+}
+
+TEST(Aead, WrongPathIdFails) {
+  PacketProtection aead(5);
+  const std::vector<std::uint8_t> none;
+  const std::vector<std::uint8_t> pt{1, 2, 3};
+  const auto sealed = aead.seal(1, 10, none, pt);
+  EXPECT_FALSE(aead.open(2, 10, none, sealed).has_value());
+}
+
+TEST(Aead, WrongPacketNumberFails) {
+  PacketProtection aead(5);
+  const std::vector<std::uint8_t> none;
+  const std::vector<std::uint8_t> pt{1, 2, 3};
+  const auto sealed = aead.seal(1, 10, none, pt);
+  EXPECT_FALSE(aead.open(1, 11, none, sealed).has_value());
+}
+
+TEST(Aead, TamperedCiphertextFails) {
+  PacketProtection aead(5);
+  const std::vector<std::uint8_t> none;
+  const std::vector<std::uint8_t> pt{1, 2, 3, 4};
+  auto sealed = aead.seal(1, 10, none, pt);
+  sealed[1] ^= 0x01;
+  EXPECT_FALSE(aead.open(1, 10, none, sealed).has_value());
+}
+
+TEST(Aead, TamperedAadFails) {
+  PacketProtection aead(5);
+  const std::vector<std::uint8_t> aad{9, 9};
+  const std::vector<std::uint8_t> pt{1, 2, 3};
+  const auto sealed = aead.seal(1, 10, aad, pt);
+  const std::vector<std::uint8_t> other_aad{9, 8};
+  EXPECT_FALSE(aead.open(1, 10, other_aad, sealed).has_value());
+}
+
+TEST(Aead, TooShortInputFails) {
+  PacketProtection aead(5);
+  const std::vector<std::uint8_t> none;
+  const std::vector<std::uint8_t> tiny(kAeadTagSize - 1, 0);
+  EXPECT_FALSE(aead.open(0, 0, none, tiny).has_value());
+}
+
+TEST(Aead, EmptyPlaintextAuthenticates) {
+  PacketProtection aead(5);
+  const std::vector<std::uint8_t> aad{7};
+  const std::vector<std::uint8_t> empty;
+  const auto sealed = aead.seal(0, 1, aad, empty);
+  const auto opened = aead.open(0, 1, aad, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST(Packet, OneRttRoundtrip) {
+  PacketProtection aead(0x5eed);
+  PacketHeader h;
+  h.type = PacketType::kOneRtt;
+  h.dcid = {1, 2, 3, 4, 5, 6, 7, 8};
+  h.cid_sequence = 2;
+  h.packet_number = 99;
+
+  std::vector<Frame> frames;
+  StreamFrame s;
+  s.stream_id = 4;
+  s.offset = 1000;
+  s.data = {1, 2, 3};
+  frames.emplace_back(s);
+  frames.emplace_back(PingFrame{});
+
+  const auto wire = seal_packet(aead, h, frames);
+  const auto parsed = parse_packet(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.type, PacketType::kOneRtt);
+  EXPECT_EQ(parsed->header.dcid, h.dcid);
+  EXPECT_EQ(parsed->header.cid_sequence, 2u);
+  EXPECT_EQ(parsed->header.packet_number, 99u);
+
+  const auto opened = open_packet(aead, *parsed);
+  ASSERT_TRUE(opened.has_value());
+  ASSERT_EQ(opened->size(), 2u);
+  EXPECT_EQ((*opened)[0], Frame{s});
+}
+
+TEST(Packet, InitialRoundtripCarriesScid) {
+  PacketProtection aead(0x5eed);
+  PacketHeader h;
+  h.type = PacketType::kInitial;
+  h.dcid = {8, 7, 6, 5, 4, 3, 2, 1};
+  h.scid = {1, 1, 2, 2, 3, 3, 4, 4};
+  h.packet_number = 0;
+  const auto wire =
+      seal_packet(aead, h, {Frame{CryptoFrame{0, {1, 2, 3}}}});
+  const auto parsed = parse_packet(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.type, PacketType::kInitial);
+  EXPECT_EQ(parsed->header.scid, h.scid);
+  EXPECT_TRUE(open_packet(aead, *parsed).has_value());
+}
+
+TEST(Packet, GarbageFailsParse) {
+  EXPECT_FALSE(parse_packet(std::vector<std::uint8_t>{}).has_value());
+  EXPECT_FALSE(
+      parse_packet(std::vector<std::uint8_t>{0xff, 1, 2}).has_value());
+  // Valid first byte but truncated header.
+  EXPECT_FALSE(
+      parse_packet(std::vector<std::uint8_t>{0x40, 1, 2, 3}).has_value());
+}
+
+TEST(Packet, WrongKeyFailsOpen) {
+  PacketProtection good(1), bad(2);
+  PacketHeader h;
+  h.packet_number = 5;
+  const auto wire = seal_packet(good, h, {Frame{PingFrame{}}});
+  const auto parsed = parse_packet(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(open_packet(bad, *parsed).has_value());
+}
+
+TEST(Packet, HeaderTamperFailsOpen) {
+  PacketProtection aead(1);
+  PacketHeader h;
+  h.packet_number = 5;
+  h.cid_sequence = 0;
+  auto wire = seal_packet(aead, h, {Frame{PingFrame{}}});
+  wire[2] ^= 0xff;  // flip a DCID byte (inside the AAD)
+  const auto parsed = parse_packet(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(open_packet(aead, *parsed).has_value());
+}
+
+TEST(Packet, HeaderSizeMatchesWire) {
+  PacketProtection aead(1);
+  PacketHeader h;
+  h.type = PacketType::kOneRtt;
+  h.packet_number = 70000;  // 4-byte varint
+  const auto wire = seal_packet(aead, h, {Frame{PingFrame{}}});
+  const auto parsed = parse_packet(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header_bytes.size(),
+            header_size(PacketType::kOneRtt, 70000));
+}
+
+}  // namespace
+}  // namespace xlink::quic

@@ -1,0 +1,198 @@
+// Unit tests: interval set and stream send/receive state.
+#include <gtest/gtest.h>
+
+#include "quic/interval_set.h"
+#include "quic/stream.h"
+
+namespace xlink::quic {
+namespace {
+
+TEST(IntervalSet, AddAndContains) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  s.add(10, 20);
+  EXPECT_TRUE(s.contains(10, 20));
+  EXPECT_TRUE(s.contains(12, 15));
+  EXPECT_FALSE(s.contains(9, 11));
+  EXPECT_FALSE(s.contains(19, 21));
+  EXPECT_EQ(s.covered_bytes(), 10u);
+}
+
+TEST(IntervalSet, MergesAdjacentAndOverlapping) {
+  IntervalSet s;
+  s.add(0, 10);
+  s.add(10, 20);  // adjacent
+  EXPECT_EQ(s.interval_count(), 1u);
+  s.add(30, 40);
+  s.add(25, 35);  // overlaps
+  EXPECT_EQ(s.interval_count(), 2u);
+  s.add(15, 28);  // bridges both
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_TRUE(s.contains(0, 40));
+}
+
+TEST(IntervalSet, EmptyRangeIgnored) {
+  IntervalSet s;
+  s.add(5, 5);
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.contains(7, 7));  // empty query is vacuously covered
+}
+
+TEST(IntervalSet, NextGap) {
+  IntervalSet s;
+  s.add(0, 10);
+  s.add(20, 30);
+  EXPECT_EQ(s.next_gap(0), 10u);
+  EXPECT_EQ(s.next_gap(5), 10u);
+  EXPECT_EQ(s.next_gap(10), 10u);
+  EXPECT_EQ(s.next_gap(20), 30u);
+  EXPECT_EQ(s.next_gap(50), 50u);
+}
+
+TEST(IntervalSet, Intersects) {
+  IntervalSet s;
+  s.add(10, 20);
+  EXPECT_TRUE(s.intersects(15, 25));
+  EXPECT_TRUE(s.intersects(5, 11));
+  EXPECT_FALSE(s.intersects(0, 10));   // half-open: touches only
+  EXPECT_FALSE(s.intersects(20, 30));
+  EXPECT_FALSE(s.intersects(30, 30));
+}
+
+TEST(SendStream, WriteReturnsOffsets) {
+  SendStream s(4);
+  EXPECT_EQ(s.write({1, 2, 3}, false), 0u);
+  EXPECT_EQ(s.write({4, 5}, true), 3u);
+  EXPECT_EQ(s.total_written(), 5u);
+  EXPECT_TRUE(s.fin_written());
+}
+
+TEST(SendStream, ReadRangeClampsToWritten) {
+  SendStream s(4);
+  s.write({10, 11, 12, 13}, false);
+  EXPECT_EQ(s.read_range(1, 2), (std::vector<std::uint8_t>{11, 12}));
+  EXPECT_EQ(s.read_range(3, 10), (std::vector<std::uint8_t>{13}));
+  EXPECT_TRUE(s.read_range(99, 5).empty());
+}
+
+TEST(SendStream, AckTrackingAndFullyAcked) {
+  SendStream s(4);
+  s.write(std::vector<std::uint8_t>(100, 0), true);
+  EXPECT_FALSE(s.fully_acked());
+  s.on_range_acked(0, 50);
+  EXPECT_TRUE(s.range_acked(0, 50));
+  EXPECT_FALSE(s.range_acked(0, 51));
+  EXPECT_FALSE(s.fully_acked());
+  s.on_range_acked(50, 100);
+  EXPECT_TRUE(s.fully_acked());
+  EXPECT_EQ(s.acked_bytes(), 100u);
+}
+
+TEST(SendStream, EmptyFinOnlyStreamFullyAckedImmediately) {
+  SendStream s(0);
+  s.write({}, true);
+  EXPECT_TRUE(s.fully_acked());
+}
+
+TEST(SendStream, UnackedWithin) {
+  SendStream s(4);
+  s.write(std::vector<std::uint8_t>(100, 0), false);
+  s.on_range_acked(20, 40);
+  s.on_range_acked(60, 70);
+  const auto gaps = s.unacked_within(10, 90);
+  using Range = std::pair<std::uint64_t, std::uint64_t>;
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_EQ(gaps[0], (Range{10, 20}));
+  EXPECT_EQ(gaps[1], (Range{40, 60}));
+  EXPECT_EQ(gaps[2], (Range{70, 90}));
+  // Fully acked subrange -> empty.
+  EXPECT_TRUE(s.unacked_within(25, 35).empty());
+  // Untouched region -> one whole gap.
+  const auto whole = s.unacked_within(90, 95);
+  ASSERT_EQ(whole.size(), 1u);
+}
+
+TEST(SendStream, FramePriorities) {
+  SendStream s(4);
+  s.write(std::vector<std::uint8_t>(1000, 0), false);
+  s.set_frame_priority(0, 300, 2);
+  s.set_frame_priority(100, 100, 5);  // overlapping: highest wins
+  EXPECT_EQ(s.frame_priority_at(0), 2);
+  EXPECT_EQ(s.frame_priority_at(150), 5);
+  EXPECT_EQ(s.frame_priority_at(299), 2);
+  EXPECT_EQ(s.frame_priority_at(300), 0);
+  EXPECT_EQ(s.frame_priority_at(999), 0);
+}
+
+TEST(SendStream, PrioritySetter) {
+  SendStream s(4);
+  EXPECT_EQ(s.priority(), 0);
+  s.set_priority(-3);
+  EXPECT_EQ(s.priority(), -3);
+}
+
+TEST(RecvStream, InOrderDelivery) {
+  RecvStream s(4);
+  s.on_data(0, {1, 2, 3}, false);
+  EXPECT_EQ(s.readable_bytes(), 3u);
+  EXPECT_EQ(s.read(2), (std::vector<std::uint8_t>{1, 2}));
+  EXPECT_EQ(s.read_offset(), 2u);
+  EXPECT_EQ(s.readable_bytes(), 1u);
+}
+
+TEST(RecvStream, OutOfOrderReassembly) {
+  RecvStream s(4);
+  s.on_data(3, {4, 5, 6}, false);
+  EXPECT_EQ(s.readable_bytes(), 0u);  // gap at 0
+  s.on_data(0, {1, 2, 3}, false);
+  EXPECT_EQ(s.readable_bytes(), 6u);
+  EXPECT_EQ(s.read(100), (std::vector<std::uint8_t>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(RecvStream, DuplicatesCountedNotDoubled) {
+  RecvStream s(4);
+  s.on_data(0, {1, 2, 3, 4}, false);
+  s.on_data(2, {3, 4, 5}, false);  // 2 bytes duplicate, 1 new
+  EXPECT_EQ(s.duplicate_bytes(), 2u);
+  EXPECT_EQ(s.contiguous_received(), 5u);
+  EXPECT_EQ(s.read(10), (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(RecvStream, OverlappingRewriteKeepsConsistentData) {
+  RecvStream s(4);
+  s.on_data(0, {1, 1, 1}, false);
+  s.on_data(1, {9, 9}, false);  // overlap rewrite (same data in practice)
+  EXPECT_EQ(s.read(3), (std::vector<std::uint8_t>{1, 9, 9}));
+}
+
+TEST(RecvStream, FinAndFinished) {
+  RecvStream s(4);
+  s.on_data(0, {1, 2}, false);
+  EXPECT_FALSE(s.final_size().has_value());
+  s.on_data(2, {3}, true);
+  ASSERT_TRUE(s.final_size().has_value());
+  EXPECT_EQ(*s.final_size(), 3u);
+  EXPECT_TRUE(s.fully_received());
+  EXPECT_FALSE(s.finished());  // not yet consumed
+  s.read(3);
+  EXPECT_TRUE(s.finished());
+}
+
+TEST(RecvStream, EmptyFin) {
+  RecvStream s(4);
+  s.on_data(0, {}, true);
+  ASSERT_TRUE(s.final_size().has_value());
+  EXPECT_EQ(*s.final_size(), 0u);
+  EXPECT_TRUE(s.finished());
+}
+
+TEST(RecvStream, FinArrivesBeforeGapFilled) {
+  RecvStream s(4);
+  s.on_data(5, {6}, true);
+  EXPECT_FALSE(s.fully_received());
+  s.on_data(0, {1, 2, 3, 4, 5}, false);
+  EXPECT_TRUE(s.fully_received());
+}
+
+}  // namespace
+}  // namespace xlink::quic

@@ -1,0 +1,150 @@
+// Unit tests: per-path loss detection (RFC 9002 style).
+#include <gtest/gtest.h>
+
+#include "quic/loss_detection.h"
+
+namespace xlink::quic {
+namespace {
+
+AckInfo ack_of(std::vector<AckRange> ranges, std::uint64_t delay_us = 0) {
+  AckInfo info;
+  info.ranges = std::move(ranges);
+  info.ack_delay_us = delay_us;
+  return info;
+}
+
+RttEstimator rtt_100ms() {
+  RttEstimator rtt;
+  rtt.on_sample(sim::millis(100), 0);
+  return rtt;
+}
+
+TEST(LossDetection, TracksBytesInFlight) {
+  LossDetection ld;
+  ld.on_packet_sent(0, sim::millis(0), 1000, true);
+  ld.on_packet_sent(1, sim::millis(1), 500, false);  // ack-only pkt
+  EXPECT_EQ(ld.bytes_in_flight(), 1000u);
+  EXPECT_EQ(ld.tracked_packets(), 2u);
+}
+
+TEST(LossDetection, AckRemovesAndReports) {
+  LossDetection ld;
+  auto rtt = rtt_100ms();
+  ld.on_packet_sent(0, sim::millis(0), 1000, true);
+  ld.on_packet_sent(1, sim::millis(1), 1000, true);
+  const auto out = ld.on_ack_received(ack_of({{0, 1}}), sim::millis(120), rtt);
+  EXPECT_EQ(out.newly_acked, (std::vector<PacketNumber>{0, 1}));
+  EXPECT_EQ(out.acked_bytes, 2000u);
+  EXPECT_EQ(ld.bytes_in_flight(), 0u);
+  ASSERT_TRUE(out.rtt_sample.has_value());
+  EXPECT_EQ(*out.rtt_sample, sim::millis(119));  // 120 - sent@1
+  EXPECT_EQ(out.largest_acked_sent_time, sim::millis(1));
+}
+
+TEST(LossDetection, DuplicateAckIsHarmless) {
+  LossDetection ld;
+  auto rtt = rtt_100ms();
+  ld.on_packet_sent(0, 0, 1000, true);
+  ld.on_ack_received(ack_of({{0, 0}}), sim::millis(100), rtt);
+  const auto again = ld.on_ack_received(ack_of({{0, 0}}), sim::millis(200), rtt);
+  EXPECT_TRUE(again.newly_acked.empty());
+  EXPECT_EQ(again.acked_bytes, 0u);
+  EXPECT_EQ(ld.bytes_in_flight(), 0u);
+}
+
+TEST(LossDetection, PacketThresholdLoss) {
+  LossDetection ld;
+  auto rtt = rtt_100ms();
+  for (PacketNumber pn = 0; pn <= 4; ++pn)
+    ld.on_packet_sent(pn, sim::millis(pn), 1000, true);
+  // Ack only pn 4, early enough that the time threshold (112.5ms) has not
+  // fired: pn 0 and 1 are >= 3 behind -> lost; 2,3 not yet.
+  const auto out = ld.on_ack_received(ack_of({{4, 4}}), sim::millis(20), rtt);
+  EXPECT_EQ(out.lost, (std::vector<PacketNumber>{0, 1}));
+  EXPECT_EQ(ld.bytes_in_flight(), 2000u);  // pns 2,3 remain
+}
+
+TEST(LossDetection, TimeThresholdLoss) {
+  LossDetection ld;
+  auto rtt = rtt_100ms();
+  ld.on_packet_sent(0, sim::millis(0), 1000, true);
+  ld.on_packet_sent(1, sim::millis(1), 1000, true);
+  // Ack pn 1 shortly after; pn 0 is only 1 behind (below packet threshold).
+  auto out = ld.on_ack_received(ack_of({{1, 1}}), sim::millis(50), rtt);
+  EXPECT_TRUE(out.lost.empty());
+  // Later, past 9/8 * 100ms since send, the time threshold fires.
+  const auto lost = ld.detect_losses(sim::millis(113), rtt);
+  EXPECT_EQ(lost, (std::vector<PacketNumber>{0}));
+}
+
+TEST(LossDetection, LossTimeReportsEarliestDeadline) {
+  LossDetection ld;
+  auto rtt = rtt_100ms();
+  ld.on_packet_sent(0, sim::millis(0), 1000, true);
+  ld.on_packet_sent(1, sim::millis(10), 1000, true);
+  ld.on_packet_sent(2, sim::millis(20), 1000, true);
+  EXPECT_FALSE(ld.loss_time(rtt).has_value());  // nothing acked yet
+  ld.on_ack_received(ack_of({{2, 2}}), sim::millis(60), rtt);
+  const auto t = ld.loss_time(rtt);
+  ASSERT_TRUE(t.has_value());
+  // Earliest unacked below largest (pn 0, sent at 0) + 112.5ms.
+  EXPECT_EQ(*t, sim::millis(0) + sim::millis(100) * 9 / 8);
+}
+
+TEST(LossDetection, NoLossJudgmentAbovLargestAcked) {
+  LossDetection ld;
+  auto rtt = rtt_100ms();
+  ld.on_packet_sent(0, 0, 1000, true);
+  ld.on_packet_sent(1, 0, 1000, true);
+  ld.on_ack_received(ack_of({{0, 0}}), sim::millis(10), rtt);
+  // pn 1 is newer than largest acked: never declared lost by time.
+  EXPECT_TRUE(ld.detect_losses(sim::millis(100000), rtt).empty());
+}
+
+TEST(LossDetection, OldestUnackedAndAckEliciting) {
+  LossDetection ld;
+  EXPECT_FALSE(ld.oldest_unacked_sent_time().has_value());
+  EXPECT_FALSE(ld.has_ack_eliciting_in_flight());
+  ld.on_packet_sent(0, sim::millis(5), 100, false);
+  EXPECT_FALSE(ld.has_ack_eliciting_in_flight());
+  ld.on_packet_sent(1, sim::millis(9), 100, true);
+  EXPECT_TRUE(ld.has_ack_eliciting_in_flight());
+  EXPECT_EQ(*ld.oldest_unacked_sent_time(), sim::millis(9));
+}
+
+TEST(LossDetection, ForgetDropsWithoutJudgment) {
+  LossDetection ld;
+  ld.on_packet_sent(0, 0, 1000, true);
+  ld.forget(0);
+  EXPECT_EQ(ld.bytes_in_flight(), 0u);
+  EXPECT_EQ(ld.tracked_packets(), 0u);
+  ld.forget(42);  // unknown pn: no-op
+}
+
+TEST(LossDetection, MultiRangeAck) {
+  LossDetection ld;
+  auto rtt = rtt_100ms();
+  for (PacketNumber pn = 0; pn < 10; ++pn)
+    ld.on_packet_sent(pn, sim::millis(pn), 100, true);
+  const auto out =
+      ld.on_ack_received(ack_of({{8, 9}, {4, 5}, {0, 1}}), sim::millis(50),
+                         rtt);
+  EXPECT_EQ(out.newly_acked.size(), 6u);
+  // 2,3,6 are 3+ behind largest=9 -> lost; 7 is within packet threshold.
+  EXPECT_EQ(out.lost, (std::vector<PacketNumber>{2, 3, 6}));
+  EXPECT_EQ(ld.tracked_packets(), 1u);
+}
+
+TEST(LossDetection, RttSampleOnlyWhenLargestNewlyAcked) {
+  LossDetection ld;
+  auto rtt = rtt_100ms();
+  ld.on_packet_sent(0, 0, 100, true);
+  ld.on_packet_sent(1, 0, 100, true);
+  ld.on_ack_received(ack_of({{1, 1}}), sim::millis(100), rtt);
+  // Second ack covers pn 0 but largest (1) is no longer newly acked.
+  const auto out = ld.on_ack_received(ack_of({{0, 1}}), sim::millis(150), rtt);
+  EXPECT_FALSE(out.rtt_sample.has_value());
+}
+
+}  // namespace
+}  // namespace xlink::quic

@@ -1,0 +1,221 @@
+// Unit tests: emulated links, droptail queues, loss models, paths.
+#include <gtest/gtest.h>
+
+#include "net/link.h"
+#include "net/network.h"
+#include "net/path.h"
+
+namespace xlink::net {
+namespace {
+
+Datagram packet_of(std::size_t n) { return Datagram(n, 0xab); }
+
+TEST(TraceLink, DeliversAtOpportunityPlusPropagation) {
+  sim::EventLoop loop;
+  LinkConfig cfg;
+  cfg.propagation_delay = sim::millis(5);
+  TraceLink link(loop, trace::LinkTrace({10, 20, 30}), cfg, sim::Rng(1));
+  std::vector<sim::Time> arrivals;
+  link.set_receiver([&](Datagram) { arrivals.push_back(loop.now()); });
+  link.send(packet_of(100));
+  link.send(packet_of(100));
+  loop.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], sim::millis(15));  // opportunity@10 + 5ms
+  EXPECT_EQ(arrivals[1], sim::millis(25));
+}
+
+TEST(TraceLink, ConsumesOpportunitiesMonotonically) {
+  sim::EventLoop loop;
+  TraceLink link(loop, trace::LinkTrace({10, 20, 30}), LinkConfig{},
+                 sim::Rng(1));
+  int delivered = 0;
+  link.set_receiver([&](Datagram) { ++delivered; });
+  // Send one packet, let it depart, then send another: the second must use
+  // a LATER opportunity, not re-use the first.
+  link.send(packet_of(50));
+  loop.run_until(sim::millis(12));
+  link.send(packet_of(50));
+  loop.run();
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(TraceLink, LoopsTraceBeyondPeriod) {
+  sim::EventLoop loop;
+  LinkConfig cfg;
+  cfg.propagation_delay = 0;
+  TraceLink link(loop, trace::LinkTrace({5, 10}), cfg, sim::Rng(1));
+  std::vector<sim::Time> arrivals;
+  link.set_receiver([&](Datagram) { arrivals.push_back(loop.now()); });
+  for (int i = 0; i < 4; ++i) link.send(packet_of(10));
+  loop.run();
+  ASSERT_EQ(arrivals.size(), 4u);
+  EXPECT_EQ(arrivals[2], sim::millis(15));  // second period: 10+5
+  EXPECT_EQ(arrivals[3], sim::millis(20));
+}
+
+TEST(TraceLink, DroptailDropsWhenFull) {
+  sim::EventLoop loop;
+  LinkConfig cfg;
+  cfg.queue_capacity_bytes = 250;
+  TraceLink link(loop, trace::LinkTrace({1000}), cfg, sim::Rng(1));
+  link.set_receiver([](Datagram) {});
+  link.send(packet_of(100));
+  link.send(packet_of(100));
+  link.send(packet_of(100));  // 300 > 250: dropped
+  EXPECT_EQ(link.stats().packets_dropped_queue, 1u);
+  EXPECT_EQ(link.queued_bytes(), 200u);
+  loop.run();
+  EXPECT_EQ(link.stats().packets_delivered, 2u);
+}
+
+TEST(FixedRateLink, SerializesAtConfiguredRate) {
+  sim::EventLoop loop;
+  LinkConfig cfg;
+  cfg.propagation_delay = 0;
+  // 1 Mbps; a 1250-byte packet takes 10 ms.
+  FixedRateLink link(loop, 1e6, cfg, sim::Rng(1));
+  std::vector<sim::Time> arrivals;
+  link.set_receiver([&](Datagram) { arrivals.push_back(loop.now()); });
+  link.send(packet_of(1250));
+  link.send(packet_of(1250));
+  loop.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], sim::millis(10));
+  EXPECT_EQ(arrivals[1], sim::millis(20));
+}
+
+TEST(FixedRateLink, IdleGapDoesNotAccumulateCredit) {
+  sim::EventLoop loop;
+  LinkConfig cfg;
+  cfg.propagation_delay = 0;
+  FixedRateLink link(loop, 1e6, cfg, sim::Rng(1));
+  std::vector<sim::Time> arrivals;
+  link.set_receiver([&](Datagram) { arrivals.push_back(loop.now()); });
+  loop.run_until(sim::millis(100));
+  link.send(packet_of(1250));
+  loop.run();
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0], sim::millis(110));  // starts serializing at send
+}
+
+TEST(LossModels, BernoulliRate) {
+  sim::Rng rng(3);
+  BernoulliLoss loss(0.25);
+  int drops = 0;
+  for (int i = 0; i < 10000; ++i) drops += loss.should_drop(0, rng);
+  EXPECT_NEAR(drops / 10000.0, 0.25, 0.02);
+}
+
+TEST(LossModels, NoLossNeverDrops) {
+  sim::Rng rng(3);
+  NoLoss loss;
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(loss.should_drop(0, rng));
+}
+
+TEST(LossModels, OutageWindowsDropInsideOnly) {
+  sim::Rng rng(3);
+  OutageWindows loss({{sim::millis(10), sim::millis(20)}});
+  EXPECT_FALSE(loss.should_drop(sim::millis(9), rng));
+  EXPECT_TRUE(loss.should_drop(sim::millis(10), rng));
+  EXPECT_TRUE(loss.should_drop(sim::millis(19), rng));
+  EXPECT_FALSE(loss.should_drop(sim::millis(20), rng));
+}
+
+TEST(LossModels, GilbertElliottBursts) {
+  sim::Rng rng(5);
+  // Sticky bad state with certain loss inside it.
+  GilbertElliottLoss loss(0.05, 0.2, 0.0, 1.0);
+  int drops = 0;
+  int burst = 0, max_burst = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (loss.should_drop(0, rng)) {
+      ++drops;
+      ++burst;
+      max_burst = std::max(max_burst, burst);
+    } else {
+      burst = 0;
+    }
+  }
+  // Stationary bad-state probability = 0.05/(0.05+0.2) = 0.2.
+  EXPECT_NEAR(drops / 20000.0, 0.2, 0.05);
+  EXPECT_GE(max_burst, 5);  // losses come in runs
+}
+
+TEST(LossModels, CompositeAdvancesAllModels) {
+  sim::Rng rng(7);
+  std::vector<std::unique_ptr<LossModel>> models;
+  models.push_back(std::make_unique<OutageWindows>(
+      std::vector<OutageWindows::Window>{{0, sim::millis(5)}}));
+  models.push_back(std::make_unique<BernoulliLoss>(0.0));
+  CompositeLoss composite(std::move(models));
+  EXPECT_TRUE(composite.should_drop(sim::millis(1), rng));
+  EXPECT_FALSE(composite.should_drop(sim::millis(10), rng));
+}
+
+TEST(EmulatedPath, RoutesBothDirections) {
+  sim::EventLoop loop;
+  PathSpec spec;
+  spec.fixed_rate_mbps = 10.0;
+  spec.one_way_delay = sim::millis(10);
+  EmulatedPath path(loop, spec, sim::Rng(1));
+  int up = 0, down = 0;
+  path.set_up_receiver([&](Datagram) { ++up; });
+  path.set_down_receiver([&](Datagram) { ++down; });
+  path.send_up(packet_of(100));
+  path.send_down(packet_of(100));
+  loop.run();
+  EXPECT_EQ(up, 1);
+  EXPECT_EQ(down, 1);
+  EXPECT_EQ(path.base_rtt(), sim::millis(20));
+}
+
+TEST(EmulatedPath, TraceOnDownlinkFixedOnUplink) {
+  sim::EventLoop loop;
+  PathSpec spec;
+  spec.down_trace = trace::LinkTrace({50});
+  spec.fixed_rate_mbps = 20.0;
+  spec.one_way_delay = 0;
+  EmulatedPath path(loop, spec, sim::Rng(1));
+  sim::Time down_at = 0;
+  path.set_down_receiver([&](Datagram) { down_at = loop.now(); });
+  path.send_down(packet_of(100));
+  loop.run();
+  EXPECT_EQ(down_at, sim::millis(50));
+}
+
+TEST(EmulatedPath, LossRateApplies) {
+  sim::EventLoop loop;
+  PathSpec spec;
+  spec.fixed_rate_mbps = 100.0;
+  spec.loss_rate = 0.5;
+  spec.one_way_delay = 0;
+  EmulatedPath path(loop, spec, sim::Rng(1));
+  int received = 0;
+  path.set_down_receiver([&](Datagram) { ++received; });
+  for (int i = 0; i < 400; ++i) path.send_down(packet_of(100));
+  loop.run();
+  EXPECT_GT(received, 120);
+  EXPECT_LT(received, 280);
+  EXPECT_EQ(path.down_stats().packets_dropped_loss +
+                static_cast<std::uint64_t>(received),
+            400u);
+}
+
+TEST(Network, AddsPathsAndAggregatesStats) {
+  sim::EventLoop loop;
+  Network net(loop, sim::Rng(2));
+  PathSpec spec;
+  spec.fixed_rate_mbps = 10.0;
+  spec.one_way_delay = 0;
+  EXPECT_EQ(net.add_path(spec), 0u);
+  EXPECT_EQ(net.add_path(spec), 1u);
+  EXPECT_EQ(net.path_count(), 2u);
+  net.path(0).set_down_receiver([](Datagram) {});
+  net.path(0).send_down(packet_of(500));
+  loop.run();
+  EXPECT_EQ(net.total_down_enqueued_bytes(), 500u);
+}
+
+}  // namespace
+}  // namespace xlink::net

@@ -1,0 +1,103 @@
+// Tests: the standalone QoE feedback sender (QOE_CONTROL_SIGNALS frames
+// decoupled from ack frequency).
+#include <gtest/gtest.h>
+
+#include "core/qoe_feedback.h"
+#include "mpquic/schedulers.h"
+#include "test_support.h"
+
+namespace xlink::core {
+namespace {
+
+struct FeedbackFixture {
+  FeedbackFixture() {
+    test::WirePair::Options o;
+    o.client_config = test::multipath_config();
+    o.server_config = test::multipath_config();
+    o.client_config.scheduler = mpquic::make_min_rtt_scheduler();
+    o.server_config.scheduler = mpquic::make_min_rtt_scheduler();
+    pair = std::make_unique<test::WirePair>(std::move(o));
+    pair->server->on_qoe_feedback = [this](const quic::QoeSignal& q) {
+      ++received;
+      last = q;
+    };
+  }
+
+  std::unique_ptr<test::WirePair> pair;
+  int received = 0;
+  std::optional<quic::QoeSignal> last;
+};
+
+quic::QoeSignal signal_ms(std::uint64_t playtime_ms) {
+  quic::QoeSignal q;
+  q.fps = 30;
+  q.bps = 2'000'000;
+  q.cached_frames = playtime_ms * 30 / 1000;
+  q.cached_bytes = playtime_ms * q.bps / 8 / 1000;
+  return q;
+}
+
+TEST(QoeFeedbackSender, SendsOnMaterialChangeOnly) {
+  FeedbackFixture fx;
+  quic::QoeSignal current = signal_ms(1000);
+  QoeFeedbackSender sender(
+      *fx.pair->client, [&current]() { return current; },
+      {sim::millis(50), sim::seconds(10), 0.2});
+  ASSERT_TRUE(fx.pair->establish());
+  fx.pair->run_for(sim::millis(300));
+  const int after_first = fx.received;
+  EXPECT_GE(after_first, 1);  // initial snapshot goes out
+
+  // Signal barely moves (< 20%): nothing new within the heartbeat window.
+  current = signal_ms(1050);
+  fx.pair->run_for(sim::millis(300));
+  EXPECT_EQ(fx.received, after_first);
+
+  // Material drop: sent promptly.
+  current = signal_ms(300);
+  fx.pair->run_for(sim::millis(300));
+  EXPECT_GT(fx.received, after_first);
+  ASSERT_TRUE(fx.last.has_value());
+  EXPECT_EQ(fx.last->cached_frames, 9u);  // 300ms at 30fps
+}
+
+TEST(QoeFeedbackSender, HeartbeatCoversQuietPlayers) {
+  FeedbackFixture fx;
+  const quic::QoeSignal steady = signal_ms(2000);
+  QoeFeedbackSender sender(
+      *fx.pair->client, [&steady]() { return steady; },
+      {sim::millis(50), sim::millis(400), 0.2});
+  ASSERT_TRUE(fx.pair->establish());
+  fx.pair->run_for(sim::seconds(2));
+  // ~1 initial + heartbeat every ~400ms over ~2s.
+  EXPECT_GE(fx.received, 4);
+  EXPECT_LE(fx.received, 8);
+}
+
+TEST(QoeFeedbackSender, NoProviderSignalNoTraffic) {
+  FeedbackFixture fx;
+  QoeFeedbackSender sender(
+      *fx.pair->client, []() { return std::nullopt; },
+      {sim::millis(50), sim::millis(200), 0.2});
+  ASSERT_TRUE(fx.pair->establish());
+  fx.pair->run_for(sim::seconds(1));
+  EXPECT_EQ(fx.received, 0);
+  EXPECT_EQ(sender.frames_sent(), 0u);
+}
+
+TEST(QoeFeedbackSender, StopsCleanlyOnDestruction) {
+  FeedbackFixture fx;
+  {
+    QoeFeedbackSender sender(
+        *fx.pair->client, []() { return signal_ms(100); },
+        {sim::millis(50), sim::millis(100), 0.2});
+    ASSERT_TRUE(fx.pair->establish());
+    fx.pair->run_for(sim::millis(200));
+  }
+  const int at_destruction = fx.received;
+  fx.pair->run_for(sim::seconds(1));
+  EXPECT_EQ(fx.received, at_destruction);
+}
+
+}  // namespace
+}  // namespace xlink::core

@@ -1,0 +1,193 @@
+// Unit tests: RTT estimation and congestion controllers.
+#include <gtest/gtest.h>
+
+#include "quic/cc.h"
+#include "quic/rtt.h"
+
+namespace xlink::quic {
+namespace {
+
+TEST(Rtt, FirstSampleInitializesEverything) {
+  RttEstimator rtt;
+  EXPECT_FALSE(rtt.has_sample());
+  rtt.on_sample(sim::millis(100), 0);
+  EXPECT_TRUE(rtt.has_sample());
+  EXPECT_EQ(rtt.smoothed(), sim::millis(100));
+  EXPECT_EQ(rtt.variation(), sim::millis(50));
+  EXPECT_EQ(rtt.min(), sim::millis(100));
+  EXPECT_EQ(rtt.latest(), sim::millis(100));
+}
+
+TEST(Rtt, SmoothingFollowsRfc9002) {
+  RttEstimator rtt;
+  rtt.on_sample(sim::millis(100), 0);
+  rtt.on_sample(sim::millis(200), 0);
+  // srtt = 7/8*100 + 1/8*200 = 112.5ms
+  EXPECT_NEAR(sim::to_millis(rtt.smoothed()), 112.5, 1.0);
+  // rttvar = 3/4*50 + 1/4*|112.5-200| ~ 62.5ms (uses pre-update srtt=100:
+  // 3/4*50 + 1/4*100 = 62.5)
+  EXPECT_NEAR(sim::to_millis(rtt.variation()), 62.5, 5.0);
+}
+
+TEST(Rtt, MinTracksSmallest) {
+  RttEstimator rtt;
+  rtt.on_sample(sim::millis(100), 0);
+  rtt.on_sample(sim::millis(50), 0);
+  rtt.on_sample(sim::millis(300), 0);
+  EXPECT_EQ(rtt.min(), sim::millis(50));
+}
+
+TEST(Rtt, AckDelaySubtractedOnlyAboveMin) {
+  RttEstimator rtt;
+  rtt.on_sample(sim::millis(100), 0);
+  // Sample 150 with 30ms ack delay: adjusted 120.
+  rtt.on_sample(sim::millis(150), sim::millis(30));
+  const double srtt = sim::to_millis(rtt.smoothed());
+  EXPECT_NEAR(srtt, 7.0 / 8 * 100 + 1.0 / 8 * 120, 1.0);
+  // Sample at min with huge claimed delay: subtraction would go below min,
+  // so the raw sample is used.
+  RttEstimator rtt2;
+  rtt2.on_sample(sim::millis(100), 0);
+  rtt2.on_sample(sim::millis(100), sim::millis(90));
+  EXPECT_NEAR(sim::to_millis(rtt2.smoothed()), 100, 1.0);
+}
+
+TEST(Rtt, PtoFormula) {
+  RttEstimator rtt;
+  rtt.on_sample(sim::millis(100), 0);
+  // pto = srtt + max(4*rttvar, 1ms) + mad = 100 + 200 + 25
+  EXPECT_EQ(rtt.pto(sim::millis(25)), sim::millis(325));
+}
+
+TEST(Rtt, DefaultBeforeSamples) {
+  RttEstimator rtt;
+  EXPECT_EQ(rtt.smoothed(), sim::millis(333));
+  EXPECT_GT(rtt.pto(0), sim::millis(333));
+}
+
+class CcTest : public ::testing::TestWithParam<CcAlgorithm> {};
+
+TEST_P(CcTest, StartsAtInitialWindow) {
+  auto cc = make_congestion_controller(GetParam());
+  EXPECT_EQ(cc->cwnd_bytes(), kInitialWindowPackets * kDefaultMss);
+  EXPECT_TRUE(cc->in_slow_start());
+}
+
+TEST_P(CcTest, SlowStartGrowsByAckedBytes) {
+  auto cc = make_congestion_controller(GetParam());
+  const std::size_t before = cc->cwnd_bytes();
+  cc->on_ack(kDefaultMss, sim::millis(10), sim::millis(50), sim::millis(40));
+  EXPECT_EQ(cc->cwnd_bytes(), before + kDefaultMss);
+}
+
+TEST_P(CcTest, LossShrinksWindow) {
+  auto cc = make_congestion_controller(GetParam());
+  for (int i = 0; i < 20; ++i)
+    cc->on_ack(kDefaultMss, sim::millis(10), sim::millis(50),
+               sim::millis(40));
+  const std::size_t before = cc->cwnd_bytes();
+  cc->on_loss_event(sim::millis(100), sim::millis(200));
+  EXPECT_LT(cc->cwnd_bytes(), before);
+  EXPECT_FALSE(cc->in_slow_start());
+}
+
+TEST_P(CcTest, OneReactionPerLossBurst) {
+  auto cc = make_congestion_controller(GetParam());
+  for (int i = 0; i < 20; ++i)
+    cc->on_ack(kDefaultMss, sim::millis(10), sim::millis(50),
+               sim::millis(40));
+  cc->on_loss_event(sim::millis(100), sim::millis(200));
+  const std::size_t after_first = cc->cwnd_bytes();
+  // Losses of packets sent before the recovery point must not shrink again.
+  cc->on_loss_event(sim::millis(150), sim::millis(210));
+  EXPECT_EQ(cc->cwnd_bytes(), after_first);
+  // A loss of a packet sent after recovery starts a new epoch.
+  cc->on_loss_event(sim::millis(250), sim::millis(300));
+  EXPECT_LT(cc->cwnd_bytes(), after_first);
+}
+
+TEST_P(CcTest, PersistentCongestionCollapses) {
+  auto cc = make_congestion_controller(GetParam());
+  for (int i = 0; i < 50; ++i)
+    cc->on_ack(kDefaultMss, sim::millis(10), sim::millis(50),
+               sim::millis(40));
+  cc->on_persistent_congestion(sim::millis(500));
+  EXPECT_EQ(cc->cwnd_bytes(), kMinWindowPackets * kDefaultMss);
+}
+
+TEST_P(CcTest, AcksDuringRecoveryDoNotGrow) {
+  auto cc = make_congestion_controller(GetParam());
+  for (int i = 0; i < 20; ++i)
+    cc->on_ack(kDefaultMss, sim::millis(10), sim::millis(50),
+               sim::millis(40));
+  cc->on_loss_event(sim::millis(100), sim::millis(200));
+  const std::size_t in_recovery = cc->cwnd_bytes();
+  cc->on_ack(kDefaultMss, sim::millis(150), sim::millis(250),
+             sim::millis(40));  // sent before recovery point
+  EXPECT_EQ(cc->cwnd_bytes(), in_recovery);
+}
+
+TEST_P(CcTest, ResetRestoresInitialState) {
+  auto cc = make_congestion_controller(GetParam());
+  for (int i = 0; i < 20; ++i)
+    cc->on_ack(kDefaultMss, sim::millis(10), sim::millis(50),
+               sim::millis(40));
+  cc->on_loss_event(sim::millis(100), sim::millis(200));
+  cc->reset();
+  EXPECT_EQ(cc->cwnd_bytes(), kInitialWindowPackets * kDefaultMss);
+  EXPECT_TRUE(cc->in_slow_start());
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, CcTest,
+                         ::testing::Values(CcAlgorithm::kNewReno,
+                                           CcAlgorithm::kCubic),
+                         [](const auto& info) {
+                           return info.param == CcAlgorithm::kNewReno
+                                      ? "NewReno"
+                                      : "Cubic";
+                         });
+
+TEST(NewReno, CongestionAvoidanceLinearGrowth) {
+  auto cc = make_congestion_controller(CcAlgorithm::kNewReno);
+  for (int i = 0; i < 20; ++i)
+    cc->on_ack(kDefaultMss, sim::millis(10), sim::millis(50),
+               sim::millis(40));
+  cc->on_loss_event(sim::millis(100), sim::millis(200));
+  const std::size_t cwnd = cc->cwnd_bytes();
+  // One full window of acked bytes (sent after recovery) -> +1 MSS.
+  std::size_t acked = 0;
+  while (acked < cwnd) {
+    cc->on_ack(kDefaultMss, sim::millis(300), sim::millis(350),
+               sim::millis(40));
+    acked += kDefaultMss;
+  }
+  EXPECT_GE(cc->cwnd_bytes(), cwnd + kDefaultMss);
+  EXPECT_LE(cc->cwnd_bytes(), cwnd + 3 * kDefaultMss);
+}
+
+TEST(Cubic, GrowsTowardWmaxAfterLoss) {
+  auto cc = make_congestion_controller(CcAlgorithm::kCubic);
+  for (int i = 0; i < 100; ++i)
+    cc->on_ack(kDefaultMss, sim::millis(10), sim::millis(50),
+               sim::millis(40));
+  const std::size_t peak = cc->cwnd_bytes();
+  cc->on_loss_event(sim::millis(100), sim::millis(200));
+  const std::size_t floor_cwnd = cc->cwnd_bytes();
+  EXPECT_NEAR(static_cast<double>(floor_cwnd), 0.7 * peak, kDefaultMss);
+  // Ack steadily for simulated seconds; cwnd should recover toward peak.
+  sim::Time now = sim::millis(300);
+  for (int i = 0; i < 2000; ++i) {
+    now += sim::millis(5);
+    cc->on_ack(kDefaultMss, now - sim::millis(40), now, sim::millis(40));
+  }
+  EXPECT_GT(cc->cwnd_bytes(), floor_cwnd + 5 * kDefaultMss);
+}
+
+TEST(Cubic, NameAndFactory) {
+  EXPECT_EQ(make_congestion_controller(CcAlgorithm::kCubic)->name(), "cubic");
+  EXPECT_EQ(make_congestion_controller(CcAlgorithm::kNewReno)->name(),
+            "newreno");
+}
+
+}  // namespace
+}  // namespace xlink::quic

@@ -1,0 +1,221 @@
+// Unit tests: discrete-event loop and deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/rng.h"
+
+namespace xlink::sim {
+namespace {
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(30, [&] { order.push_back(3); });
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.schedule_at(20, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30u);
+  EXPECT_EQ(loop.events_fired(), 3u);
+}
+
+TEST(EventLoop, SameTimestampIsFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    loop.schedule_at(5, [&order, i] { order.push_back(i); });
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventLoop, ScheduleInUsesCurrentTime) {
+  EventLoop loop;
+  Time fired_at = 0;
+  loop.schedule_at(100, [&] {
+    loop.schedule_in(50, [&] { fired_at = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(EventLoop, PastTimesClampToNow) {
+  EventLoop loop;
+  Time fired_at = 999;
+  loop.schedule_at(100, [&] {
+    loop.schedule_at(5, [&] { fired_at = loop.now(); });  // in the past
+  });
+  loop.run();
+  EXPECT_EQ(fired_at, 100u);
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool fired = false;
+  const EventId id = loop.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(loop.cancel(id));
+  EXPECT_FALSE(loop.cancel(id));  // second cancel is a no-op
+  loop.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(loop.events_fired(), 0u);
+}
+
+TEST(EventLoop, CancelUnknownIdReturnsFalse) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.cancel(12345));
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  std::vector<Time> fired;
+  for (Time t : {10u, 20u, 30u, 40u})
+    loop.schedule_at(t, [&fired, &loop] { fired.push_back(loop.now()); });
+  loop.run_until(25);
+  EXPECT_EQ(fired, (std::vector<Time>{10, 20}));
+  EXPECT_EQ(loop.now(), 25u);
+  loop.run_until(100);
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(EventLoop, RunUntilAdvancesTimeWithEmptyQueue) {
+  EventLoop loop;
+  loop.run_until(500);
+  EXPECT_EQ(loop.now(), 500u);
+}
+
+TEST(EventLoop, StopHaltsProcessing) {
+  EventLoop loop;
+  int count = 0;
+  for (int i = 0; i < 5; ++i)
+    loop.schedule_at(static_cast<Time>(i), [&] {
+      ++count;
+      if (count == 2) loop.stop();
+    });
+  loop.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventLoop, EventsScheduledDuringRunFire) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) loop.schedule_in(1, recurse);
+  };
+  loop.schedule_at(0, recurse);
+  loop.run();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(EventLoop, PendingCountsLiveEvents) {
+  EventLoop loop;
+  const EventId a = loop.schedule_at(10, [] {});
+  loop.schedule_at(20, [] {});
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.cancel(a);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform(10), 10u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+  EXPECT_FALSE(Rng(1).chance(0.0));
+  EXPECT_TRUE(Rng(1).chance(1.0));
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / 20000, 5.0, 0.2);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(sq / n - mean * mean, 4.0, 0.3);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(17);
+  std::vector<double> vals;
+  for (int i = 0; i < 10001; ++i) vals.push_back(rng.lognormal(std::log(20.0), 0.5));
+  std::sort(vals.begin(), vals.end());
+  EXPECT_NEAR(vals[5000], 20.0, 1.5);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(42);
+  Rng f1 = parent.fork();
+  Rng f2 = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (f1.next_u64() == f2.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Time, ConversionHelpers) {
+  EXPECT_EQ(millis(3), 3000u);
+  EXPECT_EQ(seconds(2), 2'000'000u);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(5)), 5.0);
+  EXPECT_DOUBLE_EQ(to_millis(millis(250)), 250.0);
+}
+
+}  // namespace
+}  // namespace xlink::sim

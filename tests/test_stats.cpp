@@ -1,0 +1,125 @@
+// Unit tests: summaries, percentiles, tables, CSV output.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace xlink::stats {
+namespace {
+
+TEST(Summary, EmptyIsSafe) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.fraction_below(1.0), 0.0);
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+  EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+}
+
+TEST(Summary, PercentileInterpolates) {
+  Summary s;
+  for (double v : {10.0, 20.0, 30.0, 40.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 25.0);   // between 20 and 30
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 17.5);
+}
+
+TEST(Summary, PercentileClampsInput) {
+  Summary s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(-5), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(200), 2.0);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, FractionBelow) {
+  Summary s;
+  for (int i = 1; i <= 10; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.fraction_below(5.0), 0.4);   // 1..4
+  EXPECT_DOUBLE_EQ(s.fraction_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.fraction_below(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.fraction_below(1.0), 0.0);  // strictly below
+}
+
+TEST(Summary, AddAllAndStaysSortedAfterMutation) {
+  Summary s;
+  s.add_all({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  s.add(0.0);  // invalidates cached sort
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(Summary, DescribeMentionsCount) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_NE(s.describe().find("n=1"), std::string::npos);
+}
+
+TEST(ImprovementPct, Signs) {
+  EXPECT_DOUBLE_EQ(improvement_pct(2.0, 1.0), 50.0);   // halved: 50% better
+  EXPECT_DOUBLE_EQ(improvement_pct(2.0, 3.0), -50.0);  // worse
+  EXPECT_DOUBLE_EQ(improvement_pct(0.0, 1.0), 0.0);    // guarded
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"a", "long_header"});
+  t.add_row({"x", "1"});
+  t.add_row({"yyyy", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| a    | long_header |"), std::string::npos);
+  EXPECT_NE(out.find("| yyyy | 22          |"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| 1 |"), std::string::npos);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/xlink_test.csv";
+  write_csv(path, {"x", "y"}, {{"1", "2"}, {"3", "4"}});
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,4");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace xlink::stats

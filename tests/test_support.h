@@ -1,0 +1,91 @@
+// Shared helpers for transport tests: a pair of connections joined by a
+// configurable in-memory wire (fixed delay, scripted drops) -- no link
+// emulation, so tests can isolate protocol behaviour.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "quic/connection.h"
+#include "sim/event_loop.h"
+
+namespace xlink::test {
+
+class WirePair {
+ public:
+  struct Options {
+    sim::Duration client_to_server = sim::millis(10);
+    sim::Duration server_to_client = sim::millis(10);
+    quic::Connection::Config client_config;
+    quic::Connection::Config server_config;
+  };
+
+  explicit WirePair(Options options) : options_(std::move(options)) {
+    options_.client_config.role = quic::Role::kClient;
+    options_.server_config.role = quic::Role::kServer;
+    client = std::make_unique<quic::Connection>(loop, options_.client_config);
+    server = std::make_unique<quic::Connection>(loop, options_.server_config);
+
+    client->set_send_callback(
+        [this](quic::PathId path, net::Datagram d) {
+          if (drop_client_to_server && drop_client_to_server(path, d)) return;
+          ++packets_c2s;
+          loop.schedule_in(options_.client_to_server,
+                           [this, path, d = std::move(d)] {
+                             server->on_datagram(path, d);
+                           });
+        });
+    server->set_send_callback(
+        [this](quic::PathId path, net::Datagram d) {
+          if (drop_server_to_client && drop_server_to_client(path, d)) return;
+          ++packets_s2c;
+          loop.schedule_in(options_.server_to_client,
+                           [this, path, d = std::move(d)] {
+                             client->on_datagram(path, d);
+                           });
+        });
+  }
+
+  /// Runs the loop for `duration` of simulated time.
+  void run_for(sim::Duration duration) { loop.run_until(loop.now() + duration); }
+
+  /// Connects and runs until established (or the deadline).
+  bool establish(sim::Duration deadline = sim::seconds(2)) {
+    client->connect();
+    const sim::Time until = loop.now() + deadline;
+    while (loop.now() < until &&
+           !(client->is_established() && server->is_established())) {
+      loop.run_until(loop.now() + sim::millis(5));
+    }
+    return client->is_established() && server->is_established();
+  }
+
+  sim::EventLoop loop;
+  Options options_;
+  std::unique_ptr<quic::Connection> client;
+  std::unique_ptr<quic::Connection> server;
+  std::function<bool(quic::PathId, const net::Datagram&)> drop_client_to_server;
+  std::function<bool(quic::PathId, const net::Datagram&)> drop_server_to_client;
+  std::uint64_t packets_c2s = 0;
+  std::uint64_t packets_s2c = 0;
+};
+
+inline quic::Connection::Config multipath_config() {
+  quic::Connection::Config cfg;
+  cfg.params.enable_multipath = true;
+  return cfg;
+}
+
+inline std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+inline std::vector<std::uint8_t> pattern_bytes(std::size_t n,
+                                               std::uint8_t seed = 1) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = static_cast<std::uint8_t>(seed + i * 131);
+  return out;
+}
+
+}  // namespace xlink::test

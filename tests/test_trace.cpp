@@ -1,0 +1,142 @@
+// Unit tests: Mahimahi traces and synthetic generators.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/synthetic.h"
+#include "trace/trace.h"
+
+namespace xlink::trace {
+namespace {
+
+TEST(LinkTrace, OpportunityTimesWithinPeriod) {
+  LinkTrace t({1, 5, 5, 9});
+  EXPECT_EQ(t.opportunities_per_period(), 4u);
+  EXPECT_EQ(t.period(), sim::millis(9));
+  EXPECT_EQ(t.opportunity_time(0), sim::millis(1));
+  EXPECT_EQ(t.opportunity_time(1), sim::millis(5));
+  EXPECT_EQ(t.opportunity_time(2), sim::millis(5));
+  EXPECT_EQ(t.opportunity_time(3), sim::millis(9));
+}
+
+TEST(LinkTrace, LoopsPastPeriod) {
+  LinkTrace t({1, 5, 5, 9});
+  // Second period is offset by 9 ms.
+  EXPECT_EQ(t.opportunity_time(4), sim::millis(10));
+  EXPECT_EQ(t.opportunity_time(7), sim::millis(18));
+  EXPECT_EQ(t.opportunity_time(8), sim::millis(19));
+}
+
+TEST(LinkTrace, FirstOpportunityAtOrAfter) {
+  LinkTrace t({1, 5, 5, 9});
+  EXPECT_EQ(t.first_opportunity_at_or_after(0), 0u);
+  EXPECT_EQ(t.first_opportunity_at_or_after(sim::millis(1)), 0u);
+  EXPECT_EQ(t.first_opportunity_at_or_after(sim::millis(2)), 1u);
+  EXPECT_EQ(t.first_opportunity_at_or_after(sim::millis(5)), 1u);
+  EXPECT_EQ(t.first_opportunity_at_or_after(sim::millis(6)), 3u);
+  // Just past the period: wraps into period 1.
+  EXPECT_EQ(t.first_opportunity_at_or_after(sim::millis(10)), 4u);
+  // Sub-millisecond times round up.
+  EXPECT_EQ(t.first_opportunity_at_or_after(sim::millis(1) + 1), 1u);
+}
+
+TEST(LinkTrace, RejectsDecreasingTimestamps) {
+  EXPECT_THROW(LinkTrace({5, 3}), std::runtime_error);
+}
+
+TEST(LinkTrace, AverageBps) {
+  // 4 packets of 1500B in 9 ms = 48000 bits / 0.009 s.
+  LinkTrace t({1, 5, 5, 9});
+  EXPECT_NEAR(t.average_bps(), 4 * 1500 * 8 / 0.009, 1.0);
+}
+
+TEST(LinkTrace, WindowBpsCountsOpportunities) {
+  LinkTrace t({1, 2, 3, 4, 100});  // burst then silence
+  const double early = t.window_bps(0, sim::millis(10));
+  const double late = t.window_bps(sim::millis(10), sim::millis(50));
+  EXPECT_GT(early, late);
+}
+
+TEST(LinkTrace, SaveLoadRoundtrip) {
+  const std::string path = ::testing::TempDir() + "/trace_test.txt";
+  LinkTrace t({2, 4, 4, 8});
+  t.save(path);
+  const LinkTrace loaded = LinkTrace::load(path);
+  EXPECT_EQ(loaded.opportunities_ms(), t.opportunities_ms());
+  std::remove(path.c_str());
+}
+
+TEST(LinkTrace, LoadMissingFileThrows) {
+  EXPECT_THROW(LinkTrace::load("/nonexistent/trace"), std::runtime_error);
+}
+
+TEST(ConstantRateTrace, MatchesRequestedRate) {
+  const LinkTrace t = constant_rate_trace(12.0, sim::seconds(2));
+  EXPECT_NEAR(t.average_bps(), 12e6, 12e6 * 0.02);
+}
+
+TEST(ConstantRateTrace, LowRateStillProducesOpportunities) {
+  const LinkTrace t = constant_rate_trace(0.1, sim::seconds(1));
+  EXPECT_FALSE(t.empty());
+}
+
+TEST(Synthetic, GeneratorsAreDeterministic) {
+  const LinkTrace a = campus_walk_wifi(42);
+  const LinkTrace b = campus_walk_wifi(42);
+  EXPECT_EQ(a.opportunities_ms(), b.opportunities_ms());
+  const LinkTrace c = campus_walk_wifi(43);
+  EXPECT_NE(a.opportunities_ms(), c.opportunities_ms());
+}
+
+TEST(Synthetic, AverageRatesInExpectedBand) {
+  EXPECT_NEAR(stable_lte(1).average_bps() / 1e6, 16.0, 8.0);
+  EXPECT_NEAR(campus_walk_wifi(1).average_bps() / 1e6, 15.0, 12.0);
+  EXPECT_LT(onboard_wifi(1).average_bps() / 1e6, 8.0);
+  EXPECT_LT(hsr_cellular(1).average_bps() / 1e6, 12.0);
+  EXPECT_NEAR(nr_5g(1).average_bps() / 1e6, 25.0, 10.0);
+}
+
+TEST(Synthetic, OutageHeavyTracesHaveQuietWindows) {
+  // At least one 500ms window should be nearly silent in an HSR trace.
+  const LinkTrace t = hsr_cellular(7, sim::seconds(60));
+  bool quiet = false;
+  for (sim::Time at = 0; at < sim::seconds(59); at += sim::millis(500)) {
+    if (t.window_bps(at, sim::millis(500)) < 0.3e6) {
+      quiet = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(quiet);
+}
+
+TEST(Synthetic, StableLteHasNoQuietWindows) {
+  const LinkTrace t = stable_lte(7, sim::seconds(30));
+  for (sim::Time at = 0; at < sim::seconds(29); at += sim::millis(500)) {
+    EXPECT_GT(t.window_bps(at, sim::millis(500)), 1e6)
+        << "quiet window at " << sim::to_seconds(at) << "s";
+  }
+}
+
+TEST(Synthetic, RateCurveClampsToSpec) {
+  SyntheticSpec spec;
+  spec.mean_mbps = 10;
+  spec.min_mbps = 2;
+  spec.max_mbps = 12;
+  spec.volatility = 1.0;  // wild
+  spec.duration = sim::seconds(20);
+  const auto curve = rate_curve(spec, sim::Rng(5));
+  for (double r : curve) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 12.0);
+  }
+}
+
+TEST(Synthetic, NrRespectsCap) {
+  const LinkTrace t = nr_5g(3, sim::seconds(20), 30.0);
+  for (sim::Time at = 0; at < sim::seconds(19); at += sim::seconds(1)) {
+    EXPECT_LE(t.window_bps(at, sim::seconds(1)), 33e6);
+  }
+}
+
+}  // namespace
+}  // namespace xlink::trace

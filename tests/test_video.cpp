@@ -1,0 +1,184 @@
+// Unit tests: video model, player rebuffer accounting, QoE capture.
+#include <gtest/gtest.h>
+
+#include "video/qoe_capture.h"
+#include "video/video_model.h"
+
+namespace xlink::video {
+namespace {
+
+VideoSpec spec_10s() {
+  VideoSpec s;
+  s.duration = sim::seconds(10);
+  s.fps = 30;
+  s.bitrate_bps = 2'400'000;
+  s.seed = 5;
+  return s;
+}
+
+TEST(VideoModel, FrameCountMatchesDuration) {
+  VideoModel m(spec_10s());
+  EXPECT_EQ(m.frame_count(), 300u);
+  EXPECT_EQ(m.frame_interval(), sim::kSecond / 30);
+}
+
+TEST(VideoModel, TotalBytesNearBitrate) {
+  VideoModel m(spec_10s());
+  const double expected = 2'400'000.0 / 8 * 10;
+  // The oversized first frame adds ~11 average frames of extra bytes.
+  EXPECT_NEAR(static_cast<double>(m.total_bytes()), expected,
+              expected * 0.15);
+}
+
+TEST(VideoModel, OffsetsAreMonotone) {
+  VideoModel m(spec_10s());
+  for (std::uint32_t i = 0; i < m.frame_count(); ++i) {
+    EXPECT_LT(m.frame_offset(i), m.frame_offset(i + 1));
+    EXPECT_GT(m.frame_size(i), 0u);
+  }
+  EXPECT_EQ(m.frame_offset(m.frame_count()), m.total_bytes());
+}
+
+TEST(VideoModel, FirstFrameIsLargest) {
+  VideoModel m(spec_10s());
+  for (std::uint32_t i = 1; i < m.frame_count(); ++i)
+    EXPECT_GT(m.frame_size(0), m.frame_size(i));
+}
+
+TEST(VideoModel, ExplicitFirstFrameSizeHonoured) {
+  VideoSpec s = spec_10s();
+  s.first_frame_bytes = 777'777;
+  VideoModel m(s);
+  EXPECT_EQ(m.first_frame_bytes(), 777'777u);
+}
+
+TEST(VideoModel, FramesInPrefix) {
+  VideoModel m(spec_10s());
+  EXPECT_EQ(m.frames_in_prefix(0), 0u);
+  EXPECT_EQ(m.frames_in_prefix(m.frame_offset(1) - 1), 0u);
+  EXPECT_EQ(m.frames_in_prefix(m.frame_offset(1)), 1u);
+  EXPECT_EQ(m.frames_in_prefix(m.frame_offset(5) + 1), 5u);
+  EXPECT_EQ(m.frames_in_prefix(m.total_bytes()), m.frame_count());
+  EXPECT_EQ(m.frames_in_prefix(m.total_bytes() + 999), m.frame_count());
+}
+
+TEST(VideoModel, ContentDeterministicAndSeedDependent) {
+  VideoModel a(spec_10s()), b(spec_10s());
+  VideoSpec other = spec_10s();
+  other.seed = 6;
+  VideoModel c(other);
+  EXPECT_EQ(a.byte_at(12345), b.byte_at(12345));
+  int same = 0;
+  for (std::uint64_t i = 0; i < 64; ++i)
+    same += a.byte_at(i) == c.byte_at(i);
+  EXPECT_LT(same, 16);
+}
+
+TEST(ChunkPlan, SplitsWithShortTail) {
+  const auto plan = ChunkPlan::fixed_size(1000, 300);
+  ASSERT_EQ(plan.chunks.size(), 4u);
+  EXPECT_EQ(plan.chunks[0].begin, 0u);
+  EXPECT_EQ(plan.chunks[0].end, 300u);
+  EXPECT_EQ(plan.chunks[3].begin, 900u);
+  EXPECT_EQ(plan.chunks[3].end, 1000u);
+}
+
+TEST(ChunkPlan, EmptyContentYieldsOneEmptyChunk) {
+  const auto plan = ChunkPlan::fixed_size(0, 100);
+  ASSERT_EQ(plan.chunks.size(), 1u);
+  EXPECT_EQ(plan.chunks[0].end, 0u);
+}
+
+class PlayerTest : public ::testing::Test {
+ protected:
+  PlayerTest() : model_(spec_10s()), player_(loop_, model_) {}
+  sim::EventLoop loop_;
+  VideoModel model_;
+  VideoPlayer player_;
+};
+
+TEST_F(PlayerTest, FirstFrameLatencyRecordedOnStart) {
+  loop_.run_until(sim::millis(500));
+  EXPECT_FALSE(player_.first_frame_latency().has_value());
+  player_.on_contiguous_bytes(model_.frame_offset(1));
+  ASSERT_TRUE(player_.first_frame_latency().has_value());
+  EXPECT_EQ(*player_.first_frame_latency(), sim::millis(500));
+}
+
+TEST_F(PlayerTest, PlaysThroughWhenFullyBuffered) {
+  player_.on_contiguous_bytes(model_.total_bytes());
+  bool finished_cb = false;
+  player_.on_finished = [&] { finished_cb = true; };
+  loop_.run_until(sim::seconds(11));
+  EXPECT_TRUE(player_.finished());
+  EXPECT_TRUE(finished_cb);
+  EXPECT_EQ(player_.rebuffer_count(), 0u);
+  EXPECT_DOUBLE_EQ(player_.rebuffer_rate(), 0.0);
+  EXPECT_NEAR(sim::to_seconds(player_.total_play_time()), 10.0, 0.1);
+}
+
+TEST_F(PlayerTest, RebuffersWhenFeedStalls) {
+  // Feed only the first second of frames.
+  player_.on_contiguous_bytes(model_.frame_offset(30));
+  loop_.run_until(sim::seconds(3));
+  EXPECT_EQ(player_.rebuffer_count(), 1u);
+  // ~2 seconds stalled by now.
+  EXPECT_NEAR(sim::to_seconds(player_.total_rebuffer_time()), 2.0, 0.1);
+  // Resume with everything: stall ends, plays to completion.
+  player_.on_contiguous_bytes(model_.total_bytes());
+  loop_.run_until(sim::seconds(15));
+  EXPECT_TRUE(player_.finished());
+  EXPECT_NEAR(sim::to_seconds(player_.total_rebuffer_time()), 2.0, 0.1);
+  EXPECT_GT(player_.rebuffer_rate(), 0.15);
+}
+
+TEST_F(PlayerTest, RebufferRateDefinition) {
+  player_.on_contiguous_bytes(model_.frame_offset(30));
+  loop_.run_until(sim::seconds(2));  // 1s play + 1s stall
+  player_.on_contiguous_bytes(model_.total_bytes());
+  loop_.run_until(sim::seconds(15));
+  const double rate = player_.rebuffer_rate();
+  EXPECT_NEAR(rate, sim::to_seconds(player_.total_rebuffer_time()) /
+                        sim::to_seconds(player_.total_play_time()),
+              1e-9);
+}
+
+TEST_F(PlayerTest, BufferLevelAndQoeSnapshot) {
+  player_.on_contiguous_bytes(model_.frame_offset(60));  // 2s of frames
+  const auto q = player_.qoe_snapshot();
+  EXPECT_EQ(q.fps, 30u);
+  EXPECT_EQ(q.bps, model_.spec().bitrate_bps);
+  // One frame is already rendered at start; ~59 ahead.
+  EXPECT_NEAR(static_cast<double>(q.cached_frames), 59.0, 1.0);
+  EXPECT_GT(q.cached_bytes, 0u);
+  EXPECT_NEAR(sim::to_millis(player_.buffer_level()),
+              59.0 * 1000 / 30, 40.0);
+}
+
+TEST_F(PlayerTest, StartupBufferRequirement) {
+  VideoPlayer strict(loop_, model_, /*startup_buffer_frames=*/10);
+  strict.on_contiguous_bytes(model_.frame_offset(5));
+  EXPECT_FALSE(strict.first_frame_latency().has_value());
+  strict.on_contiguous_bytes(model_.frame_offset(10));
+  EXPECT_TRUE(strict.first_frame_latency().has_value());
+}
+
+TEST(QoeCapture, SamplesPeriodicallyAndLags) {
+  sim::EventLoop loop;
+  VideoModel model(spec_10s());
+  VideoPlayer player(loop, model);
+  QoeCapture capture(loop, player, sim::millis(100));
+  // Initial sample exists immediately (tick on construction).
+  loop.run_until(sim::millis(1));
+  ASSERT_TRUE(capture.latest().has_value());
+  EXPECT_EQ(capture.latest()->cached_frames, 0u);
+  // Feed the player; the snapshot is stale until the next tick.
+  player.on_contiguous_bytes(model.frame_offset(31));
+  EXPECT_EQ(capture.latest()->cached_frames, 0u);
+  loop.run_until(sim::millis(150));
+  EXPECT_GT(capture.latest()->cached_frames, 0u);
+  EXPECT_GE(capture.samples_taken(), 2u);
+}
+
+}  // namespace
+}  // namespace xlink::video
