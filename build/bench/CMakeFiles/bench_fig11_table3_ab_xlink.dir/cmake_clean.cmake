@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_table3_ab_xlink.dir/bench_fig11_table3_ab_xlink.cpp.o"
+  "CMakeFiles/bench_fig11_table3_ab_xlink.dir/bench_fig11_table3_ab_xlink.cpp.o.d"
+  "bench_fig11_table3_ab_xlink"
+  "bench_fig11_table3_ab_xlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_table3_ab_xlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig11_table3_ab_xlink.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_first_frame.dir/bench_fig12_first_frame.cpp.o"
+  "CMakeFiles/bench_fig12_first_frame.dir/bench_fig12_first_frame.cpp.o.d"
+  "bench_fig12_first_frame"
+  "bench_fig12_first_frame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_first_frame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

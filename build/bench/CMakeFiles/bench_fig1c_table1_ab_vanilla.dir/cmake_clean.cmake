@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1c_table1_ab_vanilla.dir/bench_fig1c_table1_ab_vanilla.cpp.o"
+  "CMakeFiles/bench_fig1c_table1_ab_vanilla.dir/bench_fig1c_table1_ab_vanilla.cpp.o.d"
+  "bench_fig1c_table1_ab_vanilla"
+  "bench_fig1c_table1_ab_vanilla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1c_table1_ab_vanilla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

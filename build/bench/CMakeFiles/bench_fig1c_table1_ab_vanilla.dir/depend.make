@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig1c_table1_ab_vanilla.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_qoe_control.dir/bench_fig6_qoe_control.cpp.o"
+  "CMakeFiles/bench_fig6_qoe_control.dir/bench_fig6_qoe_control.cpp.o.d"
+  "bench_fig6_qoe_control"
+  "bench_fig6_qoe_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_qoe_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/short_video_feed.dir/short_video_feed.cpp.o"
+  "CMakeFiles/short_video_feed.dir/short_video_feed.cpp.o.d"
+  "short_video_feed"
+  "short_video_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/short_video_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subway_commute.dir/subway_commute.cpp.o"
+  "CMakeFiles/subway_commute.dir/subway_commute.cpp.o.d"
+  "subway_commute"
+  "subway_commute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subway_commute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

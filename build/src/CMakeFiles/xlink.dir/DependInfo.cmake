@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/double_threshold.cpp" "src/CMakeFiles/xlink.dir/core/double_threshold.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/core/double_threshold.cpp.o.d"
+  "/root/repo/src/core/primary_path.cpp" "src/CMakeFiles/xlink.dir/core/primary_path.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/core/primary_path.cpp.o.d"
+  "/root/repo/src/core/qoe_feedback.cpp" "src/CMakeFiles/xlink.dir/core/qoe_feedback.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/core/qoe_feedback.cpp.o.d"
+  "/root/repo/src/core/qoe_signals.cpp" "src/CMakeFiles/xlink.dir/core/qoe_signals.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/core/qoe_signals.cpp.o.d"
+  "/root/repo/src/core/reinjection.cpp" "src/CMakeFiles/xlink.dir/core/reinjection.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/core/reinjection.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/CMakeFiles/xlink.dir/core/session.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/core/session.cpp.o.d"
+  "/root/repo/src/core/xlink_scheduler.cpp" "src/CMakeFiles/xlink.dir/core/xlink_scheduler.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/core/xlink_scheduler.cpp.o.d"
+  "/root/repo/src/energy/energy_model.cpp" "src/CMakeFiles/xlink.dir/energy/energy_model.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/energy/energy_model.cpp.o.d"
+  "/root/repo/src/harness/ab_test.cpp" "src/CMakeFiles/xlink.dir/harness/ab_test.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/harness/ab_test.cpp.o.d"
+  "/root/repo/src/harness/endpoint.cpp" "src/CMakeFiles/xlink.dir/harness/endpoint.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/harness/endpoint.cpp.o.d"
+  "/root/repo/src/harness/scenario.cpp" "src/CMakeFiles/xlink.dir/harness/scenario.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/harness/scenario.cpp.o.d"
+  "/root/repo/src/http/media_client.cpp" "src/CMakeFiles/xlink.dir/http/media_client.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/http/media_client.cpp.o.d"
+  "/root/repo/src/http/media_server.cpp" "src/CMakeFiles/xlink.dir/http/media_server.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/http/media_server.cpp.o.d"
+  "/root/repo/src/http/range_protocol.cpp" "src/CMakeFiles/xlink.dir/http/range_protocol.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/http/range_protocol.cpp.o.d"
+  "/root/repo/src/lb/quic_lb.cpp" "src/CMakeFiles/xlink.dir/lb/quic_lb.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/lb/quic_lb.cpp.o.d"
+  "/root/repo/src/mpquic/scheduler_blest.cpp" "src/CMakeFiles/xlink.dir/mpquic/scheduler_blest.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/mpquic/scheduler_blest.cpp.o.d"
+  "/root/repo/src/mpquic/scheduler_ecf.cpp" "src/CMakeFiles/xlink.dir/mpquic/scheduler_ecf.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/mpquic/scheduler_ecf.cpp.o.d"
+  "/root/repo/src/mpquic/scheduler_minrtt.cpp" "src/CMakeFiles/xlink.dir/mpquic/scheduler_minrtt.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/mpquic/scheduler_minrtt.cpp.o.d"
+  "/root/repo/src/mpquic/scheduler_redundant.cpp" "src/CMakeFiles/xlink.dir/mpquic/scheduler_redundant.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/mpquic/scheduler_redundant.cpp.o.d"
+  "/root/repo/src/mpquic/scheduler_rr.cpp" "src/CMakeFiles/xlink.dir/mpquic/scheduler_rr.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/mpquic/scheduler_rr.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/xlink.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/loss_model.cpp" "src/CMakeFiles/xlink.dir/net/loss_model.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/net/loss_model.cpp.o.d"
+  "/root/repo/src/net/path.cpp" "src/CMakeFiles/xlink.dir/net/path.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/net/path.cpp.o.d"
+  "/root/repo/src/quic/cc_coupled.cpp" "src/CMakeFiles/xlink.dir/quic/cc_coupled.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/quic/cc_coupled.cpp.o.d"
+  "/root/repo/src/quic/cc_cubic.cpp" "src/CMakeFiles/xlink.dir/quic/cc_cubic.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/quic/cc_cubic.cpp.o.d"
+  "/root/repo/src/quic/cc_newreno.cpp" "src/CMakeFiles/xlink.dir/quic/cc_newreno.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/quic/cc_newreno.cpp.o.d"
+  "/root/repo/src/quic/connection.cpp" "src/CMakeFiles/xlink.dir/quic/connection.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/quic/connection.cpp.o.d"
+  "/root/repo/src/quic/crypto.cpp" "src/CMakeFiles/xlink.dir/quic/crypto.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/quic/crypto.cpp.o.d"
+  "/root/repo/src/quic/frame.cpp" "src/CMakeFiles/xlink.dir/quic/frame.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/quic/frame.cpp.o.d"
+  "/root/repo/src/quic/loss_detection.cpp" "src/CMakeFiles/xlink.dir/quic/loss_detection.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/quic/loss_detection.cpp.o.d"
+  "/root/repo/src/quic/packet.cpp" "src/CMakeFiles/xlink.dir/quic/packet.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/quic/packet.cpp.o.d"
+  "/root/repo/src/quic/rtt.cpp" "src/CMakeFiles/xlink.dir/quic/rtt.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/quic/rtt.cpp.o.d"
+  "/root/repo/src/quic/stream.cpp" "src/CMakeFiles/xlink.dir/quic/stream.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/quic/stream.cpp.o.d"
+  "/root/repo/src/quic/varint.cpp" "src/CMakeFiles/xlink.dir/quic/varint.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/quic/varint.cpp.o.d"
+  "/root/repo/src/sim/event_loop.cpp" "src/CMakeFiles/xlink.dir/sim/event_loop.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/sim/event_loop.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/xlink.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/CMakeFiles/xlink.dir/stats/summary.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/stats/summary.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "src/CMakeFiles/xlink.dir/stats/table.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/stats/table.cpp.o.d"
+  "/root/repo/src/trace/synthetic.cpp" "src/CMakeFiles/xlink.dir/trace/synthetic.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/trace/synthetic.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/xlink.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/video/player.cpp" "src/CMakeFiles/xlink.dir/video/player.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/video/player.cpp.o.d"
+  "/root/repo/src/video/qoe_capture.cpp" "src/CMakeFiles/xlink.dir/video/qoe_capture.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/video/qoe_capture.cpp.o.d"
+  "/root/repo/src/video/video_model.cpp" "src/CMakeFiles/xlink.dir/video/video_model.cpp.o" "gcc" "src/CMakeFiles/xlink.dir/video/video_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_connection.cpp" "tests/CMakeFiles/xlink_tests.dir/test_connection.cpp.o" "gcc" "tests/CMakeFiles/xlink_tests.dir/test_connection.cpp.o.d"
+  "/root/repo/tests/test_connection_edge.cpp" "tests/CMakeFiles/xlink_tests.dir/test_connection_edge.cpp.o" "gcc" "tests/CMakeFiles/xlink_tests.dir/test_connection_edge.cpp.o.d"
+  "/root/repo/tests/test_crypto_packet.cpp" "tests/CMakeFiles/xlink_tests.dir/test_crypto_packet.cpp.o" "gcc" "tests/CMakeFiles/xlink_tests.dir/test_crypto_packet.cpp.o.d"
+  "/root/repo/tests/test_e2e_properties.cpp" "tests/CMakeFiles/xlink_tests.dir/test_e2e_properties.cpp.o" "gcc" "tests/CMakeFiles/xlink_tests.dir/test_e2e_properties.cpp.o.d"
+  "/root/repo/tests/test_energy_harness.cpp" "tests/CMakeFiles/xlink_tests.dir/test_energy_harness.cpp.o" "gcc" "tests/CMakeFiles/xlink_tests.dir/test_energy_harness.cpp.o.d"
+  "/root/repo/tests/test_frame.cpp" "tests/CMakeFiles/xlink_tests.dir/test_frame.cpp.o" "gcc" "tests/CMakeFiles/xlink_tests.dir/test_frame.cpp.o.d"
+  "/root/repo/tests/test_http.cpp" "tests/CMakeFiles/xlink_tests.dir/test_http.cpp.o" "gcc" "tests/CMakeFiles/xlink_tests.dir/test_http.cpp.o.d"
+  "/root/repo/tests/test_interval_stream.cpp" "tests/CMakeFiles/xlink_tests.dir/test_interval_stream.cpp.o" "gcc" "tests/CMakeFiles/xlink_tests.dir/test_interval_stream.cpp.o.d"
+  "/root/repo/tests/test_lb_coupled.cpp" "tests/CMakeFiles/xlink_tests.dir/test_lb_coupled.cpp.o" "gcc" "tests/CMakeFiles/xlink_tests.dir/test_lb_coupled.cpp.o.d"
+  "/root/repo/tests/test_loss_detection.cpp" "tests/CMakeFiles/xlink_tests.dir/test_loss_detection.cpp.o" "gcc" "tests/CMakeFiles/xlink_tests.dir/test_loss_detection.cpp.o.d"
+  "/root/repo/tests/test_misc_edge.cpp" "tests/CMakeFiles/xlink_tests.dir/test_misc_edge.cpp.o" "gcc" "tests/CMakeFiles/xlink_tests.dir/test_misc_edge.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/xlink_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/xlink_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_qoe_feedback.cpp" "tests/CMakeFiles/xlink_tests.dir/test_qoe_feedback.cpp.o" "gcc" "tests/CMakeFiles/xlink_tests.dir/test_qoe_feedback.cpp.o.d"
+  "/root/repo/tests/test_rtt_cc.cpp" "tests/CMakeFiles/xlink_tests.dir/test_rtt_cc.cpp.o" "gcc" "tests/CMakeFiles/xlink_tests.dir/test_rtt_cc.cpp.o.d"
+  "/root/repo/tests/test_schedulers.cpp" "tests/CMakeFiles/xlink_tests.dir/test_schedulers.cpp.o" "gcc" "tests/CMakeFiles/xlink_tests.dir/test_schedulers.cpp.o.d"
+  "/root/repo/tests/test_scheme_catalogue.cpp" "tests/CMakeFiles/xlink_tests.dir/test_scheme_catalogue.cpp.o" "gcc" "tests/CMakeFiles/xlink_tests.dir/test_scheme_catalogue.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/xlink_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/xlink_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/xlink_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/xlink_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/xlink_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/xlink_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/xlink_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/xlink_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_varint.cpp" "tests/CMakeFiles/xlink_tests.dir/test_varint.cpp.o" "gcc" "tests/CMakeFiles/xlink_tests.dir/test_varint.cpp.o.d"
+  "/root/repo/tests/test_video.cpp" "tests/CMakeFiles/xlink_tests.dir/test_video.cpp.o" "gcc" "tests/CMakeFiles/xlink_tests.dir/test_video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xlink.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
