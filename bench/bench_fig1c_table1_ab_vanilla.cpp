@@ -6,11 +6,14 @@
 // (negative improvement in Table 1).
 #include "bench_util.h"
 #include "harness/ab_test.h"
+#include "harness/parallel.h"
 
 using namespace xlink;
 
 int main() {
   std::printf("Reproduction of paper Fig. 1c + Table 1 (vanilla-MP vs SP)\n");
+  std::printf("parallel engine: %u worker(s) (set XLINK_JOBS to override)\n",
+              harness::default_jobs());
 
   harness::PopulationConfig pop;
   pop.sessions_per_day = 45;
@@ -22,10 +25,13 @@ int main() {
 
   for (int day = 1; day <= 7; ++day) {
     const std::uint64_t seed = 1000 + day;
-    const auto sp = harness::run_day(core::Scheme::kSinglePath, opts, pop,
-                                     seed);
-    const auto mp = harness::run_day(core::Scheme::kVanillaMp, opts, pop,
-                                     seed);
+    // Both arms of the day run as one parallel batch (bit-identical to the
+    // serial pair of run_day calls).
+    const auto ab = harness::run_ab_day(core::Scheme::kSinglePath, opts,
+                                        core::Scheme::kVanillaMp, opts, pop,
+                                        seed);
+    const auto& sp = ab.arm_a;
+    const auto& mp = ab.arm_b;
     rct.add_row({std::to_string(day), bench::fmt(sp.rct.percentile(50)),
                  bench::fmt(mp.rct.percentile(50)),
                  bench::fmt(sp.rct.percentile(95)),

@@ -6,6 +6,10 @@
 // and a complete small video session per scheme.
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <functional>
+#include <vector>
+
 #include "harness/scenario.h"
 #include "quic/crypto.h"
 #include "quic/frame.h"
@@ -105,6 +109,45 @@ void BM_EventLoopChurn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventLoopChurn);
+
+// Schedule+cancel churn: the retransmission-timer pattern (almost every
+// armed timer is disarmed before it fires). Exercises the slab free-list,
+// generation-tag liveness check, and lazy-deletion compaction.
+void BM_EventLoopScheduleCancel(benchmark::State& state) {
+  sim::EventLoop loop;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      const sim::EventId id =
+          loop.schedule_in(static_cast<sim::Duration>(i % 97 + 1), [] {});
+      loop.cancel(id);
+    }
+    benchmark::DoNotOptimize(loop.pending());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopScheduleCancel);
+
+// Steady-state timer mix: a live population of timers where each firing
+// schedules a replacement and cancels a neighbour — the event loop's
+// session hot path without any transport logic.
+void BM_EventLoopTimerMix(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    std::vector<sim::EventId> ids(256, 0);
+    std::uint64_t fired = 0;
+    std::function<void(std::size_t)> arm = [&](std::size_t slot) {
+      ids[slot] = loop.schedule_in(1 + slot % 61, [&, slot] {
+        ++fired;
+        loop.cancel(ids[(slot + 1) % ids.size()]);
+        if (fired < 20000) arm(slot);
+      });
+    };
+    for (std::size_t s = 0; s < ids.size(); ++s) arm(s);
+    loop.run();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_EventLoopTimerMix)->Unit(benchmark::kMillisecond);
 
 void BM_FullSession(benchmark::State& state) {
   const auto scheme = static_cast<core::Scheme>(state.range(0));

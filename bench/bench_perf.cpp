@@ -1,0 +1,192 @@
+// Perf trajectory tracker: measures the simulator's hot paths and the
+// parallel experiment engine, and writes BENCH_perf.json so wall-clock,
+// events/sec and sessions/sec can be compared across commits.
+//
+//  - event_loop_schedule_fire:   schedule 1M events, run them all
+//  - event_loop_schedule_cancel: 1M armed-then-disarmed timers (the
+//    retransmission-timer pattern; exercises slab + lazy compaction)
+//  - session_throughput:         small end-to-end XLINK sessions per second
+//  - fig10_threshold_sweep:      the Fig. 10-style population sweep, run
+//    serially (jobs=1) and on the parallel engine (jobs=default) — the
+//    speedup column is the headline number of the engine
+//
+// Usage: bench_perf [output.json]   (default: BENCH_perf.json in cwd)
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/ab_test.h"
+#include "harness/parallel.h"
+#include "sim/event_loop.h"
+#include "sim/thread_pool.h"
+#include "trace/synthetic.h"
+
+using namespace xlink;
+
+namespace {
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct Record {
+  std::string name;
+  double wall_s = 0.0;
+  std::string rate_key;  // e.g. "events_per_sec"; empty = none
+  double rate = 0.0;
+};
+
+double bench_schedule_fire(std::uint64_t& fired_out) {
+  constexpr int kEvents = 1'000'000;
+  sim::EventLoop loop;
+  std::uint64_t fired = 0;
+  const double s = wall_seconds([&] {
+    for (int i = 0; i < kEvents; ++i)
+      loop.schedule_in(static_cast<sim::Duration>(i % 9973), [&fired] {
+        ++fired;
+      });
+    loop.run();
+  });
+  fired_out = fired;
+  return s;
+}
+
+double bench_schedule_cancel() {
+  constexpr int kEvents = 1'000'000;
+  sim::EventLoop loop;
+  return wall_seconds([&] {
+    for (int i = 0; i < kEvents; ++i) {
+      const sim::EventId id =
+          loop.schedule_in(static_cast<sim::Duration>(i % 9973 + 1), [] {});
+      loop.cancel(id);
+    }
+  });
+}
+
+harness::SessionConfig small_session_config(std::uint64_t seed) {
+  harness::SessionConfig cfg;
+  cfg.scheme = core::Scheme::kXlink;
+  cfg.video.duration = sim::seconds(3);
+  cfg.video.bitrate_bps = 2'000'000;
+  cfg.seed = seed;
+  cfg.paths.push_back(harness::make_path_spec(
+      net::Wireless::kWifi, trace::stable_lte(1, sim::seconds(10)),
+      sim::millis(30)));
+  cfg.paths.push_back(harness::make_path_spec(
+      net::Wireless::kLte, trace::stable_lte(2, sim::seconds(10)),
+      sim::millis(80)));
+  return cfg;
+}
+
+double bench_session_throughput(int sessions) {
+  return wall_seconds([&] {
+    for (int i = 0; i < sessions; ++i) {
+      harness::Session session(small_session_config(3 + i));
+      const auto r = session.run();
+      (void)r;
+    }
+  });
+}
+
+/// Fig. 10-shaped workload: per threshold setting, a fading-cellular
+/// population of sessions. Scaled down from the real bench so the sweep
+/// finishes quickly at jobs=1 too.
+void fig10_style_sweep(unsigned jobs) {
+  constexpr int kSessions = 10;
+  harness::PopulationConfig pop;
+  pop.p_fading_cellular = 0.8;
+  pop.time_limit = sim::seconds(60);
+  const struct {
+    double tth1_ms, tth2_ms;
+  } settings[] = {{400, 900}, {900, 1800}, {1800, 3600}};
+  for (const auto& s : settings) {
+    core::SchemeOptions opts;
+    opts.control.tth1 = static_cast<sim::Duration>(s.tth1_ms * sim::kMillisecond);
+    opts.control.tth2 = static_cast<sim::Duration>(s.tth2_ms * sim::kMillisecond);
+    const auto results = harness::run_sessions_parallel(
+        kSessions,
+        [&](std::size_t i) {
+          auto cfg = harness::draw_session_conditions(pop, 555000 + i);
+          cfg.scheme = core::Scheme::kXlink;
+          cfg.options = opts;
+          return cfg;
+        },
+        jobs);
+    (void)results;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_perf.json";
+  const unsigned jobs = harness::default_jobs();
+  std::printf("bench_perf: jobs=%u (XLINK_JOBS overrides), output=%s\n", jobs,
+              out_path);
+
+  std::vector<Record> records;
+
+  std::uint64_t fired = 0;
+  const double sf = bench_schedule_fire(fired);
+  records.push_back({"event_loop_schedule_fire", sf, "events_per_sec",
+                     static_cast<double>(fired) / sf});
+  std::printf("  event_loop_schedule_fire:   %.3fs  (%.2fM events/s)\n", sf,
+              static_cast<double>(fired) / sf / 1e6);
+
+  const double sc = bench_schedule_cancel();
+  records.push_back({"event_loop_schedule_cancel", sc, "ops_per_sec",
+                     1'000'000.0 / sc});
+  std::printf("  event_loop_schedule_cancel: %.3fs  (%.2fM ops/s)\n", sc,
+              1'000'000.0 / sc / 1e6);
+
+  constexpr int kThroughputSessions = 24;
+  const double st = bench_session_throughput(kThroughputSessions);
+  records.push_back({"session_throughput", st, "sessions_per_sec",
+                     kThroughputSessions / st});
+  std::printf("  session_throughput:         %.3fs  (%.2f sessions/s)\n", st,
+              kThroughputSessions / st);
+
+  const double sweep_serial = wall_seconds([] { fig10_style_sweep(1); });
+  const double sweep_parallel =
+      wall_seconds([jobs] { fig10_style_sweep(jobs); });
+  const double speedup = sweep_parallel > 0 ? sweep_serial / sweep_parallel
+                                            : 0.0;
+  std::printf(
+      "  fig10_threshold_sweep:      serial %.3fs, %u-way %.3fs "
+      "(speedup %.2fx)\n",
+      sweep_serial, jobs, sweep_parallel, speedup);
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::perror("bench_perf: fopen");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_perf\",\n");
+  std::fprintf(f, "  \"jobs\": %u,\n", jobs);
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"benches\": [\n");
+  for (const auto& r : records) {
+    std::fprintf(f, "    {\"name\": \"%s\", \"wall_s\": %.6f", r.name.c_str(),
+                 r.wall_s);
+    if (!r.rate_key.empty())
+      std::fprintf(f, ", \"%s\": %.2f", r.rate_key.c_str(), r.rate);
+    std::fprintf(f, "},\n");
+  }
+  std::fprintf(f,
+               "    {\"name\": \"fig10_threshold_sweep\", "
+               "\"serial_wall_s\": %.6f, \"parallel_wall_s\": %.6f, "
+               "\"jobs\": %u, \"speedup\": %.3f}\n",
+               sweep_serial, sweep_parallel, jobs, speedup);
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

@@ -9,6 +9,7 @@
 // regime and degrade under fast variation; XLINK stays robust everywhere,
 // paying a small redundancy cost.
 #include "bench_util.h"
+#include "harness/parallel.h"
 #include "mpquic/schedulers.h"
 #include "trace/synthetic.h"
 
@@ -95,8 +96,11 @@ int main() {
 
   struct Contender {
     const char* label;
-    core::Scheme scheme;                      // for XLINK / vanilla
-    std::shared_ptr<quic::Scheduler> sched;   // for custom pickers
+    core::Scheme scheme;  // for XLINK / vanilla
+    // Factory, not an instance: each session gets its own scheduler so
+    // concurrently-running sessions never share one (nullptr = scheme
+    // default).
+    std::shared_ptr<quic::Scheduler> (*make_sched)();
   };
 
   for (Regime regime :
@@ -106,18 +110,21 @@ int main() {
         {"Scheduler", "RCT p50(s)", "RCT p99(s)", "rebuffer(s)", "cost(%)"});
     const Contender contenders[] = {
         {"min-RTT (vanilla)", core::Scheme::kVanillaMp, nullptr},
-        {"ECF", core::Scheme::kVanillaMp, mpquic::make_ecf_scheduler()},
-        {"BLEST", core::Scheme::kVanillaMp, mpquic::make_blest_scheduler()},
+        {"ECF", core::Scheme::kVanillaMp, &mpquic::make_ecf_scheduler},
+        {"BLEST", core::Scheme::kVanillaMp, &mpquic::make_blest_scheduler},
         {"XLINK", core::Scheme::kXlink, nullptr},
     };
     for (const auto& c : contenders) {
+      const auto results =
+          harness::run_sessions_parallel(6, [&](std::size_t i) {
+            auto cfg = make_config(regime, i + 1, nullptr);
+            cfg.scheme = c.scheme;
+            cfg.server_scheduler_override =
+                c.make_sched ? c.make_sched() : nullptr;
+            return cfg;
+          });
       Row row;
-      for (std::uint64_t seed = 1; seed <= 6; ++seed) {
-        auto cfg = make_config(regime, seed, nullptr);
-        cfg.scheme = c.scheme;
-        cfg.server_scheduler_override = c.sched;  // nullptr = scheme default
-        harness::Session session(std::move(cfg));
-        const auto result = session.run();
+      for (const auto& result : results) {
         row.rct.add_all(result.chunk_rct_seconds);
         row.rebuffer_s += result.rebuffer_seconds;
         row.cost_pct_sum += result.redundancy_ratio * 100;

@@ -107,41 +107,8 @@ SessionConfig draw_session_conditions(const PopulationConfig& pop,
   return cfg;
 }
 
-DayMetrics run_day(core::Scheme scheme, const core::SchemeOptions& options,
-                   const PopulationConfig& pop, std::uint64_t day_seed) {
-  DayMetrics day;
-  sim::Rng day_rng(day_seed);
-  double rebuffer_sum = 0.0;
-  double play_sum = 0.0;
-  std::uint64_t payload_sum = 0;
-  std::uint64_t dup_sum = 0;
-
-  for (int i = 0; i < pop.sessions_per_day; ++i) {
-    const std::uint64_t session_seed = day_seed * 1000003ULL + i;
-    SessionConfig cfg = draw_session_conditions(pop, session_seed);
-    cfg.scheme = scheme;
-    cfg.options = options;
-    (void)day_rng;
-
-    Session session(cfg);
-    const SessionResult r = session.run();
-
-    day.rct.add_all(r.chunk_rct_seconds);
-    if (r.first_frame_seconds) day.first_frame.add(*r.first_frame_seconds);
-    rebuffer_sum += r.rebuffer_seconds;
-    play_sum += r.play_seconds;
-    payload_sum += r.stream_payload_bytes;
-    dup_sum += r.reinjected_bytes;
-    if (!r.download_finished) ++day.unfinished_downloads;
-    ++day.sessions;
-  }
-  day.rebuffer_rate = play_sum > 0 ? rebuffer_sum / play_sum : 0.0;
-  day.redundancy_pct =
-      payload_sum > 0
-          ? 100.0 * static_cast<double>(dup_sum) /
-                static_cast<double>(payload_sum)
-          : 0.0;
-  return day;
-}
+// run_day lives in harness/parallel.cpp: it folds per-session results in
+// index order on top of the parallel engine, reproducing the historical
+// serial accumulation bit-for-bit at any job count.
 
 }  // namespace xlink::harness

@@ -49,8 +49,12 @@ SessionConfig draw_session_conditions(const PopulationConfig& pop,
                                       std::uint64_t session_seed);
 
 /// Runs one day of one arm: same session seeds => same conditions across
-/// arms, only the transport scheme differs.
+/// arms, only the transport scheme differs. Sessions run on `jobs` worker
+/// threads (0 = XLINK_JOBS env var / hardware_concurrency, 1 = serial);
+/// results are folded in session-index order, so DayMetrics are
+/// bit-identical for every job count. Implemented in harness/parallel.cpp.
 DayMetrics run_day(core::Scheme scheme, const core::SchemeOptions& options,
-                   const PopulationConfig& pop, std::uint64_t day_seed);
+                   const PopulationConfig& pop, std::uint64_t day_seed,
+                   unsigned jobs = 0);
 
 }  // namespace xlink::harness

@@ -1,0 +1,57 @@
+// Parallel experiment execution.
+//
+// A Session owns its EventLoop, network, endpoints, and RNGs — nothing is
+// shared between two sessions — and every stochastic input is derived
+// from the per-session seed. Running a population across threads is
+// therefore safe AND deterministic: each worker writes its result into a
+// pre-sized slot keyed by session index, and callers fold the slots in
+// index order, which reproduces the serial accumulation arithmetic
+// bit-for-bit. `run_day(..., jobs)` and `run_ab_day(...)` are built on
+// this contract; tests assert jobs=4 equals jobs=1 exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "harness/ab_test.h"
+#include "harness/scenario.h"
+
+namespace xlink::harness {
+
+/// Worker count used when a `jobs` argument is 0: the XLINK_JOBS
+/// environment variable if set, else std::thread::hardware_concurrency().
+unsigned default_jobs();
+
+/// Runs `count` independent sessions, where make_config(i) builds the
+/// i-th SessionConfig (it is invoked on the worker thread and must only
+/// read shared state). Results land in slot i of the returned vector, so
+/// the output is independent of the worker count. jobs == 1 runs serially
+/// inline; jobs == 0 uses default_jobs().
+std::vector<SessionResult> run_sessions_parallel(
+    std::size_t count,
+    const std::function<SessionConfig(std::size_t)>& make_config,
+    unsigned jobs = 0);
+
+/// Same, plus a setup hook called with the constructed Session before it
+/// runs — benches use it to attach per-session `on_sample` observers
+/// (which must only touch state owned by slot i).
+std::vector<SessionResult> run_sessions_parallel(
+    std::size_t count,
+    const std::function<SessionConfig(std::size_t)>& make_config,
+    const std::function<void(std::size_t, Session&)>& setup, unsigned jobs);
+
+/// One A/B day: both arms replay the same drawn per-session conditions.
+struct AbDay {
+  DayMetrics arm_a;
+  DayMetrics arm_b;
+};
+
+/// Runs both arms of a day as one 2N-session parallel batch. Equivalent —
+/// bit-identically — to run_day(scheme_a, ...) then run_day(scheme_b, ...).
+AbDay run_ab_day(core::Scheme scheme_a, const core::SchemeOptions& options_a,
+                 core::Scheme scheme_b, const core::SchemeOptions& options_b,
+                 const PopulationConfig& pop, std::uint64_t day_seed,
+                 unsigned jobs = 0);
+
+}  // namespace xlink::harness

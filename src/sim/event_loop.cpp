@@ -5,19 +5,51 @@
 namespace xlink::sim {
 
 EventId EventLoop::schedule_at(Time at, Callback cb) {
-  const EventId id = next_id_++;
-  queue_.push(Entry{std::max(at, now_), next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
+  std::uint32_t slot;
+  if (free_head_ != kNilSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  s.live = true;
+  ++live_;
+  const EventId id = make_id(slot, s.generation);
+  heap_.push_back(Entry{std::max(at, now_), next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), FiresAfter{});
   return id;
 }
 
-bool EventLoop::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+bool EventLoop::cancel(EventId id) {
+  if (!is_live(id)) return false;
+  release(slot_of(id));
+  ++dead_in_heap_;  // the heap entry stays behind until popped or compacted
+  maybe_compact();
+  return true;
+}
+
+void EventLoop::release(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.cb.reset();
+  s.live = false;
+  if (++s.generation == 0) s.generation = 1;  // keep ids nonzero on wrap
+  s.next_free = free_head_;
+  free_head_ = slot;
+  --live_;
+}
 
 bool EventLoop::pop_next(Entry& out) {
-  while (!queue_.empty()) {
-    Entry e = queue_.top();
-    queue_.pop();
-    if (!callbacks_.contains(e.id)) continue;  // cancelled
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), FiresAfter{});
+    const Entry e = heap_.back();
+    heap_.pop_back();
+    if (!is_live(e.id)) {  // cancelled: skip lazily-deleted entry
+      --dead_in_heap_;
+      continue;
+    }
     out = e;
     return true;
   }
@@ -41,7 +73,8 @@ void EventLoop::run_until(Time deadline) {
     if (e.at > deadline) {
       // Not due yet: re-queue with the original sequence number so that the
       // FIFO order among same-timestamp events is preserved.
-      queue_.push(e);
+      heap_.push_back(e);
+      std::push_heap(heap_.begin(), heap_.end(), FiresAfter{});
       break;
     }
     now_ = e.at;
@@ -51,12 +84,24 @@ void EventLoop::run_until(Time deadline) {
 }
 
 void EventLoop::fire(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return;  // cancelled between pop and fire
-  Callback cb = std::move(it->second);
-  callbacks_.erase(it);
+  const std::uint32_t slot = slot_of(id);
+  // Move the callback out and free the slot first, so the callback can
+  // schedule new events (possibly reusing this very slot) and cancelling
+  // the fired id from inside the callback is a no-op.
+  EventCallback cb = std::move(slots_[slot].cb);
+  release(slot);
   ++fired_;
   cb();
+}
+
+void EventLoop::compact() {
+  std::erase_if(heap_, [this](const Entry& e) { return !is_live(e.id); });
+  std::make_heap(heap_.begin(), heap_.end(), FiresAfter{});
+  dead_in_heap_ = 0;
+}
+
+void EventLoop::maybe_compact() {
+  if (dead_in_heap_ >= 64 && dead_in_heap_ * 2 >= heap_.size()) compact();
 }
 
 }  // namespace xlink::sim

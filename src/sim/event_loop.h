@@ -1,15 +1,24 @@
 // Discrete-event loop: the heart of the simulator.
 //
-// Events are (time, callback) pairs kept in a priority queue. Events that
+// Events are (time, callback) pairs kept in a binary min-heap. Events that
 // share a timestamp fire in FIFO order of scheduling, which makes runs
 // deterministic given deterministic inputs. Scheduled events can be
 // cancelled through the returned handle.
+//
+// Hot-path layout: callbacks live in a slab of generation-tagged slots
+// reached directly by index (no hash lookup), an EventId encodes
+// (generation << 32 | slot) so stale handles are rejected for free, and
+// small callables are stored inline in the slot (no per-event heap
+// allocation). Cancellation is lazy — the heap entry stays behind and is
+// skipped when popped — with periodic compaction once dead entries
+// dominate, so schedule/cancel churn cannot grow the heap without bound.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.h"
@@ -19,9 +28,100 @@ namespace xlink::sim {
 /// Identifies a scheduled event so it can be cancelled. Zero is never used.
 using EventId = std::uint64_t;
 
+/// Move-only type-erased callable with inline storage for small captures.
+/// Callables larger than kInlineBytes fall back to a single heap cell.
+class EventCallback {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventCallback>>>
+  EventCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  EventCallback(EventCallback&& other) noexcept { move_from(other); }
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+  ~EventCallback() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  void operator()() { ops_->invoke(&storage_); }
+
+  void reset() {
+    if (ops_) {
+      ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-constructs dst from src's storage, then destroys src's value.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename F>
+  struct InlineOps {
+    static void invoke(void* p) { (*static_cast<F*>(p))(); }
+    static void relocate(void* dst, void* src) {
+      ::new (dst) F(std::move(*static_cast<F*>(src)));
+      static_cast<F*>(src)->~F();
+    }
+    static void destroy(void* p) { static_cast<F*>(p)->~F(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  template <typename F>
+  struct HeapOps {
+    static F*& ptr(void* p) { return *static_cast<F**>(p); }
+    static void invoke(void* p) { (*ptr(p))(); }
+    static void relocate(void* dst, void* src) { ::new (dst) F*(ptr(src)); }
+    static void destroy(void* p) { delete ptr(p); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (&storage_) D(std::forward<F>(f));
+      ops_ = &InlineOps<D>::ops;
+    } else {
+      ::new (&storage_) D*(new D(std::forward<F>(f)));
+      ops_ = &HeapOps<D>::ops;
+    }
+  }
+
+  void move_from(EventCallback& other) {
+    ops_ = other.ops_;
+    if (ops_) {
+      ops_->relocate(&storage_, &other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
 class EventLoop {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventCallback;
 
   /// Current simulated time.
   Time now() const { return now_; }
@@ -51,32 +151,73 @@ class EventLoop {
   std::uint64_t events_fired() const { return fired_; }
 
   /// Number of events still pending (scheduled and not cancelled).
-  std::size_t pending() const { return callbacks_.size(); }
+  std::size_t pending() const { return live_; }
+
+  /// Heap entries including lazily-cancelled ones awaiting compaction
+  /// (exposed so tests can assert churn stays bounded).
+  std::size_t queue_entries() const { return heap_.size(); }
+
+  /// Drops cancelled entries from the heap immediately. Called
+  /// automatically once dead entries dominate; public for tests and for
+  /// callers that know they just cancelled en masse.
+  void compact();
 
  private:
   struct Entry {
     Time at;
     std::uint64_t seq;  // tie-break: FIFO for equal timestamps
     EventId id;
-    bool operator>(const Entry& o) const {
-      if (at != o.at) return at > o.at;
-      return seq > o.seq;
+  };
+  // std::push_heap keeps the "largest" element first; we want the
+  // earliest (time, seq), so "a < b" means "a fires after b".
+  struct FiresAfter {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
     }
   };
+
+  struct Slot {
+    EventCallback cb;
+    std::uint32_t generation = 1;  // bumped on release; never 0
+    std::uint32_t next_free = kNilSlot;
+    bool live = false;
+  };
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
+  static EventId make_id(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<EventId>(generation) << 32) | slot;
+  }
+  static std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id);
+  }
+  static std::uint32_t generation_of(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  bool is_live(EventId id) const {
+    const std::uint32_t slot = slot_of(id);
+    return slot < slots_.size() && slots_[slot].live &&
+           slots_[slot].generation == generation_of(id);
+  }
+
+  // Returns the slot to the free list and invalidates outstanding ids.
+  void release(std::uint32_t slot);
 
   // Pops the next live (non-cancelled) entry; returns false if none remain.
   bool pop_next(Entry& out);
   void fire(EventId id);
+  void maybe_compact();
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t fired_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  // Callback presence in this map is what makes a queue entry "live";
-  // cancel() simply erases the callback.
-  std::unordered_map<EventId, Callback> callbacks_;
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNilSlot;
+  std::size_t live_ = 0;
+  std::size_t dead_in_heap_ = 0;
 };
 
 }  // namespace xlink::sim

@@ -1,0 +1,128 @@
+// Determinism contract of the parallel experiment engine: a day replayed
+// on N workers must produce bit-identical DayMetrics to the serial path,
+// because per-session results land in index-keyed slots and are folded in
+// index order. Kept in its own binary so it can be run under
+// ThreadSanitizer (-DXLINK_SANITIZE=thread) without paying TSan cost for
+// the whole suite.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "harness/ab_test.h"
+#include "harness/parallel.h"
+#include "sim/thread_pool.h"
+
+namespace xlink::harness {
+namespace {
+
+PopulationConfig small_pop() {
+  PopulationConfig pop;
+  pop.sessions_per_day = 6;  // keep the suite quick, esp. under TSan
+  pop.time_limit = sim::seconds(60);
+  return pop;
+}
+
+void expect_identical(const DayMetrics& a, const DayMetrics& b) {
+  EXPECT_EQ(a.sessions, b.sessions);
+  EXPECT_EQ(a.unfinished_downloads, b.unfinished_downloads);
+  // Raw sample vectors in insertion order: the strongest form of the
+  // claim — not just equal percentiles, the same doubles in the same
+  // order.
+  EXPECT_EQ(a.rct.samples(), b.rct.samples());
+  EXPECT_EQ(a.first_frame.samples(), b.first_frame.samples());
+  EXPECT_EQ(a.rebuffer_rate, b.rebuffer_rate);
+  EXPECT_EQ(a.redundancy_pct, b.redundancy_pct);
+}
+
+TEST(ParallelHarness, RunDayBitIdenticalAcrossJobCounts) {
+  const PopulationConfig pop = small_pop();
+  const core::SchemeOptions opts;
+  for (const std::uint64_t day_seed : {901ULL, 902ULL, 903ULL}) {
+    for (const core::Scheme scheme :
+         {core::Scheme::kSinglePath, core::Scheme::kXlink}) {
+      const DayMetrics serial = run_day(scheme, opts, pop, day_seed, 1);
+      const DayMetrics parallel = run_day(scheme, opts, pop, day_seed, 4);
+      expect_identical(serial, parallel);
+    }
+  }
+}
+
+TEST(ParallelHarness, AbDayMatchesTwoSerialRunDays) {
+  const PopulationConfig pop = small_pop();
+  const core::SchemeOptions opts;
+  const std::uint64_t day_seed = 777;
+  const AbDay ab = run_ab_day(core::Scheme::kSinglePath, opts,
+                              core::Scheme::kVanillaMp, opts, pop, day_seed,
+                              4);
+  expect_identical(ab.arm_a,
+                   run_day(core::Scheme::kSinglePath, opts, pop, day_seed, 1));
+  expect_identical(ab.arm_b,
+                   run_day(core::Scheme::kVanillaMp, opts, pop, day_seed, 1));
+}
+
+TEST(ParallelHarness, ResultsLandInIndexOrderSlots) {
+  const PopulationConfig pop = small_pop();
+  auto make_config = [&pop](std::size_t i) {
+    SessionConfig cfg = draw_session_conditions(pop, 4200 + i);
+    cfg.scheme = core::Scheme::kSinglePath;
+    return cfg;
+  };
+  const auto serial = run_sessions_parallel(4, make_config, 1);
+  const auto parallel = run_sessions_parallel(4, make_config, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].chunk_rct_seconds, parallel[i].chunk_rct_seconds);
+    EXPECT_EQ(serial[i].server_wire_bytes, parallel[i].server_wire_bytes);
+    EXPECT_EQ(serial[i].reinjected_bytes, parallel[i].reinjected_bytes);
+  }
+}
+
+TEST(ThreadPool, ParallelForEachVisitsEveryIndexExactlyOnce) {
+  sim::ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for_each(kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEachPropagatesFirstException) {
+  sim::ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for_each(100,
+                                      [](std::size_t i) {
+                                        if (i == 42)
+                                          throw std::runtime_error("boom");
+                                      }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SerialFallbackRunsInline) {
+  // jobs=1 must execute on the calling thread in index order.
+  std::vector<std::size_t> order;
+  sim::parallel_for_each(5, [&](std::size_t i) { order.push_back(i); }, 1);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, DefaultJobsHonoursEnvVar) {
+  ::setenv("XLINK_JOBS", "3", 1);
+  EXPECT_EQ(sim::ThreadPool::default_jobs(), 3u);
+  ::setenv("XLINK_JOBS", "not-a-number", 1);
+  EXPECT_GE(sim::ThreadPool::default_jobs(), 1u);  // falls back to hardware
+  ::unsetenv("XLINK_JOBS");
+  EXPECT_GE(sim::ThreadPool::default_jobs(), 1u);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdleDrainEverything) {
+  sim::ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) pool.submit([&done] { ++done; });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 64);
+}
+
+}  // namespace
+}  // namespace xlink::harness

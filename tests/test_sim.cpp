@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "sim/event_loop.h"
@@ -116,6 +118,75 @@ TEST(EventLoop, PendingCountsLiveEvents) {
   EXPECT_EQ(loop.pending(), 2u);
   loop.cancel(a);
   EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoop, StaleIdStaysDeadAfterSlotReuse) {
+  EventLoop loop;
+  bool a_fired = false, b_fired = false;
+  const EventId a = loop.schedule_at(10, [&] { a_fired = true; });
+  loop.cancel(a);
+  // The slot is reused with a fresh generation: the old handle must not
+  // alias the new event.
+  const EventId b = loop.schedule_at(10, [&] { b_fired = true; });
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(loop.cancel(a));
+  loop.run();
+  EXPECT_FALSE(a_fired);
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(EventLoop, CompactDropsCancelledHeapEntries) {
+  EventLoop loop;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i)
+    ids.push_back(loop.schedule_at(static_cast<Time>(i + 1),
+                                   [&fired] { ++fired; }));
+  for (std::size_t i = 1; i < ids.size(); i += 2) loop.cancel(ids[i]);
+  loop.compact();
+  EXPECT_EQ(loop.queue_entries(), 50u);
+  EXPECT_EQ(loop.pending(), 50u);
+  loop.run();
+  EXPECT_EQ(fired, 50);
+}
+
+TEST(EventLoop, ScheduleCancelChurnStaysBounded) {
+  // Regression: cancelled entries used to linger in the priority queue
+  // until popped, so schedule+cancel churn grew memory without bound.
+  EventLoop loop;
+  for (int i = 0; i < 1'000'000; ++i) {
+    const EventId id =
+        loop.schedule_at(static_cast<Time>(i % 1000 + 10), [] {});
+    loop.cancel(id);
+  }
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_LT(loop.queue_entries(), 1024u);  // auto-compaction kept it small
+  loop.run();
+  EXPECT_EQ(loop.events_fired(), 0u);
+}
+
+TEST(EventLoop, LargeCapturesFallBackToHeapCorrectly) {
+  EventLoop loop;
+  std::array<std::uint64_t, 32> big{};  // 256 bytes: beyond inline storage
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = i * 7;
+  std::uint64_t sum = 0;
+  loop.schedule_at(1, [big, &sum] {
+    for (auto v : big) sum += v;
+  });
+  loop.run();
+  std::uint64_t expect = 0;
+  for (std::size_t i = 0; i < big.size(); ++i) expect += i * 7;
+  EXPECT_EQ(sum, expect);
+}
+
+TEST(EventLoop, CancelInsideCallbackOfSameEventIsNoop) {
+  EventLoop loop;
+  EventId id = 0;
+  bool saw_false = false;
+  id = loop.schedule_at(5, [&] { saw_false = !loop.cancel(id); });
+  loop.run();
+  EXPECT_TRUE(saw_false);
+  EXPECT_EQ(loop.events_fired(), 1u);
 }
 
 TEST(Rng, DeterministicForSameSeed) {
