@@ -73,8 +73,17 @@ void run_variant(stats::Table& table, const Variant& v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Ablation: XLINK design choices on a stressed scenario\n");
+
+  // --trace-exemplar: record one full-XLINK session of the stressed
+  // scenario for the xlink_qlog analyzer.
+  if (auto exemplar = bench::TraceExemplar::parse(argc, argv);
+      exemplar.on()) {
+    auto cfg = base_config(1);
+    exemplar.apply(cfg, "ablation_reinjection");
+    harness::Session(std::move(cfg)).run();
+  }
   bench::heading(
       "median first-frame (ms) | p99 RCT (s) | rebuffer rate (%) | cost (%)");
   stats::Table table({"Variant", "ff p50(ms)", "RCT p99(s)", "rebuf(%)",

@@ -75,7 +75,18 @@ PopulationOutcome run_population(core::Scheme scheme,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-exemplar: record one stressed-population XLINK session (the
+  // population's first draw) for the xlink_qlog analyzer.
+  if (auto exemplar = bench::TraceExemplar::parse(argc, argv);
+      exemplar.on()) {
+    harness::PopulationConfig pop;
+    pop.p_fading_cellular = 0.8;
+    auto cfg = harness::draw_session_conditions(pop, kBaseSeed);
+    cfg.scheme = core::Scheme::kXlink;
+    exemplar.apply(cfg, "fig10_thresholds");
+    harness::Session(std::move(cfg)).run();
+  }
   std::printf(
       "Reproduction of paper Fig. 10 + Table 2 (double thresholds)\n");
   std::printf("parallel engine: %u worker(s) (set XLINK_JOBS to override)\n",

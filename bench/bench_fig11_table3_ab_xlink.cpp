@@ -10,11 +10,21 @@
 
 using namespace xlink;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Reproduction of paper Fig. 11 + Table 3 (XLINK vs SP)\n");
 
   harness::PopulationConfig pop;
   pop.sessions_per_day = 45;
+
+  // --trace-exemplar: record day 1's first XLINK session (same seed
+  // formula as run_day) for the xlink_qlog analyzer.
+  if (auto exemplar = bench::TraceExemplar::parse(argc, argv);
+      exemplar.on()) {
+    auto cfg = harness::draw_session_conditions(pop, 2001 * 1000003ULL);
+    cfg.scheme = core::Scheme::kXlink;
+    exemplar.apply(cfg, "fig11_ab_xlink");
+    harness::Session(std::move(cfg)).run();
+  }
   core::SchemeOptions xlink_opts;  // default thresholds
 
   stats::Table rct({"Day", "SP p50", "XL p50", "SP p95", "XL p95", "SP p99",

@@ -72,9 +72,17 @@ stats::Summary first_frames(core::Scheme scheme, bool acceleration) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "Reproduction of paper Fig. 12 (first-video-frame acceleration)\n");
+
+  // --trace-exemplar: record one accelerated XLINK start-up session.
+  if (auto exemplar = bench::TraceExemplar::parse(argc, argv);
+      exemplar.on()) {
+    auto cfg = first_frame_session(0, core::Scheme::kXlink, true);
+    exemplar.apply(cfg, "fig12_first_frame");
+    harness::Session(std::move(cfg)).run();
+  }
 
   const auto sp = first_frames(core::Scheme::kSinglePath, false);
   const auto with_acc = first_frames(core::Scheme::kXlink, true);

@@ -28,7 +28,8 @@ TracePair mobility_traces(int id) {
           trace::onboard_wifi(seed + 1, sim::seconds(60))};
 }
 
-std::pair<double, double> run_scheme(core::Scheme scheme, int trace_id) {
+std::pair<double, double> run_scheme(core::Scheme scheme, int trace_id,
+                                     bench::TraceExemplar* exemplar) {
   TracePair traces = mobility_traces(trace_id);
   harness::SessionConfig cfg;
   cfg.scheme = scheme;
@@ -44,6 +45,7 @@ std::pair<double, double> run_scheme(core::Scheme scheme, int trace_id) {
   cfg.paths.push_back(harness::make_path_spec(
       net::Wireless::kLte, std::move(traces.cellular), sim::millis(110)));
 
+  if (exemplar) exemplar->apply(cfg, "fig13_mobility");
   harness::Session session(std::move(cfg));
   const auto result = session.run();
   stats::Summary rct;
@@ -53,8 +55,9 @@ std::pair<double, double> run_scheme(core::Scheme scheme, int trace_id) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Reproduction of paper Fig. 13 (extreme mobility)\n");
+  auto exemplar = bench::TraceExemplar::parse(argc, argv);
   const core::Scheme schemes[] = {
       core::Scheme::kSinglePath, core::Scheme::kVanillaMp,
       core::Scheme::kMptcpLike, core::Scheme::kConnMigration,
@@ -68,7 +71,10 @@ int main() {
   for (int trace_id = 1; trace_id <= 10; ++trace_id) {
     std::vector<std::string> row{std::to_string(trace_id)};
     for (auto s : schemes) {
-      const auto [median, max] = run_scheme(s, trace_id);
+      // Trace the XLINK run on the first trace pair when asked.
+      const auto [median, max] = run_scheme(
+          s, trace_id,
+          s == core::Scheme::kXlink && trace_id == 1 ? &exemplar : nullptr);
       maxes[s].add(max);
       row.push_back(bench::fmt(median, 1) + "/" + bench::fmt(max, 1));
     }

@@ -20,6 +20,8 @@ struct RunOutcome {
   double energy_per_bit_nj = 0.0;
 };
 
+bench::TraceExemplar g_exemplar;
+
 RunOutcome run_download(const std::vector<net::Wireless>& radios,
                         std::uint64_t megabytes, std::uint64_t seed) {
   harness::SessionConfig cfg;
@@ -48,6 +50,8 @@ RunOutcome run_download(const std::vector<net::Wireless>& radios,
     cfg.paths.push_back(harness::make_path_spec(tech, std::move(t), rtt));
   }
 
+  // Trace the first multipath download when asked.
+  if (radios.size() > 1) g_exemplar.apply(cfg, "fig14_energy");
   harness::Session session(std::move(cfg));
   const auto result = session.run();
 
@@ -70,8 +74,9 @@ RunOutcome run_download(const std::vector<net::Wireless>& radios,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Reproduction of paper Fig. 14 (energy per bit)\n");
+  g_exemplar = bench::TraceExemplar::parse(argc, argv);
 
   struct Config {
     const char* label;

@@ -11,8 +11,9 @@
 
 using namespace xlink;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Reproduction of paper Fig. 1a/1b (vanilla-MP dynamics)\n");
+  auto exemplar = bench::TraceExemplar::parse(argc, argv);
 
   trace::LinkTrace wifi = trace::campus_walk_wifi(2024, sim::seconds(10));
   trace::LinkTrace lte = trace::stable_lte(7, sim::seconds(10));
@@ -36,6 +37,7 @@ int main() {
                                               std::move(lte),
                                               sim::millis(90)));
 
+  exemplar.apply(cfg, "fig1_dynamics");
   auto [result, timeline] =
       bench::run_with_timeline(std::move(cfg), sim::millis(100));
   (void)result;

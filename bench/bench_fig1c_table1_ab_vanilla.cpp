@@ -10,7 +10,7 @@
 
 using namespace xlink;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Reproduction of paper Fig. 1c + Table 1 (vanilla-MP vs SP)\n");
   std::printf("parallel engine: %u worker(s) (set XLINK_JOBS to override)\n",
               harness::default_jobs());
@@ -18,6 +18,16 @@ int main() {
   harness::PopulationConfig pop;
   pop.sessions_per_day = 45;
   core::SchemeOptions opts;
+
+  // --trace-exemplar: record day 1's first vanilla-MP session (same seed
+  // formula as run_ab_day) for the xlink_qlog analyzer.
+  if (auto exemplar = bench::TraceExemplar::parse(argc, argv);
+      exemplar.on()) {
+    auto cfg = harness::draw_session_conditions(pop, 1001 * 1000003ULL);
+    cfg.scheme = core::Scheme::kVanillaMp;
+    exemplar.apply(cfg, "fig1c_ab_vanilla");
+    harness::Session(std::move(cfg)).run();
+  }
 
   stats::Table rct({"Day", "SP p50", "MP p50", "SP p95", "MP p95", "SP p99",
                     "MP p99"});

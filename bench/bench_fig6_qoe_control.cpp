@@ -49,8 +49,11 @@ harness::SessionConfig fig6_config(core::Scheme scheme) {
   return cfg;
 }
 
-void run_scheme(const char* label, core::Scheme scheme) {
-  auto [result, timeline] = bench::run_with_timeline(fig6_config(scheme),
+void run_scheme(const char* label, core::Scheme scheme,
+                bench::TraceExemplar& exemplar) {
+  auto cfg = fig6_config(scheme);
+  if (scheme == core::Scheme::kXlink) exemplar.apply(cfg, "fig6_xlink");
+  auto [result, timeline] = bench::run_with_timeline(std::move(cfg),
                                                      sim::millis(200));
   bench::heading(std::string("Fig. 6 timeline: ") + label);
   stats::Table table({"t(s)", "buffer(MB)", "reinject(MB)"});
@@ -71,11 +74,14 @@ void run_scheme(const char* label, core::Scheme scheme) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Reproduction of paper Fig. 6 (QoE control dynamics)\n");
-  run_scheme("(b) vanilla-MP", core::Scheme::kVanillaMp);
-  run_scheme("(c) re-injection w/o QoE control", core::Scheme::kReinjectNoQoe);
-  run_scheme("(d) re-injection w/ QoE control (XLINK)", core::Scheme::kXlink);
+  auto exemplar = bench::TraceExemplar::parse(argc, argv);
+  run_scheme("(b) vanilla-MP", core::Scheme::kVanillaMp, exemplar);
+  run_scheme("(c) re-injection w/o QoE control", core::Scheme::kReinjectNoQoe,
+             exemplar);
+  run_scheme("(d) re-injection w/ QoE control (XLINK)", core::Scheme::kXlink,
+             exemplar);
   std::printf(
       "\nExpected shape: (b) rebuffers during the outage; (c) and (d) do "
       "not;\n(c) re-injects continuously, (d) only around the outage and "

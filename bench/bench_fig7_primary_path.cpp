@@ -11,6 +11,8 @@ using namespace xlink;
 
 namespace {
 
+bench::TraceExemplar g_exemplar;
+
 double first_frame_ms(std::uint64_t frame_bytes, bool fiveg_primary) {
   harness::SessionConfig cfg;
   cfg.scheme = core::Scheme::kXlink;
@@ -44,6 +46,7 @@ double first_frame_ms(std::uint64_t frame_bytes, bool fiveg_primary) {
     cfg.paths.push_back(std::move(sa));
   }
 
+  g_exemplar.apply(cfg, "fig7_primary_path");
   harness::Session session(std::move(cfg));
   const auto result = session.run();
   return result.first_frame_seconds.value_or(99.0) * 1000.0;
@@ -51,8 +54,9 @@ double first_frame_ms(std::uint64_t frame_bytes, bool fiveg_primary) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Reproduction of paper Fig. 7 (primary path selection)\n");
+  g_exemplar = bench::TraceExemplar::parse(argc, argv);
   bench::heading("First-video-frame delivery time (ms)");
   stats::Table table({"First frame size", "WiFi primary", "5G primary"});
   const std::pair<const char*, std::uint64_t> sizes[] = {

@@ -11,6 +11,8 @@ using namespace xlink;
 
 namespace {
 
+bench::TraceExemplar g_exemplar;
+
 double download_once(int rtt_ratio, quic::AckPathPolicy policy,
                      std::uint64_t load_bytes);
 
@@ -56,14 +58,16 @@ double download_once(int rtt_ratio, quic::AckPathPolicy policy,
   cfg.paths.push_back(std::move(fast));
   cfg.paths.push_back(std::move(slow));
 
+  g_exemplar.apply(cfg, "fig8_ack_path");
   harness::Session session(std::move(cfg));
   return session.run().download_seconds;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Reproduction of paper Fig. 8 (ACK_MP path selection)\n");
+  g_exemplar = bench::TraceExemplar::parse(argc, argv);
   bench::heading("4MB request completion time (s), Cubic");
   stats::Table table({"RTT ratio", "minRTT-path ACK", "original-path ACK"});
   for (int ratio = 1; ratio <= 8; ++ratio) {

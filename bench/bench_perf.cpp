@@ -6,6 +6,11 @@
 //  - event_loop_schedule_cancel: 1M armed-then-disarmed timers (the
 //    retransmission-timer pattern; exercises slab + lazy compaction)
 //  - session_throughput:         small end-to-end XLINK sessions per second
+//    (plus the same population with per-session tracing enabled)
+//  - telemetry_trace_hook:       cost of one XLINK_TRACE hook in a tight
+//    loop — compiled out (loop without the hook, the exact codegen of
+//    -DXLINK_TELEMETRY=OFF), compiled in but disabled (null-sink check),
+//    and enabled (ring-buffer record)
 //  - fig10_threshold_sweep:      the Fig. 10-style population sweep, run
 //    serially (jobs=1) and on the parallel engine (jobs=default) — the
 //    speedup column is the headline number of the engine
@@ -14,15 +19,18 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "harness/ab_test.h"
 #include "harness/parallel.h"
 #include "sim/event_loop.h"
 #include "sim/thread_pool.h"
+#include "telemetry/trace_sink.h"
 #include "trace/synthetic.h"
 
 using namespace xlink;
@@ -85,14 +93,52 @@ harness::SessionConfig small_session_config(std::uint64_t seed) {
   return cfg;
 }
 
-double bench_session_throughput(int sessions) {
+double bench_session_throughput(int sessions, bool traced) {
   return wall_seconds([&] {
     for (int i = 0; i < sessions; ++i) {
-      harness::Session session(small_session_config(3 + i));
+      auto cfg = small_session_config(3 + i);
+      cfg.trace.enabled = traced;
+      harness::Session session(std::move(cfg));
       const auto r = session.run();
       (void)r;
     }
   });
+}
+
+/// One XLINK_TRACE hook per iteration. With kHook=false the body is the
+/// exact codegen of a -DXLINK_TELEMETRY=OFF build (macro expands to
+/// nothing); the inline asm pins the sink pointer so the compiler cannot
+/// hoist the null/enabled check or delete the loop.
+template <bool kHook>
+double trace_hook_loop(telemetry::TraceSink* sink, std::uint64_t iters) {
+  return wall_seconds([&] {
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      asm volatile("" : "+r"(sink));
+      if constexpr (kHook) {
+        XLINK_TRACE(sink, telemetry::Event::packet_sent(
+                              i, telemetry::Origin::kServer, 0, i, 1200,
+                              true, false));
+      }
+    }
+  });
+}
+
+struct TraceHookRates {
+  std::uint64_t iters = 0;
+  double compiled_out = 0.0;  // ops/sec, loop without the hook
+  double disabled = 0.0;      // ops/sec, hook present, sink == nullptr
+  double enabled = 0.0;       // ops/sec, recording into the ring
+};
+
+TraceHookRates bench_trace_hook() {
+  TraceHookRates r;
+  r.iters = 50'000'000;
+  r.compiled_out = double(r.iters) / trace_hook_loop<false>(nullptr, r.iters);
+  r.disabled = double(r.iters) / trace_hook_loop<true>(nullptr, r.iters);
+  telemetry::TraceSink sink(1 << 16);
+  sink.set_enabled(true);
+  r.enabled = double(r.iters) / trace_hook_loop<true>(&sink, r.iters);
+  return r;
 }
 
 /// Fig. 10-shaped workload: per threshold setting, a fading-cellular
@@ -147,11 +193,23 @@ int main(int argc, char** argv) {
               1'000'000.0 / sc / 1e6);
 
   constexpr int kThroughputSessions = 24;
-  const double st = bench_session_throughput(kThroughputSessions);
+  const double st = bench_session_throughput(kThroughputSessions, false);
   records.push_back({"session_throughput", st, "sessions_per_sec",
                      kThroughputSessions / st});
   std::printf("  session_throughput:         %.3fs  (%.2f sessions/s)\n", st,
               kThroughputSessions / st);
+
+  const double stt = bench_session_throughput(kThroughputSessions, true);
+  records.push_back({"session_throughput_traced", stt, "sessions_per_sec",
+                     kThroughputSessions / stt});
+  std::printf("  session_throughput_traced:  %.3fs  (%.2f sessions/s)\n", stt,
+              kThroughputSessions / stt);
+
+  const TraceHookRates hook = bench_trace_hook();
+  std::printf(
+      "  telemetry_trace_hook:       compiled-out %.2fns, disabled %.2fns, "
+      "enabled %.2fns per hook\n",
+      1e9 / hook.compiled_out, 1e9 / hook.disabled, 1e9 / hook.enabled);
 
   const double sweep_serial = wall_seconds([] { fig10_style_sweep(1); });
   const double sweep_parallel =
@@ -163,30 +221,44 @@ int main(int argc, char** argv) {
       "(speedup %.2fx)\n",
       sweep_serial, jobs, sweep_parallel, speedup);
 
-  std::FILE* f = std::fopen(out_path, "w");
-  if (!f) {
-    std::perror("bench_perf: fopen");
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_perf: cannot open %s\n", out_path);
     return 1;
   }
-  std::fprintf(f, "{\n  \"bench\": \"bench_perf\",\n");
-  std::fprintf(f, "  \"jobs\": %u,\n", jobs);
-  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(f, "  \"benches\": [\n");
+  bench::JsonWriter w(out);
+  w.begin_object();
+  w.kv("bench", "bench_perf");
+  w.kv("jobs", jobs);
+  w.kv("hardware_concurrency", std::thread::hardware_concurrency());
+  w.key("benches");
+  w.begin_array();
   for (const auto& r : records) {
-    std::fprintf(f, "    {\"name\": \"%s\", \"wall_s\": %.6f", r.name.c_str(),
-                 r.wall_s);
-    if (!r.rate_key.empty())
-      std::fprintf(f, ", \"%s\": %.2f", r.rate_key.c_str(), r.rate);
-    std::fprintf(f, "},\n");
+    w.begin_object();
+    w.kv("name", r.name);
+    w.kv("wall_s", r.wall_s);
+    if (!r.rate_key.empty()) w.kv(r.rate_key, r.rate);
+    w.end_object();
   }
-  std::fprintf(f,
-               "    {\"name\": \"fig10_threshold_sweep\", "
-               "\"serial_wall_s\": %.6f, \"parallel_wall_s\": %.6f, "
-               "\"jobs\": %u, \"speedup\": %.3f}\n",
-               sweep_serial, sweep_parallel, jobs, speedup);
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  w.begin_object();
+  w.kv("name", "telemetry_trace_hook");
+  w.kv("iters", hook.iters);
+  w.kv("compiled_out_ops_per_sec", hook.compiled_out);
+  w.kv("disabled_ops_per_sec", hook.disabled);
+  w.kv("enabled_ops_per_sec", hook.enabled);
+  w.kv("disabled_ns_per_hook", 1e9 / hook.disabled);
+  w.kv("enabled_ns_per_hook", 1e9 / hook.enabled);
+  w.end_object();
+  w.begin_object();
+  w.kv("name", "fig10_threshold_sweep");
+  w.kv("serial_wall_s", sweep_serial);
+  w.kv("parallel_wall_s", sweep_parallel);
+  w.kv("jobs", jobs);
+  w.kv("speedup", speedup);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  out << "\n";
   std::printf("wrote %s\n", out_path);
   return 0;
 }

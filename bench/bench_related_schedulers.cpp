@@ -91,8 +91,17 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Related-work schedulers vs XLINK (paper Sec. 8)\n");
+
+  // --trace-exemplar: record one XLINK session of the fast-varying regime
+  // for the xlink_qlog analyzer.
+  if (auto exemplar = bench::TraceExemplar::parse(argc, argv);
+      exemplar.on()) {
+    auto cfg = make_config(Regime::kFastVarying, 1, nullptr);
+    exemplar.apply(cfg, "related_schedulers");
+    harness::Session(std::move(cfg)).run();
+  }
 
   struct Contender {
     const char* label;

@@ -2,15 +2,64 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "harness/scenario.h"
 #include "stats/summary.h"
 #include "stats/table.h"
+#include "telemetry/json.h"
 #include "trace/trace.h"
 
 namespace xlink::bench {
+
+/// The one JSON writer for every bench output file. The same
+/// telemetry::JsonWriter also serializes qlog traces, so escaping rules
+/// stay in a single place instead of per-bench fprintf formats.
+using JsonWriter = telemetry::JsonWriter;
+
+/// `--trace-exemplar[=path]`: every session-running bench accepts this
+/// flag and, when present, records one exemplar session as a qlog trace
+/// for the xlink_qlog analyzer. apply() arms the first config it is
+/// offered (callers pass their most representative session).
+class TraceExemplar {
+ public:
+  /// Scans argv; unrelated arguments are left for the bench to interpret.
+  static TraceExemplar parse(int argc, char** argv) {
+    TraceExemplar ex;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strcmp(a, "--trace-exemplar") == 0) {
+        ex.on_ = true;
+      } else if (std::strncmp(a, "--trace-exemplar=", 17) == 0) {
+        ex.on_ = true;
+        ex.path_ = a + 17;
+      }
+    }
+    return ex;
+  }
+
+  /// Arms tracing on `cfg` if the flag is set and no session was armed
+  /// yet. The qlog lands at the explicit path or `<label>.qlog`.
+  bool apply(harness::SessionConfig& cfg, const std::string& label) {
+    if (!on_ || used_) return false;
+    used_ = true;
+    cfg.trace.enabled = true;
+    cfg.trace.label = label;
+    cfg.trace.qlog_path = path_.empty() ? label + ".qlog" : path_;
+    std::printf("tracing exemplar session -> %s\n",
+                cfg.trace.qlog_path.c_str());
+    return true;
+  }
+
+  bool on() const { return on_; }
+
+ private:
+  bool on_ = false;
+  bool used_ = false;
+  std::string path_;
+};
 
 /// Builds a Mahimahi trace from piecewise-constant rate segments.
 inline trace::LinkTrace piecewise_trace(

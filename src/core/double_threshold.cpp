@@ -4,26 +4,55 @@
 
 namespace xlink::core {
 
-bool DoubleThresholdController::decide(
+GateDecision DoubleThresholdController::decide_explained(
     const std::optional<quic::QoeSignal>& qoe,
     std::optional<sim::Duration> deliver_time_max) const {
+  using Rule = GateDecision::Rule;
+  GateDecision d;
+  d.deliver_time_max = deliver_time_max;
   switch (config_.mode) {
     case ControlMode::kAlwaysOn:
-      return true;
+      d.allowed = true;
+      d.rule = Rule::kAlwaysOn;
+      return d;
     case ControlMode::kAlwaysOff:
-      return false;
+      d.allowed = false;
+      d.rule = Rule::kAlwaysOff;
+      return d;
     case ControlMode::kDoubleThreshold:
       break;
   }
   // No feedback yet: the buffer is empty (start-up), urgency is maximal.
-  if (!qoe) return true;
-  const auto dt = play_time_left(*qoe);
-  if (!dt) return true;  // uninterpretable signal: stay safe
-  if (*dt > config_.tth2) return false;  // plenty cached: save cost
-  if (*dt < config_.tth1) return true;   // nearly dry: respond now
+  if (!qoe) {
+    d.allowed = true;
+    d.rule = Rule::kNoFeedback;
+    return d;
+  }
+  d.dt = play_time_left(*qoe);
+  if (!d.dt) {  // uninterpretable signal: stay safe
+    d.allowed = true;
+    d.rule = Rule::kUninterpretable;
+    return d;
+  }
+  if (*d.dt > config_.tth2) {  // plenty cached: save cost
+    d.allowed = false;
+    d.rule = Rule::kAboveTth2;
+    return d;
+  }
+  if (*d.dt < config_.tth1) {  // nearly dry: respond now
+    d.allowed = true;
+    d.rule = Rule::kBelowTth1;
+    return d;
+  }
   // Medium buffer: compare with the worst-case in-flight delivery time.
-  if (!deliver_time_max) return false;
-  return *dt < *deliver_time_max;
+  if (!deliver_time_max) {
+    d.allowed = false;
+    d.rule = Rule::kNothingInFlight;
+    return d;
+  }
+  d.allowed = *d.dt < *deliver_time_max;
+  d.rule = Rule::kCompareDeliverTime;
+  return d;
 }
 
 }  // namespace xlink::core

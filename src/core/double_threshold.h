@@ -25,6 +25,27 @@ struct DoubleThresholdConfig {
   ControlMode mode = ControlMode::kDoubleThreshold;
 };
 
+/// A gating decision plus which Alg. 1 branch produced it (telemetry:
+/// "xlink:double_threshold_gate" events carry the rule so a trace explains
+/// WHY re-injection was on or off, not just that it was).
+struct GateDecision {
+  enum class Rule : std::uint8_t {
+    kAlwaysOn = 0,        // ablation mode
+    kAlwaysOff,           // ablation mode
+    kNoFeedback,          // start-up: no QoE signal yet -> ON
+    kUninterpretable,     // signal present but dt not computable -> ON
+    kAboveTth2,           // dt > Tth2 -> OFF (cost)
+    kBelowTth1,           // dt < Tth1 -> ON (responsiveness)
+    kCompareDeliverTime,  // Tth1 <= dt <= Tth2: ON iff dt < deliverTime_max
+    kNothingInFlight,     // middle band but no unacked packets -> OFF
+  };
+
+  bool allowed = false;
+  Rule rule = Rule::kNoFeedback;
+  std::optional<sim::Duration> dt;                // play-time left, if known
+  std::optional<sim::Duration> deliver_time_max;  // Eq. 1, if evaluated
+};
+
 class DoubleThresholdController {
  public:
   explicit DoubleThresholdController(DoubleThresholdConfig config)
@@ -37,7 +58,14 @@ class DoubleThresholdController {
   /// nullopt when no path has unacked packets (then step 3 returns false:
   /// nothing in flight can be late).
   bool decide(const std::optional<quic::QoeSignal>& qoe,
-              std::optional<sim::Duration> deliver_time_max) const;
+              std::optional<sim::Duration> deliver_time_max) const {
+    return decide_explained(qoe, deliver_time_max).allowed;
+  }
+
+  /// Same decision procedure, with the branch taken and its inputs.
+  GateDecision decide_explained(
+      const std::optional<quic::QoeSignal>& qoe,
+      std::optional<sim::Duration> deliver_time_max) const;
 
   const DoubleThresholdConfig& config() const { return config_; }
 

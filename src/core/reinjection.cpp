@@ -81,6 +81,10 @@ void ReinjectionEngine::run(quic::Connection& conn) {
       if (bytes > 0) {
         ++stats_.records_reinjected;
         stats_.bytes_reinjected += bytes;
+        XLINK_TRACE(conn.trace(),
+                    telemetry::Event::reinjection(
+                        now, conn.trace_origin(),
+                        static_cast<std::uint8_t>(id), bytes, pn));
       }
     }
   }

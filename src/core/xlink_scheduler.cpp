@@ -12,8 +12,22 @@ std::optional<quic::PathId> XlinkScheduler::select_path(
 }
 
 void XlinkScheduler::maybe_reinject(quic::Connection& conn) {
-  last_decision_ =
-      controller_.decide(conn.latest_peer_qoe(), max_deliver_time(conn));
+  const GateDecision d =
+      controller_.decide_explained(conn.latest_peer_qoe(),
+                                   max_deliver_time(conn));
+  // Gate decisions are re-evaluated on every pump iteration; trace only the
+  // edges (and the very first decision) to keep traces readable.
+  if (!gate_traced_ || d.allowed != last_decision_) {
+    XLINK_TRACE(conn.trace(),
+                telemetry::Event::double_threshold_gate(
+                    conn.loop().now(), conn.trace_origin(), d.allowed,
+                    static_cast<std::uint32_t>(d.rule),
+                    d.dt ? *d.dt : telemetry::kNoValue,
+                    d.deliver_time_max ? *d.deliver_time_max
+                                       : telemetry::kNoValue));
+    gate_traced_ = true;
+  }
+  last_decision_ = d.allowed;
   if (!last_decision_) return;
   engine_.run(conn);
 }

@@ -45,6 +45,7 @@ class XlinkScheduler final : public quic::Scheduler {
   DoubleThresholdController controller_;
   ReinjectionEngine engine_;
   bool last_decision_ = false;
+  bool gate_traced_ = false;  // first decision traced yet?
 };
 
 std::shared_ptr<XlinkScheduler> make_xlink_scheduler(

@@ -42,6 +42,9 @@ struct DayMetrics {
   double redundancy_pct = 0.0; // extra egress traffic from duplication (%)
   int sessions = 0;
   int unfinished_downloads = 0;
+  /// Per-session registries merged in session-index order (bit-identical
+  /// for every job count, like every other field here).
+  telemetry::MetricsRegistry metrics;
 };
 
 /// Draws the network/video conditions of one session (scheme-independent).

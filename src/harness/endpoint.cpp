@@ -20,6 +20,13 @@ Endpoint::Endpoint(net::Network& network, quic::Connection& conn, Side side)
 void Endpoint::bind_path(std::size_t index) {
   auto& path = network_.path(index);
   const auto id = static_cast<quic::PathId>(index);
+  XLINK_TRACE(trace_,
+              telemetry::Event::path_bound(
+                  conn_.loop().now(),
+                  side_ == Side::kClient ? telemetry::Origin::kClient
+                                         : telemetry::Origin::kServer,
+                  static_cast<std::uint8_t>(index),
+                  static_cast<std::uint64_t>(path.tech())));
   if (side_ == Side::kClient) {
     path.set_down_receiver(
         [this, id](net::Datagram d) { conn_.on_datagram(id, d); });

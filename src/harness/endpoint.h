@@ -24,10 +24,15 @@ class Endpoint {
   /// Wires every path currently in the network.
   void bind_all();
 
+  /// Telemetry: records a transport:path_bound event (path -> wireless
+  /// technology) per bind. Set before bind_all().
+  void set_trace(telemetry::TraceSink* sink) { trace_ = sink; }
+
  private:
   net::Network& network_;
   quic::Connection& conn_;
   Side side_;
+  telemetry::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace xlink::harness

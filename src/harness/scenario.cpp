@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/primary_path.h"
+#include "telemetry/qlog.h"
 
 namespace xlink::harness {
 
@@ -19,6 +20,10 @@ net::PathSpec make_path_spec(net::Wireless tech, trace::LinkTrace down_trace,
 }
 
 Session::Session(SessionConfig config) : config_(std::move(config)) {
+  if (config_.trace.enabled) {
+    trace_ = std::make_unique<telemetry::TraceSink>(config_.trace.capacity);
+    trace_->set_enabled(true);
+  }
   sim::Rng rng(config_.seed);
   network_ = std::make_unique<net::Network>(loop_, rng.fork());
 
@@ -38,14 +43,18 @@ Session::Session(SessionConfig config) : config_(std::move(config)) {
 
   video_model_ = std::make_shared<video::VideoModel>(config_.video);
 
-  client_conn_ = std::make_unique<quic::Connection>(
-      loop_, core::make_scheme_config(config_.scheme, quic::Role::kClient,
-                                      config_.options));
+  auto client_cfg = core::make_scheme_config(config_.scheme,
+                                             quic::Role::kClient,
+                                             config_.options);
+  client_cfg.trace = trace_.get();
+  client_conn_ = std::make_unique<quic::Connection>(loop_,
+                                                    std::move(client_cfg));
   auto server_cfg = core::make_scheme_config(config_.scheme,
                                              quic::Role::kServer,
                                              config_.options);
   if (config_.server_scheduler_override)
     server_cfg.scheduler = config_.server_scheduler_override;
+  server_cfg.trace = trace_.get();
   server_conn_ = std::make_unique<quic::Connection>(loop_,
                                                     std::move(server_cfg));
 
@@ -53,6 +62,8 @@ Session::Session(SessionConfig config) : config_(std::move(config)) {
                                           Endpoint::Side::kClient);
   server_ep_ = std::make_unique<Endpoint>(*network_, *server_conn_,
                                           Endpoint::Side::kServer);
+  client_ep_->set_trace(trace_.get());
+  server_ep_->set_trace(trace_.get());
   client_ep_->bind_all();
   server_ep_->bind_all();
 
@@ -66,6 +77,7 @@ Session::Session(SessionConfig config) : config_(std::move(config)) {
   if (config_.with_player) {
     player_ = std::make_unique<video::VideoPlayer>(
         loop_, *video_model_, config_.startup_buffer_frames);
+    player_->set_trace(trace_.get());
     media_client_->set_player(player_.get());
     qoe_capture_ = std::make_unique<video::QoeCapture>(loop_, *player_,
                                                        config_.qoe_period);
@@ -189,7 +201,55 @@ SessionResult Session::run() {
   for (std::size_t i = 0; i < network_->path_count(); ++i)
     result.path_down_bytes.push_back(
         network_->path(i).down_stats().bytes_delivered);
+
+  fill_metrics(result);
+
+  if (trace_ && !config_.trace.qlog_path.empty()) {
+    telemetry::QlogMeta meta;
+    meta.title = "xlink trace";
+    meta.scenario = config_.trace.label;
+    meta.scheme = core::to_string(config_.scheme);
+    meta.seed = config_.seed;
+    telemetry::write_qlog_file(config_.trace.qlog_path, *trace_, meta);
+  }
   return result;
+}
+
+void Session::fill_metrics(SessionResult& result) const {
+  telemetry::MetricsRegistry& m = result.metrics;
+  const auto& server = server_conn_->stats();
+  const auto& client = client_conn_->stats();
+
+  m.add_counter("quic.server.packets_sent", server.packets_sent);
+  m.add_counter("quic.server.packets_lost", server.packets_lost);
+  m.add_counter("quic.server.ptos", server.ptos);
+  m.add_counter("quic.server.bytes_sent", server.bytes_sent);
+  m.add_counter("quic.server.stream_bytes_sent", server.stream_bytes_sent);
+  m.add_counter("quic.server.reinjected_bytes", server.reinjected_bytes);
+  m.add_counter("quic.server.retransmitted_bytes",
+                server.retransmitted_bytes);
+  m.add_counter("quic.client.packets_received", client.packets_received);
+  m.add_counter("quic.client.acks_sent", client.acks_sent);
+
+  m.add_counter("session.count", 1);
+  m.add_counter("session.chunks_total", result.chunks_total);
+  m.add_counter("session.chunks_completed", result.chunks_completed);
+  m.add_counter("session.rebuffers", result.rebuffer_count);
+  m.add_counter("session.downloads_finished",
+                result.download_finished ? 1 : 0);
+  m.add_counter("session.videos_finished", result.video_finished ? 1 : 0);
+
+  for (double rct : result.chunk_rct_seconds)
+    m.observe("session.chunk_rct_seconds", rct);
+  if (result.first_frame_seconds)
+    m.observe("session.first_frame_seconds", *result.first_frame_seconds);
+  if (result.play_seconds > 0.0)
+    m.observe("session.rebuffer_rate", result.rebuffer_rate);
+
+  if (trace_) {
+    m.add_counter("telemetry.events_recorded", trace_->recorded());
+    m.add_counter("telemetry.events_dropped", trace_->dropped());
+  }
 }
 
 }  // namespace xlink::harness

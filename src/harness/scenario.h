@@ -8,6 +8,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/qoe_feedback.h"
@@ -16,10 +17,26 @@
 #include "http/media_client.h"
 #include "http/media_server.h"
 #include "net/network.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace_sink.h"
 #include "video/player.h"
 #include "video/qoe_capture.h"
 
 namespace xlink::harness {
+
+/// Per-session telemetry: when enabled, the Session owns one TraceSink
+/// shared by both connection endpoints, the schedulers, and the player,
+/// and (optionally) exports the trace as a qlog JSON file after run().
+/// Tracing only reads simulator state, so enabling it does not perturb
+/// any session outcome.
+struct TraceConfig {
+  bool enabled = false;
+  std::size_t capacity = telemetry::TraceSink::kDefaultCapacity;
+  /// When non-empty, Session::run() writes the qlog trace here.
+  std::string qlog_path;
+  /// Scenario label recorded in the qlog common_fields (e.g. bench name).
+  std::string label;
+};
 
 struct SessionConfig {
   core::Scheme scheme = core::Scheme::kXlink;
@@ -50,6 +67,7 @@ struct SessionConfig {
   // arrived for this long while a download is outstanding.
   sim::Duration cm_stall_threshold = sim::millis(600);
   sim::Duration cm_probe_interval = sim::millis(100);
+  TraceConfig trace;
 };
 
 struct SessionResult {
@@ -72,6 +90,11 @@ struct SessionResult {
   double redundancy_ratio = 0.0;
   /// Per network path: bytes the server pushed down it.
   std::vector<std::uint64_t> path_down_bytes;
+  /// Structured per-session metrics (counters/gauges/histograms); derived
+  /// purely from the fields above plus connection stats, so it is
+  /// deterministic for a fixed seed. Day-level aggregation merges these in
+  /// session-index order (see harness/parallel.h).
+  telemetry::MetricsRegistry metrics;
 };
 
 class Session {
@@ -99,15 +122,21 @@ class Session {
   http::MediaClient& media_client() { return *media_client_; }
   const video::VideoModel& video_model() const { return *video_model_; }
   const SessionConfig& config() const { return config_; }
+  /// The session's trace sink; nullptr unless config.trace.enabled.
+  telemetry::TraceSink* trace_sink() { return trace_.get(); }
 
  private:
   void open_secondary_paths();
   void cm_probe();
   void sample_tick();
   bool finished() const;
+  void fill_metrics(SessionResult& result) const;
 
   SessionConfig config_;
   sim::EventLoop loop_;
+  // Declared before the connections/player so the sink outlives everything
+  // that holds a raw pointer to it.
+  std::unique_ptr<telemetry::TraceSink> trace_;
   std::unique_ptr<net::Network> network_;
   std::shared_ptr<video::VideoModel> video_model_;
   std::unique_ptr<quic::Connection> client_conn_;

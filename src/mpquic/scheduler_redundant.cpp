@@ -22,7 +22,14 @@ class RedundantScheduler final : public quic::Scheduler {
       for (auto& [pn, rec] : p.unacked) {
         if (rec.items.empty() || rec.reinjected || rec.is_reinjection)
           continue;
-        conn.reinject_record(rec, quic::InsertMode::kAppend);
+        const std::uint64_t bytes =
+            conn.reinject_record(rec, quic::InsertMode::kAppend);
+        if (bytes > 0) {
+          XLINK_TRACE(conn.trace(),
+                      telemetry::Event::reinjection(
+                          conn.loop().now(), conn.trace_origin(),
+                          static_cast<std::uint8_t>(id), bytes, pn));
+        }
       }
     }
   }

@@ -31,6 +31,12 @@ class CongestionController {
   virtual bool in_slow_start() const = 0;
   virtual std::string name() const = 0;
 
+  /// Slow-start threshold, or SIZE_MAX while unset (telemetry export; maps
+  /// to qlog recovery:metrics_updated's optional ssthresh field).
+  virtual std::size_t ssthresh_bytes() const {
+    return static_cast<std::size_t>(-1);
+  }
+
   /// Resets to the initial window (used by connection migration, which must
   /// restart congestion control on the new path -- the cost Fig. 13 shows).
   virtual void reset() = 0;

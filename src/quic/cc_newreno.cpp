@@ -45,6 +45,7 @@ class NewReno final : public CongestionController {
 
   std::size_t cwnd_bytes() const override { return cwnd_; }
   bool in_slow_start() const override { return cwnd_ < ssthresh_; }
+  std::size_t ssthresh_bytes() const override { return ssthresh_; }
   std::string name() const override { return "newreno"; }
 
   void reset() override {

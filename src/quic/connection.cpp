@@ -107,6 +107,13 @@ void Connection::close(std::uint64_t error_code, const std::string& reason) {
 
 // ------------------------------------------------------------------- paths
 
+void Connection::trace_path_state(const PathState& p) {
+  XLINK_TRACE(config_.trace,
+              telemetry::Event::path_status(
+                  loop_.now(), trace_origin(), static_cast<std::uint8_t>(p.id),
+                  static_cast<std::uint64_t>(p.state)));
+}
+
 PathState& Connection::create_path(PathId id, PathState::State state) {
   auto it = paths_.find(id);
   if (it != paths_.end()) return *it->second;
@@ -121,6 +128,7 @@ PathState& Connection::create_path(PathId id, PathState::State state) {
   }
   p->challenge_data = derive_challenge(id);
   auto [ins, _] = paths_.emplace(id, std::move(p));
+  trace_path_state(*ins->second);
   return *ins->second;
 }
 
@@ -144,6 +152,7 @@ void Connection::abandon_path(PathId id) {
   PathState& p = *it->second;
   if (p.state == PathState::State::kAbandoned) return;
   p.state = PathState::State::kAbandoned;
+  trace_path_state(p);
   // Tell the peer on a surviving path.
   PathStatusFrame status;
   status.path_id = id;
@@ -171,6 +180,7 @@ void Connection::set_path_status(PathId id, std::uint64_t status) {
   }
   p.state = status == PathStatusKind::kStandby ? PathState::State::kStandby
                                                : PathState::State::kActive;
+  trace_path_state(p);
   PathStatusFrame f;
   f.path_id = id;
   f.status_seq = ++p.status_seq_out;
@@ -595,6 +605,10 @@ void Connection::build_and_send(PathId path_id, std::vector<Frame> frames,
       std::any_of(frames.begin(), frames.end(),
                   [](const Frame& f) { return is_ack_eliciting(f); });
   const bool eliciting = ack_eliciting && has_ack_eliciting_frame;
+  const bool is_reinjection_pkt =
+      !items.empty() &&
+      std::all_of(items.begin(), items.end(),
+                  [](const SendItem& i) { return i.is_reinjection; });
 
   if (eliciting || !items.empty()) {
     SentRecord rec;
@@ -603,10 +617,7 @@ void Connection::build_and_send(PathId path_id, std::vector<Frame> frames,
     rec.sent_time = loop_.now();
     rec.bytes = wire.size();
     rec.ack_eliciting = eliciting;
-    rec.is_reinjection =
-        !items.empty() &&
-        std::all_of(items.begin(), items.end(),
-                    [](const SendItem& i) { return i.is_reinjection; });
+    rec.is_reinjection = is_reinjection_pkt;
     rec.items = std::move(items);
     for (const Frame& f : frames) {
       // Keep retransmittable control frames (not acks/padding/stream: the
@@ -634,6 +645,11 @@ void Connection::build_and_send(PathId path_id, std::vector<Frame> frames,
   path.bytes_sent += wire.size();
   ++stats_.packets_sent;
   stats_.bytes_sent += wire.size();
+  XLINK_TRACE(config_.trace,
+              telemetry::Event::packet_sent(
+                  loop_.now(), trace_origin(),
+                  static_cast<std::uint8_t>(path_id), header.packet_number,
+                  wire.size(), eliciting, is_reinjection_pkt));
   send_fn_(path_id, wire);
 }
 
@@ -714,6 +730,11 @@ void Connection::on_datagram(PathId arrival_path, const net::Datagram& dgram) {
   ++path.packets_received;
   path.bytes_received += dgram.size();
   ++stats_.packets_received;
+  XLINK_TRACE(config_.trace,
+              telemetry::Event::packet_received(
+                  loop_.now(), trace_origin(),
+                  static_cast<std::uint8_t>(path_id),
+                  pkt->header.packet_number, dgram.size()));
 
   const bool eliciting =
       std::any_of(frames->begin(), frames->end(),
@@ -784,11 +805,19 @@ void Connection::handle_frames(PathId path_id, PacketNumber /*pn*/,
       handle_ack_info(f->path_id, f->info);
       if (f->qoe) {
         latest_peer_qoe_ = *f->qoe;
+        XLINK_TRACE(config_.trace,
+                    telemetry::Event::qoe_signal(
+                        loop_.now(), trace_origin(), f->qoe->cached_bytes,
+                        f->qoe->cached_frames, f->qoe->bps));
         if (config_.scheduler) config_.scheduler->on_qoe(*this, *f->qoe);
         if (on_qoe_feedback) on_qoe_feedback(*f->qoe);
       }
     } else if (const auto* f = std::get_if<QoeControlSignalsFrame>(&frame)) {
       latest_peer_qoe_ = f->qoe;
+      XLINK_TRACE(config_.trace,
+                  telemetry::Event::qoe_signal(
+                      loop_.now(), trace_origin(), f->qoe.cached_bytes,
+                      f->qoe.cached_frames, f->qoe.bps));
       if (config_.scheduler) config_.scheduler->on_qoe(*this, f->qoe);
       if (on_qoe_feedback) on_qoe_feedback(f->qoe);
     } else if (const auto* f = std::get_if<StreamFrame>(&frame)) {
@@ -798,13 +827,16 @@ void Connection::handle_frames(PathId path_id, PacketNumber /*pn*/,
     } else if (const auto* f = std::get_if<PathChallengeFrame>(&frame)) {
       queue_control(path_id, Frame{PathResponseFrame{f->data}});
       auto& p = *paths_.at(path_id);
-      if (p.state == PathState::State::kValidating)
+      if (p.state == PathState::State::kValidating) {
         p.state = PathState::State::kActive;
+        trace_path_state(p);
+      }
     } else if (const auto* f = std::get_if<PathResponseFrame>(&frame)) {
       auto& p = *paths_.at(path_id);
       if (p.state == PathState::State::kValidating &&
           f->data == p.challenge_data) {
         p.state = PathState::State::kActive;
+        trace_path_state(p);
         if (on_path_validated) {
           const PathId validated = path_id;
           loop_.schedule_in(0, [this, validated] {
@@ -821,6 +853,7 @@ void Connection::handle_frames(PathId path_id, PacketNumber /*pn*/,
           PathState& p = *it->second;
           if (p.state != PathState::State::kAbandoned) {
             p.state = PathState::State::kAbandoned;
+            trace_path_state(p);
             std::vector<SentRecord> rescued;
             for (auto& [pn2, rec] : p.unacked) rescued.push_back(std::move(rec));
             p.unacked.clear();
@@ -828,8 +861,10 @@ void Connection::handle_frames(PathId path_id, PacketNumber /*pn*/,
           }
         } else if (f->status == PathStatusKind::kStandby) {
           it->second->state = PathState::State::kStandby;
+          trace_path_state(*it->second);
         } else if (it->second->state == PathState::State::kStandby) {
           it->second->state = PathState::State::kActive;
+          trace_path_state(*it->second);
         }
       }
     } else if (const auto* f = std::get_if<NewConnectionIdFrame>(&frame)) {
@@ -921,6 +956,13 @@ void Connection::handle_ack_info(PathId acked_path, const AckInfo& info) {
                         info.ack_delay_us,
                         sim::millis(config_.params.max_ack_delay_ms)));
   }
+  XLINK_TRACE(config_.trace,
+              telemetry::Event::ack_mp(
+                  loop_.now(), trace_origin(),
+                  static_cast<std::uint8_t>(acked_path), info.largest_acked(),
+                  outcome.acked_bytes,
+                  outcome.rtt_sample ? *outcome.rtt_sample : 0,
+                  outcome.rtt_sample.has_value()));
   if (!outcome.newly_acked.empty()) {
     p.pto_count = 0;
     p.last_ack_received = loop_.now();
@@ -939,19 +981,39 @@ void Connection::handle_ack_info(PathId acked_path, const AckInfo& info) {
     if (rec.ack_eliciting)
       p.cc->on_ack(rec.bytes, rec.sent_time, loop_.now(), p.rtt.smoothed());
   }
+  if (!outcome.newly_acked.empty()) trace_cc_state(p);
   if (!outcome.lost.empty()) on_packets_lost(p, outcome.lost);
+}
+
+void Connection::trace_cc_state(const PathState& p) {
+#if !defined(XLINK_TELEMETRY_DISABLED)
+  if (!config_.trace || !config_.trace->enabled()) return;
+  const std::size_t ss = p.cc->ssthresh_bytes();
+  config_.trace->record(telemetry::Event::cc_state(
+      loop_.now(), trace_origin(), static_cast<std::uint8_t>(p.id),
+      p.cc->cwnd_bytes(), p.loss.bytes_in_flight(),
+      ss == static_cast<std::size_t>(-1) ? telemetry::kNoValue : ss,
+      p.rtt.smoothed(), p.cc->in_slow_start()));
+#else
+  (void)p;
+#endif
 }
 
 // ----------------------------------------------------------- loss handling
 
 void Connection::on_packets_lost(PathState& p,
-                                 const std::vector<PacketNumber>& pns) {
+                                 const std::vector<LostPacket>& pns) {
   sim::Time latest_sent = 0;
   std::vector<SentRecord> lost_records;
-  for (PacketNumber pn : pns) {
-    auto it = p.unacked.find(pn);
+  for (const LostPacket& lp : pns) {
+    auto it = p.unacked.find(lp.pn);
     if (it == p.unacked.end()) continue;
     latest_sent = std::max(latest_sent, it->second.sent_time);
+    XLINK_TRACE(config_.trace,
+                telemetry::Event::loss(
+                    loop_.now(), trace_origin(),
+                    static_cast<std::uint8_t>(p.id), lp.pn, it->second.bytes,
+                    static_cast<std::uint8_t>(lp.reason)));
     lost_records.push_back(std::move(it->second));
     p.unacked.erase(it);
   }
@@ -959,6 +1021,7 @@ void Connection::on_packets_lost(PathState& p,
   p.packets_lost += lost_records.size();
   stats_.packets_lost += lost_records.size();
   p.cc->on_loss_event(latest_sent, loop_.now());
+  trace_cc_state(p);
   for (auto& rec : lost_records) requeue_record(std::move(rec));
   if (config_.scheduler) config_.scheduler->on_loss(*this, p.id);
 }
@@ -1007,6 +1070,9 @@ void Connection::requeue_record(SentRecord record) {
 void Connection::on_pto(PathState& p) {
   ++stats_.ptos;
   ++p.pto_count;
+  XLINK_TRACE(config_.trace, telemetry::Event::pto(
+                                 loop_.now(), trace_origin(),
+                                 static_cast<std::uint8_t>(p.id), p.pto_count));
   if (config_.tcp_style_rto) {
     // TCP semantics: RTO collapses the window and slow-starts.
     p.cc->on_persistent_congestion(loop_.now());

@@ -42,6 +42,7 @@
 #include "quic/stream.h"
 #include "quic/types.h"
 #include "sim/event_loop.h"
+#include "telemetry/trace_sink.h"
 
 namespace xlink::quic {
 
@@ -126,6 +127,9 @@ class Connection {
     /// the wire; the simulator derives them on both sides).
     std::uint8_t cid_server_id = 0;
     std::uint8_t peer_cid_server_id = 0;
+    /// Telemetry sink shared by the session (nullptr or disabled = no
+    /// tracing; the hooks then cost one predictable branch each).
+    telemetry::TraceSink* trace = nullptr;
   };
 
   struct Stats {
@@ -262,6 +266,13 @@ class Connection {
   const Stats& stats() const { return stats_; }
   Role role() const { return config_.role; }
 
+  /// Session telemetry sink (may be nullptr); schedulers trace through it.
+  telemetry::TraceSink* trace() const { return config_.trace; }
+  telemetry::Origin trace_origin() const {
+    return config_.role == Role::kServer ? telemetry::Origin::kServer
+                                         : telemetry::Origin::kClient;
+  }
+
   /// Peer's flow-control limit headroom at connection level.
   std::uint64_t connection_send_window() const;
 
@@ -288,13 +299,15 @@ class Connection {
   bool already_received(const PathState& p, PacketNumber pn) const;
 
   // Loss/timer machinery.
-  void on_packets_lost(PathState& p, const std::vector<PacketNumber>& pns);
+  void trace_cc_state(const PathState& p);
+  void on_packets_lost(PathState& p, const std::vector<LostPacket>& pns);
   void requeue_record(SentRecord record);
   void on_pto(PathState& p);
   void arm_timers();
   void on_timer();
 
   // Path/CID helpers.
+  void trace_path_state(const PathState& p);
   PathState& create_path(PathId id, PathState::State state);
   void issue_connection_ids();
   void queue_control(PathId path, Frame frame);

@@ -45,9 +45,9 @@ LossDetection::AckOutcome LossDetection::on_ack_received(
   return out;
 }
 
-std::vector<PacketNumber> LossDetection::detect_losses(
+std::vector<LostPacket> LossDetection::detect_losses(
     sim::Time now, const RttEstimator& rtt) {
-  std::vector<PacketNumber> lost;
+  std::vector<LostPacket> lost;
   if (!any_acked_) return lost;
   const sim::Duration threshold = time_threshold(rtt);
   for (auto it = sent_.begin(); it != sent_.end();) {
@@ -57,7 +57,8 @@ std::vector<PacketNumber> LossDetection::detect_losses(
     const bool by_count = largest_acked_ >= pn + kPacketThreshold;
     const bool by_time = m.sent_time + threshold <= now;
     if (by_count || by_time) {
-      lost.push_back(pn);
+      lost.push_back({pn, by_count ? LossReason::kPacketThreshold
+                                   : LossReason::kTimeThreshold});
       if (m.ack_eliciting) bytes_in_flight_ -= m.bytes;
       it = sent_.erase(it);
     } else {

@@ -28,6 +28,16 @@ constexpr std::uint64_t kPacketThreshold = 3;
 constexpr int kTimeThresholdNum = 9;   // 9/8 of RTT
 constexpr int kTimeThresholdDen = 8;
 
+/// Which of the two RFC 9002 rules declared a packet lost (exported to
+/// telemetry; time-threshold losses are the signature of reordering or
+/// delay spikes rather than drops).
+enum class LossReason : std::uint8_t { kPacketThreshold = 0, kTimeThreshold };
+
+struct LostPacket {
+  PacketNumber pn = 0;
+  LossReason reason = LossReason::kPacketThreshold;
+};
+
 class LossDetection {
  public:
   void on_packet_sent(PacketNumber pn, sim::Time now, std::size_t bytes,
@@ -35,7 +45,7 @@ class LossDetection {
 
   struct AckOutcome {
     std::vector<PacketNumber> newly_acked;
-    std::vector<PacketNumber> lost;
+    std::vector<LostPacket> lost;
     std::size_t acked_bytes = 0;
     /// RTT sample (now - send time of largest newly-acked, if ack-eliciting).
     std::optional<sim::Duration> rtt_sample;
@@ -49,8 +59,8 @@ class LossDetection {
                              const RttEstimator& rtt);
 
   /// Re-runs time-threshold loss detection (call when the loss timer fires).
-  std::vector<PacketNumber> detect_losses(sim::Time now,
-                                          const RttEstimator& rtt);
+  std::vector<LostPacket> detect_losses(sim::Time now,
+                                        const RttEstimator& rtt);
 
   /// Earliest time at which a currently-tracked packet would cross the time
   /// threshold; nullopt when no packet is waiting on it.

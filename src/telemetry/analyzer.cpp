@@ -1,0 +1,325 @@
+#include "telemetry/analyzer.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "stats/table.h"
+
+namespace xlink::telemetry {
+
+namespace {
+
+const char* path_state_name(std::uint64_t s) {
+  switch (s) {
+    case 0: return "validating";
+    case 1: return "active";
+    case 2: return "standby";
+    case 3: return "abandoned";
+  }
+  return "?";
+}
+
+const char* tech_name(std::uint64_t tech) {
+  switch (tech) {
+    case 0: return "wifi";
+    case 1: return "lte";
+    case 2: return "5g-sa";
+    case 3: return "5g-nsa";
+  }
+  return "?";
+}
+
+std::string ms_str(sim::Duration d) {
+  return stats::Table::fmt(sim::to_millis(d), 1) + "ms";
+}
+
+std::string sec_str(sim::Time t) {
+  return stats::Table::fmt(sim::to_seconds(t), 3) + "s";
+}
+
+}  // namespace
+
+AnalysisReport analyze(const ParsedTrace& trace,
+                       sim::Duration attribution_window) {
+  AnalysisReport rep;
+  rep.meta = trace.meta;
+  rep.events = trace.events.size();
+  rep.dropped = trace.dropped;
+
+  std::map<std::uint8_t, PathTimeline> paths;
+  auto path_of = [&](std::uint8_t id) -> PathTimeline& {
+    auto [it, inserted] = paths.try_emplace(id);
+    if (inserted) it->second.path = id;
+    return it->second;
+  };
+  auto touch = [](PathTimeline& p, sim::Time t) {
+    if (p.first_activity == 0 && p.last_activity == 0) p.first_activity = t;
+    p.last_activity = std::max(p.last_activity, t);
+  };
+
+  bool gate_open = false;
+  bool gate_seen = false;
+  sim::Time last_reinjection = 0;
+  bool in_episode = false;
+  sim::Time episode_end = 0;
+  bool episode_stalled = false;
+  constexpr sim::Duration kEpisodeGap = sim::seconds(1);
+  constexpr sim::Duration kEpisodeStallHorizon = sim::seconds(2);
+
+  // Open stall (kPlayerStall without a matching resume yet).
+  constexpr std::size_t kNoStall = ~std::size_t{0};
+  std::size_t open_stall = kNoStall;
+
+  auto close_episode = [&] {
+    if (!in_episode) return;
+    ++rep.reinjection.episodes;
+    if (!episode_stalled) ++rep.reinjection.episodes_without_stall;
+    in_episode = false;
+  };
+
+  for (const Event& e : trace.events) {
+    rep.trace_end = std::max(rep.trace_end, e.t);
+    if (in_episode && e.t > episode_end + kEpisodeStallHorizon)
+      close_episode();
+
+    switch (e.type) {
+      case EventType::kPacketSent: {
+        PathTimeline& p = path_of(e.path);
+        touch(p, e.t);
+        if (e.origin == Origin::kServer) {  // downlink data direction
+          ++p.packets_sent;
+          p.bytes_sent += e.b;
+          if (!(e.flag & 2)) rep.reinjection.first_tx_bytes += e.b;
+        }
+        break;
+      }
+      case EventType::kPacketReceived: {
+        PathTimeline& p = path_of(e.path);
+        touch(p, e.t);
+        ++p.packets_received;
+        break;
+      }
+      case EventType::kAckMp:
+        touch(path_of(e.path), e.t);
+        break;
+      case EventType::kLoss: {
+        PathTimeline& p = path_of(e.path);
+        touch(p, e.t);
+        ++p.packets_lost;
+        if (e.flag == 1) ++p.lost_time_threshold;
+        break;
+      }
+      case EventType::kPto: {
+        PathTimeline& p = path_of(e.path);
+        touch(p, e.t);
+        ++p.ptos;
+        break;
+      }
+      case EventType::kCcState: {
+        PathTimeline& p = path_of(e.path);
+        touch(p, e.t);
+        p.last_cwnd = e.a;
+        if (e.extra > 0) {
+          p.min_srtt_us = std::min<std::uint64_t>(p.min_srtt_us, e.extra);
+          p.max_srtt_us = std::max<std::uint64_t>(p.max_srtt_us, e.extra);
+        }
+        break;
+      }
+      case EventType::kPathStatus: {
+        PathTimeline& p = path_of(e.path);
+        touch(p, e.t);
+        // Both endpoints trace the same transition; collapse repeats.
+        if (p.status_changes.empty() || p.status_changes.back().second != e.a)
+          p.status_changes.emplace_back(e.t, e.a);
+        break;
+      }
+      case EventType::kPathBound:
+        path_of(e.path).tech = e.a;
+        break;
+      case EventType::kReinjection: {
+        PathTimeline& p = path_of(e.path);
+        touch(p, e.t);
+        ++p.reinjections_from;
+        p.reinjected_bytes_from += e.a;
+        rep.reinjection.reinjected_bytes += e.a;
+        ++rep.reinjection.reinjection_events;
+        if (!in_episode || e.t > last_reinjection + kEpisodeGap) {
+          close_episode();
+          in_episode = true;
+          episode_stalled = false;
+        }
+        last_reinjection = e.t;
+        episode_end = e.t;
+        break;
+      }
+      case EventType::kDoubleThresholdGate: {
+        const bool allowed = (e.flag & 1) != 0;
+        ++rep.reinjection.gate_decisions;
+        if (allowed) ++rep.reinjection.gate_open_decisions;
+        if (gate_seen && allowed != gate_open) ++rep.reinjection.gate_flips;
+        gate_open = allowed;
+        gate_seen = true;
+        break;
+      }
+      case EventType::kQoeSignal:
+        break;
+      case EventType::kPlayerFirstFrame:
+        rep.first_frame_latency_us = e.a;
+        break;
+      case EventType::kPlayerStall: {
+        ++rep.reinjection.stalls;
+        if (in_episode && e.t <= episode_end + kEpisodeStallHorizon)
+          episode_stalled = true;
+        StallReport s;
+        s.start = e.t;
+        s.frame = e.a;
+        s.gate_open_at_stall = gate_open;
+        const sim::Time window_start =
+            e.t > attribution_window ? e.t - attribution_window : 0;
+        std::map<std::uint8_t, std::uint64_t> badness;
+        for (const Event& w : trace.events) {
+          if (w.t < window_start) continue;
+          if (w.t > e.t) break;
+          if (w.type == EventType::kLoss) {
+            ++s.losses_in_window;
+            ++badness[w.path];
+          } else if (w.type == EventType::kPto) {
+            ++s.ptos_in_window;
+            badness[w.path] += 3;  // a PTO is a stronger outage signal
+          } else if (w.type == EventType::kReinjection) {
+            ++s.reinjections_in_window;
+          }
+        }
+        std::uint64_t worst = 0;
+        for (const auto& [path, score] : badness) {
+          if (score > worst) {
+            worst = score;
+            s.worst_path = path;
+          }
+        }
+        std::ostringstream why;
+        if (s.ptos_in_window > 0) {
+          why << "path " << int(s.worst_path) << " outage ("
+              << s.ptos_in_window << " PTOs, " << s.losses_in_window
+              << " losses in window)";
+        } else if (s.losses_in_window > 0) {
+          why << "loss burst on path " << int(s.worst_path) << " ("
+              << s.losses_in_window << " losses in window)";
+        } else {
+          why << "bandwidth shortfall (no loss/PTO in window)";
+        }
+        if (!s.gate_open_at_stall && gate_seen)
+          why << "; re-injection gate was OFF";
+        else if (s.reinjections_in_window > 0)
+          why << "; " << s.reinjections_in_window
+              << " re-injections already in flight";
+        s.attribution = why.str();
+        open_stall = rep.stalls.size();
+        rep.stalls.push_back(std::move(s));
+        break;
+      }
+      case EventType::kPlayerResume:
+        if (open_stall != kNoStall) {
+          rep.stalls[open_stall].duration = e.a;
+          rep.stalls[open_stall].resolved = true;
+          open_stall = kNoStall;
+        }
+        break;
+      case EventType::kPlayerFinished:
+        rep.finished = true;
+        break;
+    }
+  }
+  close_episode();
+
+  // Stalls resolved within the same instant are not user-visible; the
+  // player cancels them from its rebuffer count, so drop them here too.
+  std::erase_if(rep.stalls, [](const StallReport& s) {
+    return s.resolved && s.duration == 0;
+  });
+  rep.reinjection.stalls = rep.stalls.size();
+
+  rep.paths.reserve(paths.size());
+  for (auto& [id, p] : paths) rep.paths.push_back(std::move(p));
+  return rep;
+}
+
+std::string render_report(const AnalysisReport& rep) {
+  std::ostringstream os;
+  os << "=== trace ===\n";
+  os << "scenario: "
+     << (rep.meta.scenario.empty() ? "(unnamed)" : rep.meta.scenario)
+     << "  scheme: " << (rep.meta.scheme.empty() ? "?" : rep.meta.scheme)
+     << "  seed: " << rep.meta.seed << "\n";
+  os << "events: " << rep.events << " (" << rep.dropped
+     << " dropped by ring)  span: " << sec_str(rep.trace_end) << "  video "
+     << (rep.finished ? "finished" : "did not finish") << "\n";
+  if (rep.first_frame_latency_us != kNoValue)
+    os << "first frame: " << ms_str(rep.first_frame_latency_us) << "\n";
+
+  os << "\n=== per-path timeline ===\n";
+  stats::Table table({"path", "tech", "sent", "MB", "rcvd", "lost", "t-thr",
+                      "pto", "reinj", "srtt min/max", "states"});
+  for (const PathTimeline& p : rep.paths) {
+    std::string states;
+    for (const auto& [t, s] : p.status_changes) {
+      if (!states.empty()) states += " ";
+      states += sec_str(t) + ":" + path_state_name(s);
+    }
+    std::string srtt = "-";
+    if (p.max_srtt_us > 0)
+      srtt = ms_str(p.min_srtt_us == kNoValue ? 0 : p.min_srtt_us) + "/" +
+             ms_str(p.max_srtt_us);
+    table.add_row({std::to_string(int(p.path)),
+                   p.tech == kNoValue ? "?" : tech_name(p.tech),
+                   std::to_string(p.packets_sent),
+                   stats::Table::fmt(double(p.bytes_sent) / 1e6, 2),
+                   std::to_string(p.packets_received),
+                   std::to_string(p.packets_lost),
+                   std::to_string(p.lost_time_threshold),
+                   std::to_string(p.ptos),
+                   std::to_string(p.reinjections_from), srtt, states});
+  }
+  os << table.render();
+
+  const ReinjectionEfficiency& r = rep.reinjection;
+  os << "\n=== re-injection efficiency ===\n";
+  os << "first-tx bytes: " << stats::Table::fmt(double(r.first_tx_bytes) / 1e6, 2)
+     << " MB, re-injected: "
+     << stats::Table::fmt(double(r.reinjected_bytes) / 1e6, 3) << " MB ("
+     << stats::Table::fmt(100.0 * r.redundancy_ratio(), 2)
+     << "% redundancy)\n";
+  os << "re-injection events: " << r.reinjection_events << " in " << r.episodes
+     << " episodes; " << r.episodes_without_stall
+     << " episodes not followed by a stall within 2s (upper bound on stalls"
+        " avoided)\n";
+  if (r.gate_decisions > 0) {
+    os << "double-threshold gate: " << r.gate_decisions << " decisions, "
+       << r.gate_open_decisions << " ON ("
+       << stats::Table::fmt(
+              100.0 * double(r.gate_open_decisions) / double(r.gate_decisions),
+              1)
+       << "%), " << r.gate_flips << " flips\n";
+  }
+
+  os << "\n=== stall attribution ===\n";
+  if (rep.stalls.empty()) {
+    os << "no player stalls in trace\n";
+  } else {
+    for (const StallReport& s : rep.stalls) {
+      os << "stall @ " << sec_str(s.start) << " frame " << s.frame << " ";
+      if (s.resolved)
+        os << "(" << ms_str(s.duration) << ")";
+      else
+        os << "(unresolved at trace end)";
+      os << ": " << s.attribution << "\n";
+    }
+    os << rep.stalls.size() << " stall(s), " << r.stalls
+       << " counted by player\n";
+  }
+  return os.str();
+}
+
+}  // namespace xlink::telemetry

@@ -1,0 +1,90 @@
+// Trace analysis: turns a parsed qlog trace into the reports the
+// xlink_qlog CLI prints — per-path timelines, re-injection efficiency
+// (redundant bytes vs. stalls), and stall attribution (what the transport
+// was doing in the window leading into each rebuffer).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/event.h"
+#include "telemetry/qlog.h"
+
+namespace xlink::telemetry {
+
+struct PathTimeline {
+  std::uint8_t path = 0;
+  std::uint64_t tech = kNoValue;  // net::Wireless value if a bind was traced
+  std::uint64_t packets_sent = 0;      // server->client data direction
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t packets_received = 0;  // received at either endpoint
+  std::uint64_t packets_lost = 0;
+  std::uint64_t lost_time_threshold = 0;
+  std::uint64_t ptos = 0;
+  std::uint64_t reinjections_from = 0;  // duplicates rescued OFF this path
+  std::uint64_t reinjected_bytes_from = 0;
+  sim::Time first_activity = 0;
+  sim::Time last_activity = 0;
+  std::uint64_t min_srtt_us = kNoValue;
+  std::uint64_t max_srtt_us = 0;
+  std::uint64_t last_cwnd = 0;
+  /// (time, PathState::State value) transitions, client side.
+  std::vector<std::pair<sim::Time, std::uint64_t>> status_changes;
+};
+
+struct StallReport {
+  sim::Time start = 0;
+  sim::Duration duration = 0;   // 0 when the trace ended mid-stall
+  std::uint64_t frame = 0;
+  bool resolved = false;
+  // Transport state in the attribution window ([start - window, start]).
+  std::uint64_t losses_in_window = 0;
+  std::uint64_t ptos_in_window = 0;
+  std::uint64_t reinjections_in_window = 0;
+  std::uint8_t worst_path = 0;        // path with the most losses+ptos
+  bool gate_open_at_stall = false;    // last double-threshold decision
+  std::string attribution;            // human-readable one-liner
+};
+
+struct ReinjectionEfficiency {
+  std::uint64_t first_tx_bytes = 0;    // non-duplicate packet_sent bytes
+  std::uint64_t reinjected_bytes = 0;  // xlink:reinjection bytes
+  std::uint64_t reinjection_events = 0;
+  std::uint64_t gate_flips = 0;        // double-threshold decision changes
+  std::uint64_t gate_open_decisions = 0;
+  std::uint64_t gate_decisions = 0;
+  /// Re-injection episodes (bursts separated by >= 1s) not followed by a
+  /// player stall within 2s — an upper bound on "stalls avoided".
+  std::uint64_t episodes = 0;
+  std::uint64_t episodes_without_stall = 0;
+  std::uint64_t stalls = 0;
+
+  double redundancy_ratio() const {
+    return first_tx_bytes == 0
+               ? 0.0
+               : static_cast<double>(reinjected_bytes) /
+                     static_cast<double>(first_tx_bytes);
+  }
+};
+
+struct AnalysisReport {
+  QlogMeta meta;
+  std::uint64_t events = 0;
+  std::uint64_t dropped = 0;
+  sim::Time trace_end = 0;
+  std::vector<PathTimeline> paths;
+  ReinjectionEfficiency reinjection;
+  std::vector<StallReport> stalls;
+  std::uint64_t first_frame_latency_us = kNoValue;
+  bool finished = false;
+};
+
+/// Window before a stall that attribution inspects (default 1s).
+AnalysisReport analyze(const ParsedTrace& trace,
+                       sim::Duration attribution_window = sim::seconds(1));
+
+/// Renders the full human-readable report (what xlink_qlog prints).
+std::string render_report(const AnalysisReport& report);
+
+}  // namespace xlink::telemetry

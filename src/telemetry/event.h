@@ -1,0 +1,178 @@
+// Typed trace events for qlog-style endpoint tracing.
+//
+// Every event is a fixed-size POD so a per-session ring buffer of them is
+// cache-friendly and recording is a couple of stores. The price is that
+// field names are positional: each EventType documents what the generic
+// slots (`a`, `b`, `c`, `extra`, `flag`) mean for it, and qlog.cpp maps
+// them to named JSON fields on export. Keep the two in sync.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace xlink::telemetry {
+
+/// Where an event was recorded. Client and server share one simulated
+/// timeline, so one trace interleaves both endpoints plus session-level
+/// components (the player), distinguished by this tag.
+enum class Origin : std::uint8_t {
+  kServer = 0,
+  kClient = 1,
+  kSession = 2,
+};
+
+enum class EventType : std::uint8_t {
+  kPacketSent = 0,        // path; a=pn, b=wire bytes;
+                          // flag bit0=ack_eliciting, bit1=is_reinjection
+  kPacketReceived,        // path; a=pn, b=wire bytes
+  kAckMp,                 // path=acked path; a=largest acked pn,
+                          // b=newly acked bytes; c=rtt sample (us);
+                          // flag bit0=rtt sample present
+  kLoss,                  // path; a=pn, b=wire bytes;
+                          // flag=LossDetection reason (0=packet threshold,
+                          // 1=time threshold)
+  kPto,                   // path; a=pto_count after this timeout
+  kCcState,               // path; a=cwnd bytes, b=bytes in flight,
+                          // c=ssthresh bytes (kNoValue -> omitted on export);
+                          // extra=srtt (us, saturated); flag=in_slow_start
+  kPathStatus,            // path; a=PathState::State as integer
+  kPathBound,             // path; a=net::Wireless as integer (harness wiring)
+  kReinjection,           // path=origin path; a=bytes duplicated, b=pn of
+                          // the re-injected record
+  kDoubleThresholdGate,   // flag=decision (1=re-injection allowed);
+                          // extra=rule (DoubleThresholdController::Rule);
+                          // a=play-time-left dt (us), b=deliver_time_max
+                          // (us); kNoValue when not computable
+  kQoeSignal,             // a=cached_bytes, b=cached_frames, c=bitrate bps
+  kPlayerFirstFrame,      // a=first-frame latency (us)
+  kPlayerStall,           // a=index of the frame that missed its deadline
+  kPlayerResume,          // a=stall duration (us), b=frame index
+  kPlayerFinished,        // a=frames played
+};
+
+/// Sentinel for "value not available" in `a`/`b`/`c`.
+constexpr std::uint64_t kNoValue = ~std::uint64_t{0};
+
+/// qlog-style event name ("category:name"), e.g. "transport:packet_sent".
+const char* event_name(EventType type);
+
+/// Inverse of event_name; returns false for unknown names.
+bool event_type_from_name(const char* name, EventType& out);
+
+struct Event {
+  sim::Time t = 0;
+  EventType type = EventType::kPacketSent;
+  Origin origin = Origin::kServer;
+  std::uint8_t path = 0;
+  std::uint8_t flag = 0;
+  std::uint32_t extra = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+
+  bool operator==(const Event&) const = default;
+
+  // ---- factories (keep call sites self-documenting) -------------------
+  static Event packet_sent(sim::Time t, Origin o, std::uint8_t path,
+                           std::uint64_t pn, std::uint64_t bytes,
+                           bool ack_eliciting, bool is_reinjection) {
+    return {t,
+            EventType::kPacketSent,
+            o,
+            path,
+            static_cast<std::uint8_t>((ack_eliciting ? 1 : 0) |
+                                      (is_reinjection ? 2 : 0)),
+            0,
+            pn,
+            bytes,
+            0};
+  }
+  static Event packet_received(sim::Time t, Origin o, std::uint8_t path,
+                               std::uint64_t pn, std::uint64_t bytes) {
+    return {t, EventType::kPacketReceived, o, path, 0, 0, pn, bytes, 0};
+  }
+  static Event ack_mp(sim::Time t, Origin o, std::uint8_t path,
+                      std::uint64_t largest, std::uint64_t acked_bytes,
+                      std::uint64_t rtt_sample_us, bool has_sample) {
+    return {t,      EventType::kAckMp, o,           path,
+            static_cast<std::uint8_t>(has_sample ? 1 : 0), 0,
+            largest, acked_bytes, rtt_sample_us};
+  }
+  static Event loss(sim::Time t, Origin o, std::uint8_t path,
+                    std::uint64_t pn, std::uint64_t bytes,
+                    std::uint8_t reason) {
+    return {t, EventType::kLoss, o, path, reason, 0, pn, bytes, 0};
+  }
+  static Event pto(sim::Time t, Origin o, std::uint8_t path,
+                   std::uint64_t count) {
+    return {t, EventType::kPto, o, path, 0, 0, count, 0, 0};
+  }
+  static Event cc_state(sim::Time t, Origin o, std::uint8_t path,
+                        std::uint64_t cwnd, std::uint64_t inflight,
+                        std::uint64_t ssthresh, std::uint64_t srtt_us,
+                        bool slow_start) {
+    return {t,
+            EventType::kCcState,
+            o,
+            path,
+            static_cast<std::uint8_t>(slow_start ? 1 : 0),
+            static_cast<std::uint32_t>(
+                srtt_us > 0xffffffffull ? 0xffffffffull : srtt_us),
+            cwnd,
+            inflight,
+            ssthresh};
+  }
+  static Event path_status(sim::Time t, Origin o, std::uint8_t path,
+                           std::uint64_t state) {
+    return {t, EventType::kPathStatus, o, path, 0, 0, state, 0, 0};
+  }
+  static Event path_bound(sim::Time t, Origin o, std::uint8_t path,
+                          std::uint64_t tech) {
+    return {t, EventType::kPathBound, o, path, 0, 0, tech, 0, 0};
+  }
+  static Event reinjection(sim::Time t, Origin o, std::uint8_t origin_path,
+                           std::uint64_t bytes, std::uint64_t pn) {
+    return {t, EventType::kReinjection, o, origin_path, 0, 0, bytes, pn, 0};
+  }
+  static Event double_threshold_gate(sim::Time t, Origin o, bool allowed,
+                                     std::uint32_t rule, std::uint64_t dt_us,
+                                     std::uint64_t deliver_time_max_us) {
+    return {t,
+            EventType::kDoubleThresholdGate,
+            o,
+            0,
+            static_cast<std::uint8_t>(allowed ? 1 : 0),
+            rule,
+            dt_us,
+            deliver_time_max_us,
+            0};
+  }
+  static Event qoe_signal(sim::Time t, Origin o, std::uint64_t cached_bytes,
+                          std::uint64_t cached_frames, std::uint64_t bps) {
+    return {t, EventType::kQoeSignal, o, 0, 0, 0, cached_bytes, cached_frames,
+            bps};
+  }
+  static Event player_first_frame(sim::Time t, std::uint64_t latency_us) {
+    return {t,          EventType::kPlayerFirstFrame, Origin::kSession, 0, 0, 0,
+            latency_us, 0,
+            0};
+  }
+  static Event player_stall(sim::Time t, std::uint64_t frame) {
+    return {t, EventType::kPlayerStall, Origin::kSession, 0, 0, 0, frame, 0, 0};
+  }
+  static Event player_resume(sim::Time t, std::uint64_t stall_us,
+                             std::uint64_t frame) {
+    return {t,        EventType::kPlayerResume, Origin::kSession, 0, 0, 0,
+            stall_us, frame,
+            0};
+  }
+  static Event player_finished(sim::Time t, std::uint64_t frames) {
+    return {t, EventType::kPlayerFinished, Origin::kSession, 0, 0, 0, frames, 0,
+            0};
+  }
+};
+
+static_assert(sizeof(Event) <= 48, "Event must stay ring-buffer friendly");
+
+}  // namespace xlink::telemetry

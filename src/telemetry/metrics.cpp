@@ -1,0 +1,110 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/json.h"
+
+namespace xlink::telemetry {
+
+namespace {
+constexpr int kUnderflowBucket = -1075;  // below every positive exponent
+
+int bucket_of(double v) {
+  if (!(v > 0.0)) return kUnderflowBucket;
+  return std::ilogb(v);
+}
+
+double bucket_upper(int bucket) {
+  if (bucket == kUnderflowBucket) return 0.0;
+  return std::ldexp(1.0, bucket + 1);
+}
+}  // namespace
+
+void Histogram::observe(double v) {
+  if (count == 0) {
+    min = max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  ++count;
+  sum += v;
+  ++buckets[bucket_of(v)];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  for (const auto& [b, n] : other.buckets) buckets[b] += n;
+}
+
+double Histogram::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (const auto& [b, n] : buckets) {
+    seen += n;
+    if (seen >= target) return std::min(bucket_upper(b), max);
+  }
+  return max;
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const Histogram* MetricsRegistry::histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, v] : other.counters_) counters_[name] += v;
+  for (const auto& [name, v] : other.gauges_) gauges_[name] = v;
+  for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
+}
+
+void MetricsRegistry::write_json(std::ostream& os, int indent) const {
+  JsonWriter w(os, indent);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : counters_) w.kv(name, v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : gauges_) w.kv(name, v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.kv("count", h.count);
+    w.kv("sum", h.sum);
+    w.kv("min", h.min);
+    w.kv("max", h.max);
+    w.kv("mean", h.mean());
+    w.kv("p50", h.percentile(50));
+    w.kv("p95", h.percentile(95));
+    w.kv("p99", h.percentile(99));
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace xlink::telemetry

@@ -1,0 +1,341 @@
+#include "telemetry/qlog.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "telemetry/json.h"
+
+namespace xlink::telemetry {
+
+namespace {
+
+struct NameEntry {
+  EventType type;
+  const char* name;
+};
+
+constexpr NameEntry kNames[] = {
+    {EventType::kPacketSent, "transport:packet_sent"},
+    {EventType::kPacketReceived, "transport:packet_received"},
+    {EventType::kAckMp, "transport:ack_mp_received"},
+    {EventType::kLoss, "recovery:packet_lost"},
+    {EventType::kPto, "recovery:probe_timeout"},
+    {EventType::kCcState, "recovery:metrics_updated"},
+    {EventType::kPathStatus, "transport:path_status"},
+    {EventType::kPathBound, "transport:path_bound"},
+    {EventType::kReinjection, "xlink:reinjection"},
+    {EventType::kDoubleThresholdGate, "xlink:double_threshold_gate"},
+    {EventType::kQoeSignal, "xlink:qoe_signal"},
+    {EventType::kPlayerFirstFrame, "player:first_frame"},
+    {EventType::kPlayerStall, "player:stall"},
+    {EventType::kPlayerResume, "player:resume"},
+    {EventType::kPlayerFinished, "player:finished"},
+};
+
+const char* origin_name(Origin o) {
+  switch (o) {
+    case Origin::kServer: return "server";
+    case Origin::kClient: return "client";
+    case Origin::kSession: return "session";
+  }
+  return "server";
+}
+
+bool origin_from_name(const std::string& s, Origin& out) {
+  if (s == "server") out = Origin::kServer;
+  else if (s == "client") out = Origin::kClient;
+  else if (s == "session") out = Origin::kSession;
+  else
+    return false;
+  return true;
+}
+
+const char* loss_reason_name(std::uint8_t reason) {
+  return reason == 0 ? "packet_threshold" : "time_threshold";
+}
+
+void write_event_data(JsonWriter& w, const Event& e) {
+  w.kv("origin", origin_name(e.origin));
+  switch (e.type) {
+    case EventType::kPacketSent:
+      w.kv("path", std::uint64_t{e.path});
+      w.kv("pn", e.a);
+      w.kv("bytes", e.b);
+      w.kv("ack_eliciting", (e.flag & 1) != 0);
+      w.kv("is_reinjection", (e.flag & 2) != 0);
+      break;
+    case EventType::kPacketReceived:
+      w.kv("path", std::uint64_t{e.path});
+      w.kv("pn", e.a);
+      w.kv("bytes", e.b);
+      break;
+    case EventType::kAckMp:
+      w.kv("path", std::uint64_t{e.path});
+      w.kv("largest_acked", e.a);
+      w.kv("acked_bytes", e.b);
+      if (e.flag & 1) w.kv("rtt_us", e.c);
+      break;
+    case EventType::kLoss:
+      w.kv("path", std::uint64_t{e.path});
+      w.kv("pn", e.a);
+      w.kv("bytes", e.b);
+      w.kv("reason", loss_reason_name(e.flag));
+      break;
+    case EventType::kPto:
+      w.kv("path", std::uint64_t{e.path});
+      w.kv("pto_count", e.a);
+      break;
+    case EventType::kCcState:
+      w.kv("path", std::uint64_t{e.path});
+      w.kv("cwnd", e.a);
+      w.kv("bytes_in_flight", e.b);
+      if (e.c != kNoValue) w.kv("ssthresh", e.c);
+      w.kv("srtt_us", std::uint64_t{e.extra});
+      w.kv("slow_start", (e.flag & 1) != 0);
+      break;
+    case EventType::kPathStatus:
+      w.kv("path", std::uint64_t{e.path});
+      w.kv("state", e.a);
+      break;
+    case EventType::kPathBound:
+      w.kv("path", std::uint64_t{e.path});
+      w.kv("tech", e.a);
+      break;
+    case EventType::kReinjection:
+      w.kv("origin_path", std::uint64_t{e.path});
+      w.kv("bytes", e.a);
+      w.kv("pn", e.b);
+      break;
+    case EventType::kDoubleThresholdGate:
+      w.kv("allowed", (e.flag & 1) != 0);
+      w.kv("rule", std::uint64_t{e.extra});
+      if (e.a != kNoValue) w.kv("play_time_left_us", e.a);
+      if (e.b != kNoValue) w.kv("deliver_time_max_us", e.b);
+      break;
+    case EventType::kQoeSignal:
+      w.kv("cached_bytes", e.a);
+      w.kv("cached_frames", e.b);
+      w.kv("bps", e.c);
+      break;
+    case EventType::kPlayerFirstFrame:
+      w.kv("latency_us", e.a);
+      break;
+    case EventType::kPlayerStall:
+      w.kv("frame", e.a);
+      break;
+    case EventType::kPlayerResume:
+      w.kv("stall_us", e.a);
+      w.kv("frame", e.b);
+      break;
+    case EventType::kPlayerFinished:
+      w.kv("frames", e.a);
+      break;
+  }
+}
+
+bool read_bool(const JsonValue& data, const char* key) {
+  const JsonValue* v = data.get(key);
+  return v && v->kind == JsonValue::Kind::kBool && v->boolean;
+}
+
+std::optional<Event> event_from_json(const JsonValue& entry) {
+  EventType type = EventType::kPacketSent;
+  if (!event_type_from_name(entry.get_str("name").c_str(), type))
+    return std::nullopt;
+  const JsonValue* data = entry.get("data");
+  if (!data || !data->is_object()) return std::nullopt;
+
+  Event e;
+  e.t = entry.get_u64("time");
+  e.type = type;
+  if (!origin_from_name(data->get_str("origin", "server"), e.origin))
+    return std::nullopt;
+  const auto path = static_cast<std::uint8_t>(data->get_u64("path"));
+  switch (type) {
+    case EventType::kPacketSent:
+      e = Event::packet_sent(e.t, e.origin, path, data->get_u64("pn"),
+                             data->get_u64("bytes"),
+                             read_bool(*data, "ack_eliciting"),
+                             read_bool(*data, "is_reinjection"));
+      break;
+    case EventType::kPacketReceived:
+      e = Event::packet_received(e.t, e.origin, path, data->get_u64("pn"),
+                                 data->get_u64("bytes"));
+      break;
+    case EventType::kAckMp: {
+      const bool has_rtt = data->get("rtt_us") != nullptr;
+      e = Event::ack_mp(e.t, e.origin, path, data->get_u64("largest_acked"),
+                        data->get_u64("acked_bytes"), data->get_u64("rtt_us"),
+                        has_rtt);
+      break;
+    }
+    case EventType::kLoss:
+      e = Event::loss(e.t, e.origin, path, data->get_u64("pn"),
+                      data->get_u64("bytes"),
+                      data->get_str("reason") == "time_threshold" ? 1 : 0);
+      break;
+    case EventType::kPto:
+      e = Event::pto(e.t, e.origin, path, data->get_u64("pto_count"));
+      break;
+    case EventType::kCcState:
+      e = Event::cc_state(e.t, e.origin, path, data->get_u64("cwnd"),
+                          data->get_u64("bytes_in_flight"),
+                          data->get("ssthresh") ? data->get_u64("ssthresh")
+                                                : kNoValue,
+                          data->get_u64("srtt_us"),
+                          read_bool(*data, "slow_start"));
+      break;
+    case EventType::kPathStatus:
+      e = Event::path_status(e.t, e.origin, path, data->get_u64("state"));
+      break;
+    case EventType::kPathBound:
+      e = Event::path_bound(e.t, e.origin, path, data->get_u64("tech"));
+      break;
+    case EventType::kReinjection:
+      e = Event::reinjection(
+          e.t, e.origin,
+          static_cast<std::uint8_t>(data->get_u64("origin_path")),
+          data->get_u64("bytes"), data->get_u64("pn"));
+      break;
+    case EventType::kDoubleThresholdGate:
+      e = Event::double_threshold_gate(
+          e.t, e.origin, read_bool(*data, "allowed"),
+          static_cast<std::uint32_t>(data->get_u64("rule")),
+          data->get("play_time_left_us")
+              ? data->get_u64("play_time_left_us")
+              : kNoValue,
+          data->get("deliver_time_max_us")
+              ? data->get_u64("deliver_time_max_us")
+              : kNoValue);
+      break;
+    case EventType::kQoeSignal:
+      e = Event::qoe_signal(e.t, e.origin, data->get_u64("cached_bytes"),
+                            data->get_u64("cached_frames"),
+                            data->get_u64("bps"));
+      break;
+    case EventType::kPlayerFirstFrame:
+      e = Event::player_first_frame(e.t, data->get_u64("latency_us"));
+      break;
+    case EventType::kPlayerStall:
+      e = Event::player_stall(e.t, data->get_u64("frame"));
+      break;
+    case EventType::kPlayerResume:
+      e = Event::player_resume(e.t, data->get_u64("stall_us"),
+                               data->get_u64("frame"));
+      break;
+    case EventType::kPlayerFinished:
+      e = Event::player_finished(e.t, data->get_u64("frames"));
+      break;
+  }
+  return e;
+}
+
+}  // namespace
+
+const char* event_name(EventType type) {
+  for (const auto& entry : kNames)
+    if (entry.type == type) return entry.name;
+  return "unknown";
+}
+
+bool event_type_from_name(const char* name, EventType& out) {
+  for (const auto& entry : kNames) {
+    if (std::strcmp(entry.name, name) == 0) {
+      out = entry.type;
+      return true;
+    }
+  }
+  return false;
+}
+
+void write_qlog(std::ostream& os, const std::vector<Event>& events,
+                const QlogMeta& meta, std::uint64_t recorded,
+                std::uint64_t dropped) {
+  JsonWriter w(os, 1);
+  w.begin_object();
+  w.kv("qlog_version", "0.3");
+  w.kv("qlog_format", "JSON");
+  w.kv("title", meta.title.empty() ? "xlink trace" : meta.title);
+  w.key("traces").begin_array();
+  w.begin_object();
+  w.key("common_fields").begin_object();
+  w.kv("time_format", "relative");
+  w.kv("reference_time", std::uint64_t{0});
+  w.kv("time_unit", "us");
+  w.kv("scenario", meta.scenario);
+  w.kv("scheme", meta.scheme);
+  w.kv("seed", meta.seed);
+  w.end_object();
+  w.key("vantage_point").begin_object();
+  w.kv("name", "xlink-sim");
+  w.kv("type", "simulation");
+  w.end_object();
+  w.key("stats").begin_object();
+  w.kv("recorded", recorded == 0 ? events.size() : recorded);
+  w.kv("dropped", dropped);
+  w.end_object();
+  w.key("events").begin_array();
+  for (const Event& e : events) {
+    w.begin_object();
+    w.kv("time", e.t);
+    w.kv("name", event_name(e.type));
+    w.key("data").begin_object();
+    write_event_data(w, e);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+bool write_qlog_file(const std::string& path, const TraceSink& sink,
+                     const QlogMeta& meta) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_qlog(out, sink, meta);
+  return out.good();
+}
+
+std::optional<ParsedTrace> parse_qlog(const std::string& text) {
+  const auto doc = parse_json(text);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  const JsonValue* traces = doc->get("traces");
+  if (!traces || !traces->is_array() || traces->array.empty())
+    return std::nullopt;
+  const JsonValue& trace = traces->array.front();
+
+  ParsedTrace out;
+  out.meta.title = doc->get_str("title");
+  if (const JsonValue* cf = trace.get("common_fields")) {
+    out.meta.scenario = cf->get_str("scenario");
+    out.meta.scheme = cf->get_str("scheme");
+    out.meta.seed = cf->get_u64("seed");
+  }
+  if (const JsonValue* stats = trace.get("stats")) {
+    out.recorded = stats->get_u64("recorded");
+    out.dropped = stats->get_u64("dropped");
+  }
+  const JsonValue* events = trace.get("events");
+  if (!events || !events->is_array()) return std::nullopt;
+  out.events.reserve(events->array.size());
+  for (const JsonValue& entry : events->array) {
+    auto e = event_from_json(entry);
+    if (!e) return std::nullopt;
+    out.events.push_back(*e);
+  }
+  return out;
+}
+
+std::optional<ParsedTrace> parse_qlog_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_qlog(ss.str());
+}
+
+}  // namespace xlink::telemetry

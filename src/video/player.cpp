@@ -21,6 +21,9 @@ void VideoPlayer::on_contiguous_bytes(std::uint64_t bytes) {
         --rebuffer_count_;
       }
       rebuffer_accum_ += loop_.now() - rebuffer_started_at_;
+      XLINK_TRACE(trace_, telemetry::Event::player_resume(
+                              loop_.now(), loop_.now() - rebuffer_started_at_,
+                              next_frame_));
       state_ = State::kPlaying;
       play_started_at_ = loop_.now();
       on_frame_due();
@@ -32,6 +35,8 @@ void VideoPlayer::try_start() {
   const std::uint32_t have = model_.frames_in_prefix(contiguous_bytes_);
   if (have < startup_buffer_frames_) return;
   first_frame_time_ = loop_.now() - start_time_;
+  XLINK_TRACE(trace_, telemetry::Event::player_first_frame(
+                          loop_.now(), *first_frame_time_));
   state_ = State::kPlaying;
   play_started_at_ = loop_.now();
   on_frame_due();  // renders frame 0 immediately
@@ -48,6 +53,8 @@ void VideoPlayer::on_frame_due() {
   if (state_ != State::kPlaying) return;
   if (next_frame_ >= model_.frame_count()) {
     state_ = State::kFinished;
+    XLINK_TRACE(trace_,
+                telemetry::Event::player_finished(loop_.now(), next_frame_));
     play_time_accum_ += loop_.now() - play_started_at_;
     if (frame_timer_) {
       loop_.cancel(frame_timer_);
@@ -65,6 +72,8 @@ void VideoPlayer::on_frame_due() {
   // Stall: the due frame has not fully arrived.
   state_ = State::kRebuffering;
   ++rebuffer_count_;
+  XLINK_TRACE(trace_,
+              telemetry::Event::player_stall(loop_.now(), next_frame_));
   rebuffer_started_at_ = loop_.now();
   play_time_accum_ += loop_.now() - play_started_at_;
 }

@@ -14,6 +14,7 @@
 
 #include "quic/frame.h"
 #include "sim/event_loop.h"
+#include "telemetry/trace_sink.h"
 #include "video/video_model.h"
 
 namespace xlink::video {
@@ -52,6 +53,9 @@ class VideoPlayer {
 
   std::function<void()> on_finished;
 
+  /// Session telemetry sink (player events carry Origin::kSession).
+  void set_trace(telemetry::TraceSink* sink) { trace_ = sink; }
+
  private:
   enum class State { kStartup, kPlaying, kRebuffering, kFinished };
 
@@ -74,6 +78,7 @@ class VideoPlayer {
   sim::Duration rebuffer_accum_ = 0;
   std::uint32_t rebuffer_count_ = 0;
   sim::EventId frame_timer_ = 0;
+  telemetry::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace xlink::video

@@ -19,6 +19,13 @@ RttEstimator rtt_100ms() {
   return rtt;
 }
 
+std::vector<PacketNumber> pns(const std::vector<LostPacket>& lost) {
+  std::vector<PacketNumber> out;
+  out.reserve(lost.size());
+  for (const LostPacket& l : lost) out.push_back(l.pn);
+  return out;
+}
+
 TEST(LossDetection, TracksBytesInFlight) {
   LossDetection ld;
   ld.on_packet_sent(0, sim::millis(0), 1000, true);
@@ -60,7 +67,9 @@ TEST(LossDetection, PacketThresholdLoss) {
   // Ack only pn 4, early enough that the time threshold (112.5ms) has not
   // fired: pn 0 and 1 are >= 3 behind -> lost; 2,3 not yet.
   const auto out = ld.on_ack_received(ack_of({{4, 4}}), sim::millis(20), rtt);
-  EXPECT_EQ(out.lost, (std::vector<PacketNumber>{0, 1}));
+  EXPECT_EQ(pns(out.lost), (std::vector<PacketNumber>{0, 1}));
+  for (const LostPacket& l : out.lost)
+    EXPECT_EQ(l.reason, LossReason::kPacketThreshold);
   EXPECT_EQ(ld.bytes_in_flight(), 2000u);  // pns 2,3 remain
 }
 
@@ -74,7 +83,9 @@ TEST(LossDetection, TimeThresholdLoss) {
   EXPECT_TRUE(out.lost.empty());
   // Later, past 9/8 * 100ms since send, the time threshold fires.
   const auto lost = ld.detect_losses(sim::millis(113), rtt);
-  EXPECT_EQ(lost, (std::vector<PacketNumber>{0}));
+  EXPECT_EQ(pns(lost), (std::vector<PacketNumber>{0}));
+  ASSERT_EQ(lost.size(), 1u);
+  EXPECT_EQ(lost[0].reason, LossReason::kTimeThreshold);
 }
 
 TEST(LossDetection, LossTimeReportsEarliestDeadline) {
@@ -131,7 +142,7 @@ TEST(LossDetection, MultiRangeAck) {
                          rtt);
   EXPECT_EQ(out.newly_acked.size(), 6u);
   // 2,3,6 are 3+ behind largest=9 -> lost; 7 is within packet threshold.
-  EXPECT_EQ(out.lost, (std::vector<PacketNumber>{2, 3, 6}));
+  EXPECT_EQ(pns(out.lost), (std::vector<PacketNumber>{2, 3, 6}));
   EXPECT_EQ(ld.tracked_packets(), 1u);
 }
 

@@ -7,9 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <numeric>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
@@ -37,6 +40,10 @@ void expect_identical(const DayMetrics& a, const DayMetrics& b) {
   EXPECT_EQ(a.first_frame.samples(), b.first_frame.samples());
   EXPECT_EQ(a.rebuffer_rate, b.rebuffer_rate);
   EXPECT_EQ(a.redundancy_pct, b.redundancy_pct);
+  // Merged MetricsRegistry: counters, gauges, and histogram buckets all
+  // compare exactly (defaulted operator==) — the merge-in-index-order
+  // contract extended to the telemetry subsystem.
+  EXPECT_EQ(a.metrics, b.metrics);
 }
 
 TEST(ParallelHarness, RunDayBitIdenticalAcrossJobCounts) {
@@ -79,6 +86,72 @@ TEST(ParallelHarness, ResultsLandInIndexOrderSlots) {
     EXPECT_EQ(serial[i].chunk_rct_seconds, parallel[i].chunk_rct_seconds);
     EXPECT_EQ(serial[i].server_wire_bytes, parallel[i].server_wire_bytes);
     EXPECT_EQ(serial[i].reinjected_bytes, parallel[i].reinjected_bytes);
+  }
+}
+
+TEST(ParallelHarness, TracingDoesNotPerturbSessionResults) {
+  const PopulationConfig pop = small_pop();
+  auto make_config = [&pop](std::size_t i, bool traced) {
+    SessionConfig cfg = draw_session_conditions(pop, 6100 + i);
+    cfg.scheme = core::Scheme::kXlink;
+    cfg.trace.enabled = traced;
+    return cfg;
+  };
+  const auto plain = run_sessions_parallel(
+      3, [&](std::size_t i) { return make_config(i, false); }, 2);
+  const auto traced = run_sessions_parallel(
+      3, [&](std::size_t i) { return make_config(i, true); }, 2);
+  ASSERT_EQ(plain.size(), traced.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].chunk_rct_seconds, traced[i].chunk_rct_seconds);
+    EXPECT_EQ(plain[i].first_frame_seconds, traced[i].first_frame_seconds);
+    EXPECT_EQ(plain[i].rebuffer_seconds, traced[i].rebuffer_seconds);
+    EXPECT_EQ(plain[i].server_wire_bytes, traced[i].server_wire_bytes);
+    EXPECT_EQ(plain[i].reinjected_bytes, traced[i].reinjected_bytes);
+    EXPECT_EQ(plain[i].packets_lost, traced[i].packets_lost);
+    // The traced run's registry additionally carries telemetry.* counters;
+    // everything else in it must match.
+    EXPECT_EQ(plain[i].metrics.counter("quic.server.packets_sent"),
+              traced[i].metrics.counter("quic.server.packets_sent"));
+    EXPECT_GT(traced[i].metrics.counter("telemetry.events_recorded"), 0u);
+  }
+}
+
+TEST(ParallelHarness, TracedSessionsExportIdenticalQlogsAcrossJobCounts) {
+  const PopulationConfig pop = small_pop();
+  auto read_file = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  };
+  auto qlog_path = [](unsigned jobs, std::size_t i) {
+    return ::testing::TempDir() + "/xlink_par_trace_j" +
+           std::to_string(jobs) + "_" + std::to_string(i) + ".qlog";
+  };
+  auto run = [&](unsigned jobs) {
+    run_sessions_parallel(
+        4,
+        [&](std::size_t i) {
+          SessionConfig cfg = draw_session_conditions(pop, 6200 + i);
+          cfg.scheme = core::Scheme::kXlink;
+          cfg.trace.enabled = true;
+          cfg.trace.label = "determinism";
+          cfg.trace.qlog_path = qlog_path(jobs, i);
+          return cfg;
+        },
+        jobs);
+  };
+  run(1);
+  run(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::string serial = read_file(qlog_path(1, i));
+    const std::string parallel = read_file(qlog_path(4, i));
+    ASSERT_FALSE(serial.empty());
+    // Byte-identical trace files: same events, same order, same JSON.
+    EXPECT_EQ(serial, parallel) << "session " << i;
+    std::remove(qlog_path(1, i).c_str());
+    std::remove(qlog_path(4, i).c_str());
   }
 }
 

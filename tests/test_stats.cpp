@@ -1,6 +1,7 @@
 // Unit tests: summaries, percentiles, tables, CSV output.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
@@ -74,6 +75,57 @@ TEST(Summary, AddAllAndStaysSortedAfterMutation) {
   EXPECT_DOUBLE_EQ(s.median(), 2.0);
 }
 
+TEST(Summary, EmptyMaxStddevSumDescribe) {
+  Summary s;
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 0.0);
+  EXPECT_NE(s.describe().find("n=0"), std::string::npos);
+}
+
+TEST(Summary, SingleSampleOrderStatistics) {
+  Summary s;
+  s.add(-2.5);
+  EXPECT_DOUBLE_EQ(s.min(), -2.5);
+  EXPECT_DOUBLE_EQ(s.max(), -2.5);
+  EXPECT_DOUBLE_EQ(s.mean(), -2.5);
+  EXPECT_DOUBLE_EQ(s.median(), -2.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), -2.5);
+  EXPECT_DOUBLE_EQ(s.percentile(100), -2.5);
+  EXPECT_DOUBLE_EQ(s.fraction_below(-2.5), 0.0);  // strictly below
+  EXPECT_DOUBLE_EQ(s.fraction_below(0.0), 1.0);
+}
+
+TEST(Summary, TwoSampleStddev) {
+  Summary s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.0), 1e-12);  // Bessel-corrected
+}
+
+TEST(Summary, AddAllEmptyVectorIsNoop) {
+  Summary s;
+  s.add(4.0);
+  EXPECT_DOUBLE_EQ(s.median(), 4.0);  // populate the sort cache
+  s.add_all({});
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.median(), 4.0);
+}
+
+TEST(Summary, SortCacheSurvivesInterleavedReadsAndWrites) {
+  Summary s;
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.min(), 9.0);
+  s.add_all({1.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  s.add(0.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.5);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 9.0);
+  // Insertion order is preserved even though reads sorted in between.
+  EXPECT_EQ(s.samples(), (std::vector<double>{9.0, 1.0, 5.0, 0.5}));
+}
+
 TEST(Summary, DescribeMentionsCount) {
   Summary s;
   s.add(1.0);
@@ -105,6 +157,22 @@ TEST(Table, PadsShortRows) {
 TEST(Table, FmtPrecision) {
   EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
   EXPECT_EQ(Table::fmt(2.0, 0), "2");
+  EXPECT_EQ(Table::fmt(-0.5, 1), "-0.5");
+}
+
+TEST(Table, TruncatesOverlongRowsToHeaderCount) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2", "3", "4"});  // extra cells dropped
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| 1 | 2 |"), std::string::npos);
+  EXPECT_EQ(out.find("3"), std::string::npos);
+}
+
+TEST(Table, NoRowsRendersHeaderAndRule) {
+  Table t({"only"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| only |"), std::string::npos);
+  EXPECT_NE(out.find("|------|"), std::string::npos);
 }
 
 TEST(Csv, WritesHeaderAndRows) {
