@@ -14,6 +14,12 @@
 //  - fig10_threshold_sweep:      the Fig. 10-style population sweep, run
 //    serially (jobs=1) and on the parallel engine (jobs=default) — the
 //    speedup column is the headline number of the engine
+//  - failover_recovery:          primary-path blackout mid-download; how
+//    fast the PTO budget detects the outage and how soon after the window
+//    clears the path is resurrected
+//  - path_health_guard:          fault-free sessions with the health state
+//    machine on vs off — the delta is the hot-path cost of failover
+//    bookkeeping and must stay in the noise
 //
 // Usage: bench_perf [output.json]   (default: BENCH_perf.json in cwd)
 #include <chrono>
@@ -21,6 +27,7 @@
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -93,16 +100,69 @@ harness::SessionConfig small_session_config(std::uint64_t seed) {
   return cfg;
 }
 
-double bench_session_throughput(int sessions, bool traced) {
+double bench_session_throughput(int sessions, bool traced,
+                                bool path_health = true) {
   return wall_seconds([&] {
     for (int i = 0; i < sessions; ++i) {
       auto cfg = small_session_config(3 + i);
       cfg.trace.enabled = traced;
+      cfg.path_health = path_health;
       harness::Session session(std::move(cfg));
       const auto r = session.run();
       (void)r;
     }
   });
+}
+
+struct FailoverRecovery {
+  double detect_s = 0.0;    // blackout start -> server declares failover
+  double resume_s = 0.0;    // blackout end -> path resurrected
+  double download_s = 0.0;  // whole transfer, for context
+};
+
+/// Mid-download blackout on the primary path: the latency numbers the
+/// failover machinery exists to minimise.
+FailoverRecovery bench_failover_recovery() {
+  const sim::Time blackout_start = sim::seconds(2);
+  const sim::Duration blackout_len = sim::seconds(3);
+
+  harness::SessionConfig cfg;
+  cfg.scheme = core::Scheme::kXlink;
+  cfg.seed = 77;
+  cfg.video.duration = sim::seconds(16);
+  cfg.video.bitrate_bps = 8'000'000;
+  cfg.client.chunk_bytes = 192 * 1024;
+  cfg.time_limit = sim::seconds(90);
+  cfg.wireless_aware_primary = false;
+  cfg.trace.enabled = true;
+  cfg.paths.push_back(harness::make_path_spec(
+      net::Wireless::kWifi, trace::stable_lte(77, sim::seconds(40)),
+      sim::millis(20)));
+  cfg.paths.push_back(harness::make_path_spec(
+      net::Wireless::kLte, trace::stable_lte(78, sim::seconds(40)),
+      sim::millis(60)));
+  for (auto& p : cfg.paths) p.queue_capacity_bytes = 256 * 1024;
+  cfg.paths[0].fault_plan.blackout(blackout_start, blackout_len);
+
+  harness::Session session(std::move(cfg));
+  const auto result = session.run();
+
+  FailoverRecovery r;
+  r.download_s = result.download_seconds;
+  std::optional<sim::Time> failover_at;
+  std::optional<sim::Time> resurrect_at;
+  for (const auto& e : session.trace_sink()->snapshot()) {
+    if (e.type != telemetry::EventType::kPathHealth || e.path != 0 ||
+        e.origin != telemetry::Origin::kServer)
+      continue;
+    if (e.a == 2 && !failover_at) failover_at = e.t;
+    if (e.a == 0 && failover_at && !resurrect_at) resurrect_at = e.t;
+  }
+  if (failover_at) r.detect_s = sim::to_seconds(*failover_at - blackout_start);
+  if (resurrect_at)
+    r.resume_s =
+        sim::to_seconds(*resurrect_at - (blackout_start + blackout_len));
+  return r;
 }
 
 /// One XLINK_TRACE hook per iteration. With kHook=false the body is the
@@ -205,6 +265,22 @@ int main(int argc, char** argv) {
   std::printf("  session_throughput_traced:  %.3fs  (%.2f sessions/s)\n", stt,
               kThroughputSessions / stt);
 
+  // Fault-free guard: the same population with the path-health machinery
+  // switched off. Both runs are fault-free, so any gap is pure hot-path
+  // overhead from health bookkeeping (PTO budget checks, probe timers).
+  const double sth = bench_session_throughput(kThroughputSessions, false,
+                                              /*path_health=*/false);
+  const double health_overhead_pct = sth > 0 ? (st - sth) / sth * 100.0 : 0.0;
+  std::printf(
+      "  path_health_guard:          on %.3fs, off %.3fs (overhead %+.1f%%)\n",
+      st, sth, health_overhead_pct);
+
+  const FailoverRecovery fr = bench_failover_recovery();
+  std::printf(
+      "  failover_recovery:          detect %.3fs, resume %.3fs after window "
+      "(download %.2fs)\n",
+      fr.detect_s, fr.resume_s, fr.download_s);
+
   const TraceHookRates hook = bench_trace_hook();
   std::printf(
       "  telemetry_trace_hook:       compiled-out %.2fns, disabled %.2fns, "
@@ -255,6 +331,18 @@ int main(int argc, char** argv) {
   w.kv("parallel_wall_s", sweep_parallel);
   w.kv("jobs", jobs);
   w.kv("speedup", speedup);
+  w.end_object();
+  w.begin_object();
+  w.kv("name", "path_health_guard");
+  w.kv("health_on_wall_s", st);
+  w.kv("health_off_wall_s", sth);
+  w.kv("overhead_pct", health_overhead_pct);
+  w.end_object();
+  w.begin_object();
+  w.kv("name", "failover_recovery");
+  w.kv("detect_s", fr.detect_s);
+  w.kv("resume_after_window_s", fr.resume_s);
+  w.kv("download_s", fr.download_s);
   w.end_object();
   w.end_array();
   w.end_object();

@@ -22,14 +22,14 @@ std::pair<int, int> record_class(const quic::SentRecord& rec) {
 }  // namespace
 
 void ReinjectionEngine::run(quic::Connection& conn) {
-  if (conn.active_path_ids().size() < 2) return;
+  if (conn.schedulable_path_ids().size() < 2) return;
   const sim::Time now = conn.loop().now();
 
   // Re-arm interval: a record whose duplicate has not produced an ack
   // within the fast path's delivery time is still blocked -- duplicate it
   // again (the QoE gate continues to bound the cost).
   sim::Duration rearm = sim::millis(200);
-  for (quic::PathId id : conn.active_path_ids()) {
+  for (quic::PathId id : conn.schedulable_path_ids()) {
     const auto& p = conn.path_state(id);
     rearm = std::max(rearm, p.rtt.rtt_plus_var());
   }
@@ -50,7 +50,7 @@ void ReinjectionEngine::run(quic::Connection& conn) {
   // not "fast" no matter what its stale RTT estimator claims.
   std::optional<quic::PathId> fastest;
   sim::Duration fastest_rtt = 0;
-  for (quic::PathId id : conn.active_path_ids()) {
+  for (quic::PathId id : conn.schedulable_path_ids()) {
     const auto& p = conn.path_state(id);
     const sim::Duration rtt = mpquic::effective_rtt(conn, p);
     if (!fastest || rtt < fastest_rtt) {
@@ -63,6 +63,9 @@ void ReinjectionEngine::run(quic::Connection& conn) {
     if (fastest && id == *fastest) continue;
     auto& p = conn.path_state(id);
     if (p.state == quic::PathState::State::kAbandoned) continue;
+    // A failed-over path holds only dead-path probes (its stream data was
+    // rescued at failover) -- nothing worth duplicating.
+    if (p.health == quic::PathState::Health::kProbing) continue;
     const sim::Duration overdue_after =
         std::max<sim::Duration>(p.rtt.rtt_plus_var(), sim::millis(200));
     for (auto& [pn, rec] : p.unacked) {
@@ -95,6 +98,7 @@ std::optional<sim::Duration> max_deliver_time(const quic::Connection& conn) {
   for (quic::PathId id : conn.path_ids()) {
     const auto& p = conn.path_state(id);
     if (p.state == quic::PathState::State::kAbandoned) continue;
+    if (p.health == quic::PathState::Health::kProbing) continue;
     if (!p.loss.has_ack_eliciting_in_flight()) continue;
     const sim::Duration t = p.rtt.rtt_plus_var();
     if (!max || t > *max) max = t;

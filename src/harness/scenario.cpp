@@ -26,6 +26,7 @@ Session::Session(SessionConfig config) : config_(std::move(config)) {
   }
   sim::Rng rng(config_.seed);
   network_ = std::make_unique<net::Network>(loop_, rng.fork());
+  network_->set_trace(trace_.get());
 
   // Wireless-aware primary path selection: path 0 starts the connection.
   std::vector<net::PathSpec> ordered = config_.paths;
@@ -47,6 +48,7 @@ Session::Session(SessionConfig config) : config_(std::move(config)) {
                                              quic::Role::kClient,
                                              config_.options);
   client_cfg.trace = trace_.get();
+  client_cfg.health.enabled = config_.path_health;
   client_conn_ = std::make_unique<quic::Connection>(loop_,
                                                     std::move(client_cfg));
   auto server_cfg = core::make_scheme_config(config_.scheme,
@@ -55,6 +57,7 @@ Session::Session(SessionConfig config) : config_(std::move(config)) {
   if (config_.server_scheduler_override)
     server_cfg.scheduler = config_.server_scheduler_override;
   server_cfg.trace = trace_.get();
+  server_cfg.health.enabled = config_.path_health;
   server_conn_ = std::make_unique<quic::Connection>(loop_,
                                                     std::move(server_cfg));
 
@@ -66,6 +69,16 @@ Session::Session(SessionConfig config) : config_(std::move(config)) {
   server_ep_->set_trace(trace_.get());
   client_ep_->bind_all();
   server_ep_->bind_all();
+
+  // NAT rebind faults invalidate the client's 4-tuple: the client must
+  // re-validate the path (RFC 9000 §9.3) when the injector fires one.
+  for (std::size_t i = 0; i < network_->path_count(); ++i) {
+    if (auto* f = network_->path(i).faults()) {
+      f->on_nat_rebind = [this, i] {
+        client_conn_->rebind_path(static_cast<quic::PathId>(i));
+      };
+    }
+  }
 
   media_server_ = std::make_unique<http::MediaServer>(*server_conn_,
                                                       config_.server);

@@ -63,6 +63,10 @@ struct SessionConfig {
   sim::Duration secondary_path_delay = 0;
   std::uint32_t startup_buffer_frames = 1;
   std::uint64_t seed = 1;
+  /// Per-path health tracking + PTO-driven failover on both endpoints
+  /// (DESIGN.md §7). Off reproduces the pre-failover transport, which the
+  /// chaos suite uses as its no-failover baseline.
+  bool path_health = true;
   // Connection-migration baseline policy: migrate when no packet has
   // arrived for this long while a download is outstanding.
   sim::Duration cm_stall_threshold = sim::millis(600);

@@ -16,7 +16,7 @@ namespace {
 class BlestScheduler final : public quic::Scheduler {
  public:
   std::optional<quic::PathId> select_path(quic::Connection& conn) override {
-    const auto ids = conn.active_path_ids();
+    const auto ids = conn.schedulable_path_ids();
     if (ids.empty()) return std::nullopt;
     std::optional<quic::PathId> fastest;
     sim::Duration best = 0;

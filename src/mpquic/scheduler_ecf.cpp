@@ -17,7 +17,7 @@ class EcfScheduler final : public quic::Scheduler {
  public:
   std::optional<quic::PathId> select_path(quic::Connection& conn) override {
     // Fastest path with room wins outright.
-    const auto ids = conn.active_path_ids();
+    const auto ids = conn.schedulable_path_ids();
     if (ids.empty()) return std::nullopt;
     std::optional<quic::PathId> fastest;
     std::optional<quic::PathId> fastest_with_room;

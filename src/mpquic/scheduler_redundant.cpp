@@ -15,7 +15,7 @@ class RedundantScheduler final : public quic::Scheduler {
   }
 
   void maybe_reinject(quic::Connection& conn) override {
-    if (conn.active_path_ids().size() < 2) return;
+    if (conn.schedulable_path_ids().size() < 2) return;
     if (!conn.send_queue().empty()) return;
     for (quic::PathId id : conn.path_ids()) {
       auto& p = conn.path_state(id);

@@ -4,11 +4,11 @@
 namespace xlink::mpquic {
 namespace {
 
-/// Naive round-robin over active paths with window room.
+/// Naive round-robin over schedulable paths with window room.
 class RoundRobinScheduler final : public quic::Scheduler {
  public:
   std::optional<quic::PathId> select_path(quic::Connection& conn) override {
-    const auto ids = conn.active_path_ids();
+    const auto ids = conn.schedulable_path_ids();
     if (ids.empty()) return std::nullopt;
     for (std::size_t tries = 0; tries < ids.size(); ++tries) {
       const quic::PathId id = ids[next_++ % ids.size()];

@@ -25,7 +25,8 @@ inline sim::Duration effective_rtt(const quic::Connection& conn,
   return rtt;
 }
 
-/// Min-RTT path among active paths with congestion window room, excluding
+/// Min-RTT path among schedulable paths (active and not failed-over) with
+/// congestion window room, excluding
 /// `exclude` (used to send re-injections on a different path than the
 /// original). Paths without an RTT sample rank by the RFC initial guess.
 ///
@@ -39,7 +40,7 @@ inline std::optional<quic::PathId> pick_min_rtt(
     bool staleness_aware = false) {
   std::optional<quic::PathId> best;
   sim::Duration best_rtt = std::numeric_limits<sim::Duration>::max();
-  for (quic::PathId id : conn.active_path_ids()) {
+  for (quic::PathId id : conn.schedulable_path_ids()) {
     if (exclude && id == *exclude) continue;
     const auto& p = conn.path_state(id);
     if (p.cwnd_available() < kMinRoom) continue;

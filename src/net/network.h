@@ -18,10 +18,14 @@ class Network {
  public:
   Network(sim::EventLoop& loop, sim::Rng rng) : loop_(loop), rng_(rng) {}
 
+  /// Telemetry sink handed to fault injectors; set before add_path.
+  void set_trace(telemetry::TraceSink* trace) { trace_ = trace; }
+
   /// Adds a path and returns its index.
   std::size_t add_path(PathSpec spec) {
-    paths_.push_back(
-        std::make_unique<EmulatedPath>(loop_, std::move(spec), rng_.fork()));
+    paths_.push_back(std::make_unique<EmulatedPath>(
+        loop_, std::move(spec), rng_.fork(), trace_,
+        static_cast<std::uint8_t>(paths_.size())));
     return paths_.size() - 1;
   }
 
@@ -42,6 +46,7 @@ class Network {
  private:
   sim::EventLoop& loop_;
   sim::Rng rng_;
+  telemetry::TraceSink* trace_ = nullptr;
   std::vector<std::unique_ptr<EmulatedPath>> paths_;
 };
 

@@ -2,10 +2,43 @@
 
 namespace xlink::net {
 
-EmulatedPath::EmulatedPath(sim::EventLoop& loop, PathSpec spec, sim::Rng rng)
-    : spec_(std::move(spec)) {
+EmulatedPath::EmulatedPath(sim::EventLoop& loop, PathSpec spec, sim::Rng rng,
+                           telemetry::TraceSink* trace,
+                           std::uint8_t path_index)
+    : loop_(loop), spec_(std::move(spec)) {
   up_ = make_link(loop, spec_.up_trace, rng.fork());
   down_ = make_link(loop, spec_.down_trace, rng.fork());
+  if (!spec_.fault_plan.empty()) {
+    faults_ = std::make_unique<FaultInjector>(loop, spec_.fault_plan,
+                                              rng.fork(), trace, path_index);
+  }
+}
+
+void EmulatedPath::set_up_receiver(Link::DeliverFn fn) {
+  up_->set_receiver(wrap_receiver(FaultInjector::Direction::kUp,
+                                  std::move(fn)));
+}
+
+void EmulatedPath::set_down_receiver(Link::DeliverFn fn) {
+  down_->set_receiver(wrap_receiver(FaultInjector::Direction::kDown,
+                                    std::move(fn)));
+}
+
+Link::DeliverFn EmulatedPath::wrap_receiver(FaultInjector::Direction dir,
+                                            Link::DeliverFn fn) {
+  if (!faults_) return fn;
+  // Reorder/delay-spike windows hold datagrams past the link's own
+  // propagation delay; undelayed successors overtake them.
+  return [this, dir, fn = std::move(fn)](Datagram d) {
+    const sim::Duration extra = faults_->delivery_delay(dir);
+    if (extra == 0) {
+      fn(std::move(d));
+      return;
+    }
+    loop_.schedule_in(extra, [fn, d = std::move(d)]() mutable {
+      fn(std::move(d));
+    });
+  };
 }
 
 std::unique_ptr<Link> EmulatedPath::make_link(

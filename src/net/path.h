@@ -2,11 +2,13 @@
 //
 // A path pairs an uplink and a downlink, each an independent Link, plus the
 // wireless technology label used by wireless-aware primary path selection.
+// An optional FaultPlan interposes a FaultInjector on both directions.
 #pragma once
 
 #include <memory>
 #include <optional>
 
+#include "net/fault.h"
 #include "net/link.h"
 #include "net/wireless.h"
 #include "sim/event_loop.h"
@@ -24,27 +26,39 @@ struct PathSpec {
   sim::Duration one_way_delay = sim::millis(15);
   double loss_rate = 0.0;                       // residual Bernoulli loss
   std::size_t queue_capacity_bytes = 1024 * 1024;
+  /// Scripted fault windows applied to this path (empty = no injector).
+  FaultPlan fault_plan;
 };
 
 class EmulatedPath {
  public:
-  EmulatedPath(sim::EventLoop& loop, PathSpec spec, sim::Rng rng);
+  EmulatedPath(sim::EventLoop& loop, PathSpec spec, sim::Rng rng,
+               telemetry::TraceSink* trace = nullptr,
+               std::uint8_t path_index = 0);
 
   /// Client -> server direction.
-  void send_up(Datagram d) { up_->send(std::move(d)); }
-  void set_up_receiver(Link::DeliverFn fn) { up_->set_receiver(std::move(fn)); }
+  void send_up(Datagram d) {
+    if (faults_ && !faults_->admit(FaultInjector::Direction::kUp, d)) return;
+    up_->send(std::move(d));
+  }
+  void set_up_receiver(Link::DeliverFn fn);
 
   /// Server -> client direction.
-  void send_down(Datagram d) { down_->send(std::move(d)); }
-  void set_down_receiver(Link::DeliverFn fn) {
-    down_->set_receiver(std::move(fn));
+  void send_down(Datagram d) {
+    if (faults_ && !faults_->admit(FaultInjector::Direction::kDown, d)) return;
+    down_->send(std::move(d));
   }
+  void set_down_receiver(Link::DeliverFn fn);
 
   Wireless tech() const { return spec_.tech; }
   const PathSpec& spec() const { return spec_; }
   const LinkStats& up_stats() const { return up_->stats(); }
   const LinkStats& down_stats() const { return down_->stats(); }
   std::size_t down_queued_bytes() const { return down_->queued_bytes(); }
+
+  /// The path's fault injector; nullptr when the spec had no fault plan.
+  FaultInjector* faults() { return faults_.get(); }
+  const FaultInjector* faults() const { return faults_.get(); }
 
   /// Base two-way propagation delay (no queueing).
   sim::Duration base_rtt() const { return 2 * spec_.one_way_delay; }
@@ -53,10 +67,14 @@ class EmulatedPath {
   std::unique_ptr<Link> make_link(sim::EventLoop& loop,
                                   const std::optional<trace::LinkTrace>& t,
                                   sim::Rng rng) const;
+  Link::DeliverFn wrap_receiver(FaultInjector::Direction dir,
+                                Link::DeliverFn fn);
 
+  sim::EventLoop& loop_;
   PathSpec spec_;
   std::unique_ptr<Link> up_;
   std::unique_ptr<Link> down_;
+  std::unique_ptr<FaultInjector> faults_;
 };
 
 }  // namespace xlink::net

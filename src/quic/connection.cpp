@@ -218,22 +218,52 @@ std::vector<PathId> Connection::active_path_ids() const {
   return out;
 }
 
+std::vector<PathId> Connection::schedulable_path_ids() const {
+  std::vector<PathId> out;
+  for (const auto& [id, p] : paths_)
+    if (p->schedulable()) out.push_back(id);
+  return out;
+}
+
 PathId Connection::fastest_active_path() const {
+  // Prefer healthy active paths; a kProbing path only carries traffic when
+  // nothing better exists (and then it is also the honest last resort).
   std::optional<PathId> best;
+  std::optional<PathId> best_any;
   sim::Duration best_rtt = std::numeric_limits<sim::Duration>::max();
+  sim::Duration best_any_rtt = std::numeric_limits<sim::Duration>::max();
   for (const auto& [id, p] : paths_) {
     if (p->state != PathState::State::kActive) continue;
     const sim::Duration rtt = p->rtt.smoothed();
+    if (!best_any || rtt < best_any_rtt) {
+      best_any = id;
+      best_any_rtt = rtt;
+    }
+    if (p->health == PathState::Health::kProbing) continue;
     if (!best || rtt < best_rtt) {
       best = id;
       best_rtt = rtt;
     }
   }
   if (best) return *best;
+  if (best_any) return *best_any;
   // Fall back to any non-abandoned path (e.g. still validating).
   for (const auto& [id, p] : paths_)
     if (p->state != PathState::State::kAbandoned) return id;
   return 0;
+}
+
+void Connection::rebind_path(PathId id) {
+  auto it = paths_.find(id);
+  if (it == paths_.end() || closed_) return;
+  PathState& p = *it->second;
+  if (p.state == PathState::State::kAbandoned) return;
+  // The path's 4-tuple changed (NAT rebind): it must prove liveness again
+  // before being treated as established, per RFC 9000 §9.3.
+  p.state = PathState::State::kValidating;
+  trace_path_state(p);
+  queue_control(id, Frame{PathChallengeFrame{p.challenge_data}});
+  pump();
 }
 
 void Connection::issue_connection_ids() {
@@ -468,6 +498,9 @@ bool Connection::send_one_packet(PathId path_id, bool ignore_cwnd) {
   if (pit == paths_.end()) return false;
   PathState& path = *pit->second;
   if (!path.usable()) return false;
+  // A failed-over path carries only dead-path probes (PINGs from the probe
+  // timer), never fresh stream data.
+  if (path.health == PathState::Health::kProbing) return false;
 
   // PTO probes may exceed the congestion window (RFC 9002 §7.5): when the
   // window is full of packets a dead path will never acknowledge, the probe
@@ -966,6 +999,9 @@ void Connection::handle_ack_info(PathId acked_path, const AckInfo& info) {
   if (!outcome.newly_acked.empty()) {
     p.pto_count = 0;
     p.last_ack_received = loop_.now();
+    // Any fresh ack proves the path round-trips again: resurrect it.
+    if (config_.health.enabled && p.health != PathState::Health::kGood)
+      resurrect_path(p);
   }
 
   for (PacketNumber pn : outcome.newly_acked) {
@@ -1081,6 +1117,22 @@ void Connection::on_pto(PathState& p) {
   }
   if (config_.scheduler) config_.scheduler->on_pto(*this, p.id);
 
+  // Path health: repeated consecutive PTOs mean the path is not just slow
+  // but (probably) dead. Degrade early so telemetry shows the slide, fail
+  // over once the budget is spent -- but only if another schedulable path
+  // can absorb the traffic; the last path keeps limping (kDegraded) with
+  // its capped PTO probing, which is the graceful single-path mode.
+  if (config_.health.enabled) {
+    if (p.pto_count >= config_.health.failover_pto_budget &&
+        has_other_schedulable(p.id)) {
+      fail_over_path(p);
+      return;
+    }
+    if (p.health == PathState::Health::kGood &&
+        p.pto_count >= config_.health.degraded_after_ptos)
+      set_path_health(p, PathState::Health::kDegraded);
+  }
+
   // Probe: retransmit the oldest unacked content (kept tracked;
   // stream-level ack state dedupes), including control frames -- a lost
   // handshake CRYPTO or PATH_CHALLENGE must be probed too. If no probe
@@ -1103,6 +1155,87 @@ void Connection::on_pto(PathState& p) {
   if (queued_payload) send_one_packet(p.id, /*ignore_cwnd=*/true);
 }
 
+// ------------------------------------------------------------ path health
+
+sim::Duration Connection::path_pto_interval(const PathState& p) const {
+  return backed_off_pto(
+      p.rtt.pto(sim::millis(config_.params.max_ack_delay_ms)), p.pto_count);
+}
+
+void Connection::set_path_health(PathState& p, PathState::Health health) {
+  if (p.health == health) return;
+  p.health = health;
+  XLINK_TRACE(config_.trace,
+              telemetry::Event::path_health(
+                  loop_.now(), trace_origin(), static_cast<std::uint8_t>(p.id),
+                  static_cast<std::uint64_t>(health), p.pto_count));
+}
+
+bool Connection::has_other_schedulable(PathId id) const {
+  for (const auto& [pid, p] : paths_)
+    if (pid != id && p->schedulable()) return true;
+  return false;
+}
+
+void Connection::fail_over_path(PathState& p) {
+  set_path_health(p, PathState::Health::kProbing);
+  ++stats_.failovers;
+
+  // Standby (reversible, unlike abandon) tells the peer to stop scheduling
+  // onto the path too; it flips back to available on resurrection.
+  PathStatusFrame status;
+  status.path_id = p.id;
+  status.status_seq = ++p.status_seq_out;
+  status.status = PathStatusKind::kStandby;
+  queue_control(fastest_active_path(), Frame{status});
+
+  // Orphan rescue: everything still in flight on the dead path is requeued
+  // (still-unacked subranges only) so surviving paths carry it. Loss state
+  // is wiped so the path stops charging bytes_in_flight and stops arming
+  // loss/PTO deadlines for packets that will never be acked.
+  std::vector<SentRecord> rescued;
+  rescued.reserve(p.unacked.size());
+  for (auto& [pn, rec] : p.unacked) rescued.push_back(std::move(rec));
+  p.unacked.clear();
+  p.loss.clear_in_flight();
+  for (auto& rec : rescued) requeue_record(std::move(rec));
+
+  // Dead-path probing starts at the current backed-off PTO and doubles per
+  // silent probe, capped -- the resurrection latency bound.
+  p.probe_interval = std::clamp(path_pto_interval(p),
+                                config_.health.probe_interval_min,
+                                config_.health.probe_interval_max);
+  p.next_probe_at = loop_.now() + p.probe_interval;
+  p.probes_sent = 0;
+  pump_send();
+}
+
+void Connection::resurrect_path(PathState& p) {
+  const bool was_probing = p.health == PathState::Health::kProbing;
+  set_path_health(p, PathState::Health::kGood);
+  p.next_probe_at = 0;
+  p.probe_interval = 0;
+  p.probes_sent = 0;
+  if (!was_probing) return;
+  ++stats_.path_resurrections;
+  PathStatusFrame status;
+  status.path_id = p.id;
+  status.status_seq = ++p.status_seq_out;
+  status.status = PathStatusKind::kAvailable;
+  queue_control(fastest_active_path(), Frame{status});
+}
+
+void Connection::probe_dead_path(PathState& p) {
+  ++p.probes_sent;
+  ++stats_.dead_path_probes;
+  // Tracked ack-eliciting PING: the ack (carried on a surviving path, since
+  // ACK_MP for this space travels anywhere) is the resurrection signal.
+  send_control_packet(p.id, {Frame{PingFrame{}}}, /*count_inflight=*/true);
+  p.probe_interval =
+      std::min(p.probe_interval * 2, config_.health.probe_interval_max);
+  p.next_probe_at = loop_.now() + p.probe_interval;
+}
+
 // ----------------------------------------------------------------- timers
 
 void Connection::arm_timers() {
@@ -1113,13 +1246,15 @@ void Connection::arm_timers() {
   for (const auto& [id, p] : paths_) {
     if (p->state == PathState::State::kAbandoned) continue;
     if (p->ack_pending) consider(p->ack_deadline);
-    consider(p->loss.loss_time(p->rtt));
-    if (p->loss.has_ack_eliciting_in_flight()) {
-      const sim::Duration pto =
-          p->rtt.pto(sim::millis(config_.params.max_ack_delay_ms))
-          << std::min<std::uint32_t>(p->pto_count, 6);
-      consider(p->last_ack_eliciting_sent + pto);
+    if (p->health == PathState::Health::kProbing) {
+      // Failed-over path: only the backoff probe timer runs; loss/PTO
+      // deadlines were wiped with the in-flight state at failover.
+      if (p->next_probe_at) consider(p->next_probe_at);
+      continue;
     }
+    consider(p->loss.loss_time(p->rtt));
+    if (p->loss.has_ack_eliciting_in_flight())
+      consider(p->last_ack_eliciting_sent + path_pto_interval(*p));
   }
   if (timer_id_) {
     loop_.cancel(timer_id_);
@@ -1140,13 +1275,15 @@ void Connection::on_timer() {
   const sim::Time now = loop_.now();
   for (auto& [id, p] : paths_) {
     if (p->state == PathState::State::kAbandoned) continue;
+    if (p->health == PathState::Health::kProbing) {
+      if (p->next_probe_at && p->next_probe_at <= now) probe_dead_path(*p);
+      continue;
+    }
     const auto lost = p->loss.detect_losses(now, p->rtt);
     if (!lost.empty()) on_packets_lost(*p, lost);
     if (p->loss.has_ack_eliciting_in_flight()) {
-      const sim::Duration pto =
-          p->rtt.pto(sim::millis(config_.params.max_ack_delay_ms))
-          << std::min<std::uint32_t>(p->pto_count, 6);
-      if (p->last_ack_eliciting_sent + pto <= now) on_pto(*p);
+      if (p->last_ack_eliciting_sent + path_pto_interval(*p) <= now)
+        on_pto(*p);
     }
   }
   pump_send();

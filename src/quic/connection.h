@@ -68,8 +68,18 @@ struct SentRecord {
 struct PathState {
   enum class State { kValidating, kActive, kStandby, kAbandoned };
 
+  /// Local liveness verdict, orthogonal to the peer-visible State:
+  ///   kGood     - acks arriving, schedule freely;
+  ///   kDegraded - consecutive PTOs accumulating, still schedulable;
+  ///   kProbing  - declared dead after the consecutive-PTO budget; data is
+  ///               steered off, only capped exponential-backoff probes go
+  ///               out until one is acked (resurrection) or the path is
+  ///               abandoned.
+  enum class Health : std::uint8_t { kGood = 0, kDegraded, kProbing };
+
   PathId id = 0;
   State state = State::kValidating;
+  Health health = Health::kGood;
   RttEstimator rtt;
   std::unique_ptr<CongestionController> cc;
   LossDetection loss;
@@ -78,6 +88,11 @@ struct PathState {
   sim::Time last_ack_eliciting_sent = 0;
   sim::Time last_ack_received = 0;  // last time this path's data was acked
   std::uint32_t pto_count = 0;
+
+  // Dead-path probing state (health == kProbing).
+  sim::Time next_probe_at = 0;
+  sim::Duration probe_interval = 0;
+  std::uint32_t probes_sent = 0;
 
   // Receive side of this path's packet number space.
   std::vector<AckRange> recv_ranges;  // sorted descending, capped
@@ -101,6 +116,10 @@ struct PathState {
 
   bool usable() const {
     return state == State::kActive || state == State::kValidating;
+  }
+  /// Eligible for scheduler-driven data: active AND not declared dead.
+  bool schedulable() const {
+    return state == State::kActive && health != Health::kProbing;
   }
   std::size_t cwnd_available() const {
     const std::size_t cwnd = cc->cwnd_bytes();
@@ -130,6 +149,22 @@ class Connection {
     /// Telemetry sink shared by the session (nullptr or disabled = no
     /// tracing; the hooks then cost one predictable branch each).
     telemetry::TraceSink* trace = nullptr;
+
+    /// Path-health failover machinery (PathState::Health). Disabled it
+    /// reproduces the pre-failover transport: PTOs keep probing in place
+    /// and the scheduler alone steers around dead paths.
+    struct PathHealth {
+      bool enabled = true;
+      /// Consecutive PTOs before a path is marked kDegraded.
+      std::uint32_t degraded_after_ptos = 1;
+      /// Consecutive-PTO budget: at this count the path fails over to
+      /// kProbing -- if (and only if) another schedulable path survives.
+      std::uint32_t failover_pto_budget = 3;
+      /// Dead-path probe backoff bounds (doubles per probe, capped).
+      sim::Duration probe_interval_min = sim::millis(200);
+      sim::Duration probe_interval_max = sim::seconds(3);
+    };
+    PathHealth health;
   };
 
   struct Stats {
@@ -144,6 +179,9 @@ class Connection {
     std::uint64_t reinjected_bytes = 0;      // scheduler duplicates
     std::uint64_t auth_failures = 0;         // AEAD open failures
     std::uint64_t acks_sent = 0;
+    std::uint64_t failovers = 0;             // paths declared dead (kProbing)
+    std::uint64_t path_resurrections = 0;    // probe acked, path back in use
+    std::uint64_t dead_path_probes = 0;      // backoff probes while kProbing
 
     /// Redundancy ratio: duplicate stream bytes / first-transmission bytes.
     double redundancy_ratio() const {
@@ -196,8 +234,16 @@ class Connection {
   /// to `id` with congestion state reset (RFC 9000 §9.5 behaviour).
   void migrate_to_path(PathId id);
 
+  /// NAT rebind on a path: the peer will see a new 4-tuple, so the path
+  /// must re-validate before carrying data again (PATH_CHALLENGE /
+  /// PATH_RESPONSE). The harness wires FaultInjector::on_nat_rebind here.
+  void rebind_path(PathId id);
+
   std::vector<PathId> path_ids() const;
   std::vector<PathId> active_path_ids() const;
+  /// Active paths that are also healthy enough to schedule data on
+  /// (excludes kProbing paths); what schedulers and the re-injector use.
+  std::vector<PathId> schedulable_path_ids() const;
   bool has_path(PathId id) const { return paths_.contains(id); }
   PathState& path_state(PathId id) { return *paths_.at(id); }
   const PathState& path_state(PathId id) const { return *paths_.at(id); }
@@ -305,6 +351,14 @@ class Connection {
   void on_pto(PathState& p);
   void arm_timers();
   void on_timer();
+
+  // Path health machinery.
+  sim::Duration path_pto_interval(const PathState& p) const;
+  void set_path_health(PathState& p, PathState::Health health);
+  bool has_other_schedulable(PathId id) const;
+  void fail_over_path(PathState& p);
+  void resurrect_path(PathState& p);
+  void probe_dead_path(PathState& p);
 
   // Path/CID helpers.
   void trace_path_state(const PathState& p);

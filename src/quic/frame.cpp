@@ -259,6 +259,10 @@ std::optional<Frame> parse_frame(Reader& r) {
       const auto off = r.varint();
       const auto len = r.varint();
       if (!off || !len) return std::nullopt;
+      // Final offset past the varint ceiling is a FRAME_ENCODING_ERROR
+      // (RFC 9000 §19.6); rejecting here keeps downstream reassembly
+      // arithmetic overflow-free.
+      if (*off > kVarintMax - *len) return std::nullopt;
       auto data = r.bytes(*len);
       if (!data) return std::nullopt;
       f.offset = *off;
@@ -345,6 +349,8 @@ std::optional<Frame> parse_frame(Reader& r) {
           if (!l) return std::nullopt;
           len = *l;
         }
+        // RFC 9000 §19.8: final size must stay below 2^62.
+        if (f.offset > kVarintMax - len) return std::nullopt;
         auto data = r.bytes(len);
         if (!data) return std::nullopt;
         f.data = std::move(*data);

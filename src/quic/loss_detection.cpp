@@ -102,4 +102,16 @@ void LossDetection::forget(PacketNumber pn) {
   sent_.erase(it);
 }
 
+void LossDetection::clear_in_flight() {
+  sent_.clear();
+  bytes_in_flight_ = 0;
+}
+
+sim::Duration backed_off_pto(sim::Duration base_pto,
+                             std::uint32_t pto_count) {
+  const sim::Duration raw =
+      base_pto << std::min(pto_count, kMaxPtoBackoffShift);
+  return std::min(raw, kMaxPto);
+}
+
 }  // namespace xlink::quic

@@ -28,6 +28,18 @@ constexpr std::uint64_t kPacketThreshold = 3;
 constexpr int kTimeThresholdNum = 9;   // 9/8 of RTT
 constexpr int kTimeThresholdDen = 8;
 
+/// PTO exponential backoff doubles per consecutive timeout (RFC 9002 §6.2)
+/// but is capped twice: the exponent stops growing, and the resulting
+/// interval never exceeds kMaxPto. Without the absolute cap, a long
+/// blackout (srtt inflated into seconds by ack silence) pushes the next
+/// probe past the session horizon and a recovered path is never noticed.
+constexpr std::uint32_t kMaxPtoBackoffShift = 6;
+constexpr sim::Duration kMaxPto = sim::seconds(4);
+
+/// The backed-off PTO interval for a path that has seen `pto_count`
+/// consecutive timeouts.
+sim::Duration backed_off_pto(sim::Duration base_pto, std::uint32_t pto_count);
+
 /// Which of the two RFC 9002 rules declared a packet lost (exported to
 /// telemetry; time-threshold losses are the signature of reordering or
 /// delay spikes rather than drops).
@@ -77,6 +89,11 @@ class LossDetection {
   /// Forgets a packet without treating it as acked or lost (used when a
   /// probe duplicates data that was since acked through another copy).
   void forget(PacketNumber pn);
+
+  /// Forgets everything in flight (failover rescue: the connection requeues
+  /// the content elsewhere, so the dead path stops charging bytes_in_flight
+  /// and stops arming loss/PTO timers for packets that will never be acked).
+  void clear_in_flight();
 
  private:
   struct Meta {

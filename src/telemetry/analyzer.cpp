@@ -4,6 +4,7 @@
 #include <map>
 #include <optional>
 #include <sstream>
+#include <utility>
 
 #include "stats/table.h"
 
@@ -17,6 +18,37 @@ const char* path_state_name(std::uint64_t s) {
     case 1: return "active";
     case 2: return "standby";
     case 3: return "abandoned";
+  }
+  return "?";
+}
+
+const char* health_name(std::uint64_t h) {
+  switch (h) {
+    case 0: return "good";
+    case 1: return "degraded";
+    case 2: return "probing";
+  }
+  return "?";
+}
+
+const char* fault_kind_label(std::uint64_t k) {
+  switch (k) {
+    case 0: return "blackout";
+    case 1: return "uplink-drop";
+    case 2: return "downlink-drop";
+    case 3: return "corrupt";
+    case 4: return "reorder";
+    case 5: return "delay-spike";
+    case 6: return "nat-rebind";
+  }
+  return "?";
+}
+
+const char* origin_label(Origin o) {
+  switch (o) {
+    case Origin::kServer: return "server";
+    case Origin::kClient: return "client";
+    case Origin::kSession: return "session";
   }
   return "?";
 }
@@ -71,6 +103,9 @@ AnalysisReport analyze(const ParsedTrace& trace,
   // Open stall (kPlayerStall without a matching resume yet).
   constexpr std::size_t kNoStall = ~std::size_t{0};
   std::size_t open_stall = kNoStall;
+
+  // Last seen health per (origin, path), for failover/resurrection counts.
+  std::map<std::pair<std::uint8_t, std::uint8_t>, std::uint64_t> prev_health;
 
   auto close_episode = [&] {
     if (!in_episode) return;
@@ -230,6 +265,37 @@ AnalysisReport analyze(const ParsedTrace& trace,
       case EventType::kPlayerFinished:
         rep.finished = true;
         break;
+      case EventType::kFault: {
+        FailoverEvent f;
+        f.t = e.t;
+        f.path = e.path;
+        f.origin = e.origin;
+        f.is_fault = true;
+        f.code = e.a;
+        f.fault_active = (e.flag & 1) != 0;
+        f.window = e.b;
+        rep.failover_timeline.push_back(f);
+        if (f.fault_active) ++rep.faults_fired;
+        break;
+      }
+      case EventType::kPathHealth: {
+        FailoverEvent f;
+        f.t = e.t;
+        f.path = e.path;
+        f.origin = e.origin;
+        f.code = e.a;
+        f.pto_count = e.b;
+        rep.failover_timeline.push_back(f);
+        ++rep.health_transitions;
+        const auto key = std::make_pair(static_cast<std::uint8_t>(e.origin),
+                                        e.path);
+        const std::uint64_t prev =
+            prev_health.count(key) ? prev_health[key] : 0;
+        if (e.a == 2) ++rep.failovers;                  // -> probing
+        if (prev == 2 && e.a == 0) ++rep.resurrections; // probing -> good
+        prev_health[key] = e.a;
+        break;
+      }
     }
   }
   close_episode();
@@ -302,6 +368,24 @@ std::string render_report(const AnalysisReport& rep) {
               100.0 * double(r.gate_open_decisions) / double(r.gate_decisions),
               1)
        << "%), " << r.gate_flips << " flips\n";
+  }
+
+  if (!rep.failover_timeline.empty()) {
+    os << "\n=== failover timeline ===\n";
+    os << rep.faults_fired << " fault window(s) fired, "
+       << rep.health_transitions << " health transition(s), " << rep.failovers
+       << " failover(s), " << rep.resurrections << " resurrection(s)\n";
+    for (const FailoverEvent& f : rep.failover_timeline) {
+      os << sec_str(f.t) << " path " << int(f.path) << " ";
+      if (f.is_fault) {
+        os << "fault " << fault_kind_label(f.code) << " (window " << f.window
+           << ") " << (f.fault_active ? "begins" : "ends");
+      } else {
+        os << origin_label(f.origin) << " health -> " << health_name(f.code)
+           << " (pto_count " << f.pto_count << ")";
+      }
+      os << "\n";
+    }
   }
 
   os << "\n=== stall attribution ===\n";

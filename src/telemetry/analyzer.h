@@ -68,6 +68,20 @@ struct ReinjectionEfficiency {
   }
 };
 
+/// One entry of the failover timeline: either an injected fault window
+/// opening/closing (is_fault) or a path-health transition at an endpoint.
+struct FailoverEvent {
+  sim::Time t = 0;
+  std::uint8_t path = 0;
+  Origin origin = Origin::kSession;
+  bool is_fault = false;
+  /// net::FaultKind (is_fault) or quic::PathState::Health value.
+  std::uint64_t code = 0;
+  bool fault_active = false;       // window opens vs. closes
+  std::uint64_t window = 0;        // index in the FaultPlan
+  std::uint64_t pto_count = 0;     // at the health transition
+};
+
 struct AnalysisReport {
   QlogMeta meta;
   std::uint64_t events = 0;
@@ -76,6 +90,12 @@ struct AnalysisReport {
   std::vector<PathTimeline> paths;
   ReinjectionEfficiency reinjection;
   std::vector<StallReport> stalls;
+  /// Interleaved fault windows and health transitions, trace order.
+  std::vector<FailoverEvent> failover_timeline;
+  std::uint64_t faults_fired = 0;        // fault windows that opened
+  std::uint64_t health_transitions = 0;
+  std::uint64_t failovers = 0;           // transitions into probing
+  std::uint64_t resurrections = 0;       // probing -> good
   std::uint64_t first_frame_latency_us = kNoValue;
   bool finished = false;
 };

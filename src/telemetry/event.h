@@ -49,6 +49,11 @@ enum class EventType : std::uint8_t {
   kPlayerStall,           // a=index of the frame that missed its deadline
   kPlayerResume,          // a=stall duration (us), b=frame index
   kPlayerFinished,        // a=frames played
+  kFault,                 // path=network path index; a=net::FaultKind as
+                          // integer, b=window index in the plan;
+                          // flag bit0=1 window opens, 0 window closes
+  kPathHealth,            // path; a=PathState::Health as integer,
+                          // b=pto_count at the transition
 };
 
 /// Sentinel for "value not available" in `a`/`b`/`c`.
@@ -170,6 +175,22 @@ struct Event {
   static Event player_finished(sim::Time t, std::uint64_t frames) {
     return {t, EventType::kPlayerFinished, Origin::kSession, 0, 0, 0, frames, 0,
             0};
+  }
+  static Event fault(sim::Time t, std::uint8_t path, std::uint64_t kind,
+                     bool active, std::uint64_t window) {
+    return {t,
+            EventType::kFault,
+            Origin::kSession,
+            path,
+            static_cast<std::uint8_t>(active ? 1 : 0),
+            0,
+            kind,
+            window,
+            0};
+  }
+  static Event path_health(sim::Time t, Origin o, std::uint8_t path,
+                           std::uint64_t health, std::uint64_t pto_count) {
+    return {t, EventType::kPathHealth, o, path, 0, 0, health, pto_count, 0};
   }
 };
 

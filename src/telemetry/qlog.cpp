@@ -31,6 +31,8 @@ constexpr NameEntry kNames[] = {
     {EventType::kPlayerStall, "player:stall"},
     {EventType::kPlayerResume, "player:resume"},
     {EventType::kPlayerFinished, "player:finished"},
+    {EventType::kFault, "fault:injected"},
+    {EventType::kPathHealth, "transport:path_health"},
 };
 
 const char* origin_name(Origin o) {
@@ -131,6 +133,17 @@ void write_event_data(JsonWriter& w, const Event& e) {
     case EventType::kPlayerFinished:
       w.kv("frames", e.a);
       break;
+    case EventType::kFault:
+      w.kv("path", std::uint64_t{e.path});
+      w.kv("kind", e.a);
+      w.kv("window", e.b);
+      w.kv("active", (e.flag & 1) != 0);
+      break;
+    case EventType::kPathHealth:
+      w.kv("path", std::uint64_t{e.path});
+      w.kv("health", e.a);
+      w.kv("pto_count", e.b);
+      break;
   }
 }
 
@@ -226,6 +239,14 @@ std::optional<Event> event_from_json(const JsonValue& entry) {
       break;
     case EventType::kPlayerFinished:
       e = Event::player_finished(e.t, data->get_u64("frames"));
+      break;
+    case EventType::kFault:
+      e = Event::fault(e.t, path, data->get_u64("kind"),
+                       read_bool(*data, "active"), data->get_u64("window"));
+      break;
+    case EventType::kPathHealth:
+      e = Event::path_health(e.t, e.origin, path, data->get_u64("health"),
+                             data->get_u64("pto_count"));
       break;
   }
   return e;

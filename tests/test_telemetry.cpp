@@ -150,6 +150,9 @@ std::vector<Event> one_of_each_event() {
       E::player_stall(260, 12),
       E::player_resume(270, 10000, 12),
       E::player_finished(280, 360),
+      E::fault(290, 1, 0, true, 2),
+      E::fault(300, 1, 6, false, 3),
+      E::path_health(310, Origin::kServer, 1, 2, 3),
   };
 }
 

@@ -1,5 +1,6 @@
 // xlink_qlog: analyzer CLI for qlog traces produced by the telemetry
-// subsystem. Prints per-path timelines, re-injection efficiency, and
+// subsystem. Prints per-path timelines, re-injection efficiency, the
+// failover timeline (injected faults + path-health transitions), and
 // stall attribution for one trace file.
 //
 //   xlink_qlog trace.qlog            analyze an existing trace
@@ -30,7 +31,8 @@ int usage(const char* argv0) {
 }
 
 // Runs a traced XLINK session over a subway cellular + onboard Wi-Fi
-// scenario (lossy enough to exercise loss, PTO, and re-injection events)
+// scenario (lossy enough to exercise loss, PTO, and re-injection events,
+// plus a scripted Wi-Fi blackout so the failover timeline has content)
 // and writes its qlog to `path`.
 bool write_demo_trace(const std::string& path) {
   using namespace xlink;
@@ -48,6 +50,9 @@ bool write_demo_trace(const std::string& path) {
   cfg.paths.push_back(harness::make_path_spec(
       net::Wireless::kLte, trace::subway_cellular(9017, sim::seconds(60)),
       sim::millis(110)));
+  // Mid-session Wi-Fi outage: drives path-health transitions so the demo
+  // report includes a populated failover timeline.
+  cfg.paths[0].fault_plan.blackout(sim::seconds(3), sim::seconds(2));
   cfg.trace.enabled = true;
   cfg.trace.qlog_path = path;
   cfg.trace.label = "demo_subway";
