@@ -11,16 +11,20 @@
 //       90/95/99% of the time) vs single-path QUIC;
 //     - traffic cost (redundant bytes / first-transmission bytes);
 //     - reduction of samples below the 50 ms danger level (Table 2).
+//
+// The sweep itself is the canonical "fig10" grid (harness/grids.h) run
+// through the shard runner's cells, so this binary, `xlink_grid run
+// fig10`, and a sharded `xlink_grid plan/work/merge fig10` all compute the
+// exact same populations — the bench just renders them as the paper's
+// tables.
 #include "bench_util.h"
-#include "harness/ab_test.h"
+#include "harness/grids.h"
 #include "harness/parallel.h"
+#include "harness/shard.h"
 
 using namespace xlink;
 
 namespace {
-
-constexpr int kSessions = 18;
-constexpr std::uint64_t kBaseSeed = 555000;
 
 struct PopulationOutcome {
   stats::Summary playtime_left_ms;  // sampled after start-up
@@ -28,48 +32,13 @@ struct PopulationOutcome {
   double rebuffer_rate = 0.0;
 };
 
-PopulationOutcome run_population(core::Scheme scheme,
-                                 const core::SchemeOptions& opts) {
-  harness::PopulationConfig pop;
-  pop.p_fading_cellular = 0.8;  // stress without hopeless outages
-  // Sessions run on the parallel engine; each worker samples into its own
-  // index-keyed slot, folded in order afterwards, so the outcome matches
-  // the historical serial loop exactly.
-  std::vector<stats::Summary> playtime(kSessions);
-  const auto results = harness::run_sessions_parallel(
-      kSessions,
-      [&](std::size_t i) {
-        auto cfg = harness::draw_session_conditions(pop, kBaseSeed + i);
-        cfg.scheme = scheme;
-        cfg.options = opts;
-        return cfg;
-      },
-      [&playtime](std::size_t i, harness::Session& session) {
-        session.sample_period = sim::millis(100);
-        stats::Summary& slot = playtime[i];
-        session.on_sample = [&slot](harness::Session& s) {
-          const auto* p = s.player();
-          if (!p || !p->first_frame_latency() || p->finished()) return;
-          slot.add(sim::to_millis(p->buffer_level()));
-        };
-      },
-      0);
+PopulationOutcome from_cell(const harness::shard::CellResult& r) {
   PopulationOutcome out;
-  std::uint64_t payload = 0;
-  std::uint64_t dup = 0;
-  double rebuffer = 0;
-  double play = 0;
-  for (int i = 0; i < kSessions; ++i) {
-    out.playtime_left_ms.add_all(playtime[static_cast<std::size_t>(i)].samples());
-    const auto& r = results[static_cast<std::size_t>(i)];
-    payload += r.stream_payload_bytes;
-    dup += r.reinjected_bytes;
-    rebuffer += r.rebuffer_seconds;
-    play += r.play_seconds;
-  }
-  out.cost_pct =
-      payload ? 100.0 * static_cast<double>(dup) / payload : 0.0;
-  out.rebuffer_rate = play > 0 ? rebuffer / play : 0.0;
+  out.playtime_left_ms = r.playtime_a;
+  // fold_day's redundancy/rebuffer arithmetic matches the historical
+  // per-population loop exactly (index-order sums over the same fields).
+  out.cost_pct = r.arm_a.redundancy_pct;
+  out.rebuffer_rate = r.arm_a.rebuffer_rate;
   return out;
 }
 
@@ -82,7 +51,7 @@ int main(int argc, char** argv) {
       exemplar.on()) {
     harness::PopulationConfig pop;
     pop.p_fading_cellular = 0.8;
-    auto cfg = harness::draw_session_conditions(pop, kBaseSeed);
+    auto cfg = harness::draw_session_conditions(pop, 555000);
     cfg.scheme = core::Scheme::kXlink;
     exemplar.apply(cfg, "fig10_thresholds");
     harness::Session(std::move(cfg)).run();
@@ -92,10 +61,12 @@ int main(int argc, char** argv) {
   std::printf("parallel engine: %u worker(s) (set XLINK_JOBS to override)\n",
               harness::default_jobs());
 
-  // Calibration: play-time-left distribution with control off.
-  core::SchemeOptions always_on;
-  always_on.control.mode = core::ControlMode::kAlwaysOn;
-  const auto calib = run_population(core::Scheme::kXlink, always_on);
+  // Calibration runs at grid-build time (the threshold cells cannot be
+  // enumerated without its playtime distribution); build_grid hands the
+  // result back as the precomputed cell 0.
+  const auto planned = harness::grids::build_grid("fig10");
+  const auto& cells = planned.spec.cells;
+  const auto calib = from_cell(planned.precomputed.at(0).second);
   auto th = [&calib](double x) {
     return calib.playtime_left_ms.percentile(100.0 - x);
   };
@@ -104,41 +75,17 @@ int main(int argc, char** argv) {
       "th(80)=%.0fms th(60)=%.0fms th(50)=%.0fms th(1)=%.0fms\n",
       th(95), th(90), th(80), th(60), th(50), th(1));
 
-  // Baseline: single path.
-  const auto sp = run_population(core::Scheme::kSinglePath, {});
-
-  struct Setting {
-    const char* label;
-    double x, y;  // th(X), th(Y); x<0 -> re-injection off; y<0 -> always on
-  };
-  const Setting settings[] = {
-      {"re-inj. off", -1, 0}, {"95-80", 95, 80}, {"90-80", 90, 80},
-      {"90-60", 90, 60},      {"60-50", 60, 50}, {"60-1", 60, 1},
-      {"1-1", 1, 1},
-  };
+  // Baseline: single path (grid cell 1).
+  const auto sp = from_cell(harness::shard::run_cell(cells.at(1)));
 
   stats::Table fig10({"Threshold", "Buf 75th improv(%)", "Buf 90th improv(%)",
                       "rebuffer improv(%)", "Cost(%)"});
   stats::Table table2({"Threshold", "reduction of buffer<50ms (%)"});
   const double sp_danger = sp.playtime_left_ms.fraction_below(50.0);
 
-  for (const auto& s : settings) {
-    PopulationOutcome out;
-    if (s.x < 0) {
-      out = run_population(core::Scheme::kVanillaMp, {});
-    } else {
-      core::SchemeOptions opts;
-      if (s.x == 1 && s.y == 1) {
-        opts.control.mode = core::ControlMode::kAlwaysOn;
-      } else {
-        opts.control.tth1 =
-            static_cast<sim::Duration>(th(s.x) * sim::kMillisecond);
-        opts.control.tth2 = std::max<sim::Duration>(
-            static_cast<sim::Duration>(th(s.y) * sim::kMillisecond),
-            opts.control.tth1 + sim::millis(1));
-      }
-      out = run_population(core::Scheme::kXlink, opts);
-    }
+  // Cells 2.. are the threshold settings, in table-row order.
+  for (std::size_t c = 2; c < cells.size(); ++c) {
+    const auto out = from_cell(harness::shard::run_cell(cells[c]));
     // "Buf Xth" = the buffer level exceeded X% of the time, i.e. the
     // (100-X)th percentile of the level distribution.
     auto improv = [&](double pct) {
@@ -148,12 +95,12 @@ int main(int argc, char** argv) {
     };
     const double rebuffer_improv =
         stats::improvement_pct(sp.rebuffer_rate, out.rebuffer_rate);
-    fig10.add_row({s.label, bench::fmt(improv(75), 1),
+    fig10.add_row({cells[c].label, bench::fmt(improv(75), 1),
                    bench::fmt(improv(90), 1), bench::fmt(rebuffer_improv, 1),
                    bench::fmt(out.cost_pct, 1)});
     const double danger = out.playtime_left_ms.fraction_below(50.0);
     table2.add_row(
-        {s.label,
+        {cells[c].label,
          bench::fmt(sp_danger > 0
                         ? (sp_danger - danger) / sp_danger * 100.0
                         : 0.0,

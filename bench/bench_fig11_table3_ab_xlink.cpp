@@ -5,39 +5,45 @@
 // (p95), 19-50% (p99) RCT improvements and 23.8-67.7% rebuffer-rate
 // reduction at ~2.1% redundant traffic; the shapes to reproduce are
 // XLINK >= SP everywhere, growing toward the tail.
+//
+// The day sweep is the canonical "fig11" grid (harness/grids.h): each day
+// is one A/B cell (arm A = SP, arm B = XLINK), and run_ab_day is
+// bit-identical to the two run_day calls the bench historically made — so
+// this binary, `xlink_grid run fig11`, and a sharded plan/work/merge all
+// produce the same numbers.
 #include "bench_util.h"
-#include "harness/ab_test.h"
+#include "harness/grids.h"
+#include "harness/shard.h"
 
 using namespace xlink;
 
 int main(int argc, char** argv) {
   std::printf("Reproduction of paper Fig. 11 + Table 3 (XLINK vs SP)\n");
 
-  harness::PopulationConfig pop;
-  pop.sessions_per_day = 45;
-
   // --trace-exemplar: record day 1's first XLINK session (same seed
   // formula as run_day) for the xlink_qlog analyzer.
   if (auto exemplar = bench::TraceExemplar::parse(argc, argv);
       exemplar.on()) {
+    harness::PopulationConfig pop;
+    pop.sessions_per_day = 45;
     auto cfg = harness::draw_session_conditions(pop, 2001 * 1000003ULL);
     cfg.scheme = core::Scheme::kXlink;
     exemplar.apply(cfg, "fig11_ab_xlink");
     harness::Session(std::move(cfg)).run();
   }
-  core::SchemeOptions xlink_opts;  // default thresholds
+
+  const auto spec = harness::grids::fig11_grid();
 
   stats::Table rct({"Day", "SP p50", "XL p50", "SP p95", "XL p95", "SP p99",
                     "XL p99", "p99 improv(%)"});
   stats::Table table3({"Day", "rebuffer improv. (%)", "redundancy (%)"});
   stats::Summary p50_improv, p95_improv, p99_improv;
 
-  for (int day = 1; day <= 14; ++day) {
-    const std::uint64_t seed = 2000 + day;
-    const auto sp = harness::run_day(core::Scheme::kSinglePath, {}, pop,
-                                     seed);
-    const auto xl = harness::run_day(core::Scheme::kXlink, xlink_opts, pop,
-                                     seed);
+  for (std::size_t c = 0; c < spec.cells.size(); ++c) {
+    const int day = static_cast<int>(c) + 1;
+    const auto cell = harness::shard::run_cell(spec.cells[c]);
+    const auto& sp = cell.arm_a;
+    const auto& xl = cell.arm_b;
     const double i50 =
         stats::improvement_pct(sp.rct.percentile(50), xl.rct.percentile(50));
     const double i95 =

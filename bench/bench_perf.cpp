@@ -14,6 +14,9 @@
 //  - fig10_threshold_sweep:      the Fig. 10-style population sweep, run
 //    serially (jobs=1) and on the parallel engine (jobs=default) — the
 //    speedup column is the headline number of the engine
+//  - grid_shard:                 the cross-process grid runner end to end
+//    (plan a small grid into a spool, work it, merge) with per-cell wall
+//    times — tracks the sharding subsystem's overhead per commit
 //  - failover_recovery:          primary-path blackout mid-download; how
 //    fast the PTO budget detects the outage and how soon after the window
 //    clears the path is resurrected
@@ -25,16 +28,21 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
 #include "harness/ab_test.h"
+#include "harness/grids.h"
 #include "harness/parallel.h"
+#include "harness/shard.h"
 #include "sim/event_loop.h"
 #include "sim/thread_pool.h"
 #include "telemetry/trace_sink.h"
@@ -229,6 +237,43 @@ void fig10_style_sweep(unsigned jobs) {
   }
 }
 
+struct GridShardPerf {
+  std::string grid;
+  std::vector<std::pair<std::string, double>> cells;  // label -> wall_s
+  double plan_s = 0.0;   // grid enumeration (incl. calibration cells)
+  double work_s = 0.0;   // one worker draining the spool
+  double merge_s = 0.0;  // shard parse + canonical output
+};
+
+/// The sharded grid runner end to end in one process: spool plan, worker
+/// drain, merge. Per-cell wall times come from the worker's report (the
+/// same numbers each shard file records).
+GridShardPerf bench_grid_shard() {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "xlink_bench_grid_spool";
+  fs::remove_all(dir);
+
+  GridShardPerf r;
+  r.grid = "fig11-smoke";
+  std::optional<harness::shard::Spool> spool;
+  r.plan_s = wall_seconds([&] {
+    const auto planned = harness::grids::build_grid(r.grid);
+    spool = harness::shard::Spool::plan(planned.spec, dir.string(),
+                                        planned.precomputed);
+  });
+  harness::shard::WorkerReport report;
+  r.work_s = wall_seconds([&] { report = harness::shard::run_worker(*spool); });
+  for (const auto& [index, seconds] : report.cell_wall_seconds)
+    r.cells.emplace_back(spool->spec().cells[index].label, seconds);
+  r.merge_s = wall_seconds([&] {
+    auto results = spool->collect(nullptr);
+    std::ostringstream os;
+    harness::shard::write_grid_results(spool->spec(), results, os);
+  });
+  fs::remove_all(dir);
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -297,6 +342,12 @@ int main(int argc, char** argv) {
       "(speedup %.2fx)\n",
       sweep_serial, jobs, sweep_parallel, speedup);
 
+  const GridShardPerf gs = bench_grid_shard();
+  std::printf(
+      "  grid_shard (%s):   plan %.3fs, work %.3fs (%zu cells), "
+      "merge %.3fs\n",
+      gs.grid.c_str(), gs.plan_s, gs.work_s, gs.cells.size(), gs.merge_s);
+
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "bench_perf: cannot open %s\n", out_path);
@@ -331,6 +382,22 @@ int main(int argc, char** argv) {
   w.kv("parallel_wall_s", sweep_parallel);
   w.kv("jobs", jobs);
   w.kv("speedup", speedup);
+  w.end_object();
+  w.begin_object();
+  w.kv("name", "grid_shard");
+  w.kv("grid", gs.grid);
+  w.kv("plan_wall_s", gs.plan_s);
+  w.kv("work_wall_s", gs.work_s);
+  w.kv("merge_wall_s", gs.merge_s);
+  w.key("cells");
+  w.begin_array();
+  for (const auto& [label, seconds] : gs.cells) {
+    w.begin_object();
+    w.kv("label", label);
+    w.kv("wall_s", seconds);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
   w.begin_object();
   w.kv("name", "path_health_guard");

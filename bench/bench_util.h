@@ -1,6 +1,7 @@
 // Shared helpers for the experiment benches.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -79,7 +80,8 @@ inline trace::LinkTrace piecewise_trace(
       }
     }
   }
-  if (ms.empty()) ms.push_back(static_cast<std::uint32_t>(t_ms));
+  if (ms.empty())
+    ms.push_back(static_cast<std::uint32_t>(std::max<std::uint64_t>(t_ms, 1)));
   return trace::LinkTrace(std::move(ms));
 }
 

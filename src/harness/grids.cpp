@@ -1,0 +1,134 @@
+#include "harness/grids.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace xlink::harness::grids {
+namespace {
+
+// The fig10 bench's historical population: 18 sessions seeded kBaseSeed+i
+// over a stressed mix (fading cellular at 0.8).
+constexpr std::uint64_t kFig10BaseSeed = 555000;
+
+PopulationConfig fig10_population(int sessions) {
+  PopulationConfig pop;
+  pop.sessions_per_day = sessions;
+  pop.p_fading_cellular = 0.8;  // stress without hopeless outages
+  return pop;
+}
+
+shard::GridCell fig10_cell(const std::string& label, core::Scheme scheme,
+                           const core::SchemeOptions& options, int sessions) {
+  shard::GridCell cell;
+  cell.label = label;
+  cell.scheme_a = scheme;
+  cell.options_a = options;
+  cell.pop = fig10_population(sessions);
+  cell.day_seed = kFig10BaseSeed;
+  cell.raw_session_seeds = true;  // historical kBaseSeed + i seeds
+  cell.sample_playtime = true;
+  return cell;
+}
+
+}  // namespace
+
+shard::GridCell fig10_calibration_cell(int sessions) {
+  core::SchemeOptions always_on;
+  always_on.control.mode = core::ControlMode::kAlwaysOn;
+  return fig10_cell("calibration", core::Scheme::kXlink, always_on, sessions);
+}
+
+shard::GridSpec fig10_grid(const stats::Summary& calib_playtime_ms,
+                           int sessions) {
+  const auto th = [&calib_playtime_ms](double x) {
+    return calib_playtime_ms.percentile(100.0 - x);
+  };
+
+  shard::GridSpec spec;
+  spec.name = "fig10";
+  spec.cells.push_back(fig10_calibration_cell(sessions));
+  spec.cells.push_back(
+      fig10_cell("sp", core::Scheme::kSinglePath, {}, sessions));
+
+  struct Setting {
+    const char* label;
+    double x, y;  // th(X), th(Y); x<0 -> re-injection off; y<0 unused
+  };
+  // Same settings, in the same order, as the bench table rows.
+  const Setting settings[] = {
+      {"re-inj. off", -1, 0}, {"95-80", 95, 80}, {"90-80", 90, 80},
+      {"90-60", 90, 60},      {"60-50", 60, 50}, {"60-1", 60, 1},
+      {"1-1", 1, 1},
+  };
+  for (const Setting& s : settings) {
+    if (s.x < 0) {
+      spec.cells.push_back(
+          fig10_cell(s.label, core::Scheme::kVanillaMp, {}, sessions));
+      continue;
+    }
+    core::SchemeOptions opts;
+    if (s.x == 1 && s.y == 1) {
+      opts.control.mode = core::ControlMode::kAlwaysOn;
+    } else {
+      // Exactly the bench's derivation, including the cast and the
+      // tth1 < tth2 guard, so grid cells equal the historical sweep.
+      opts.control.tth1 =
+          static_cast<sim::Duration>(th(s.x) * sim::kMillisecond);
+      opts.control.tth2 = std::max<sim::Duration>(
+          static_cast<sim::Duration>(th(s.y) * sim::kMillisecond),
+          opts.control.tth1 + sim::millis(1));
+    }
+    spec.cells.push_back(
+        fig10_cell(s.label, core::Scheme::kXlink, opts, sessions));
+  }
+  return spec;
+}
+
+shard::GridSpec fig11_grid(int days, int sessions_per_day) {
+  PopulationConfig pop;
+  pop.sessions_per_day = sessions_per_day;
+
+  shard::GridSpec spec;
+  spec.name = "fig11";
+  for (int day = 1; day <= days; ++day) {
+    shard::GridCell cell;
+    char label[16];
+    std::snprintf(label, sizeof label, "day%02d", day);
+    cell.label = label;
+    cell.ab = true;
+    cell.scheme_a = core::Scheme::kSinglePath;
+    cell.scheme_b = core::Scheme::kXlink;  // default thresholds
+    cell.pop = pop;
+    cell.day_seed = 2000 + static_cast<std::uint64_t>(day);
+    spec.cells.push_back(cell);
+  }
+  return spec;
+}
+
+PlannedGrid build_grid(const std::string& name, unsigned jobs) {
+  // fig10-family grids need the calibration population's playtime
+  // distribution before the threshold cells can be enumerated; run it
+  // here and pass the result through as a precomputed shard.
+  const auto build_fig10 = [jobs](int sessions) {
+    PlannedGrid planned;
+    const shard::GridCell calib = fig10_calibration_cell(sessions);
+    shard::CellResult calib_result = shard::run_cell(calib, jobs);
+    planned.spec = fig10_grid(calib_result.playtime_a, sessions);
+    planned.precomputed.emplace_back(0, std::move(calib_result));
+    return planned;
+  };
+
+  if (name == "fig10") return build_fig10(18);
+  if (name == "fig10-smoke") return build_fig10(4);
+  if (name == "fig11") return {fig11_grid(14, 45), {}};
+  if (name == "fig11-smoke") return {fig11_grid(2, 6), {}};
+  throw std::runtime_error("unknown grid '" + name +
+                           "' (try: fig10, fig10-smoke, fig11, fig11-smoke)");
+}
+
+std::vector<std::string> grid_names() {
+  return {"fig10", "fig10-smoke", "fig11", "fig11-smoke"};
+}
+
+}  // namespace xlink::harness::grids

@@ -1,0 +1,55 @@
+// Canonical experiment grids for the sharded runner.
+//
+// One place that enumerates the paper's benchmark sweeps (fig10 threshold
+// settings, fig11 A/B days) as shard::GridSpec cell lists, so the bench
+// binaries, the xlink_grid CLI, and the CI smoke job all agree on exactly
+// which (scheme, options, population, seed) tuples a grid contains.
+//
+// fig10 is the interesting case: its threshold settings are DERIVED from
+// the calibration population's play-time-left distribution, so the grid
+// cannot be enumerated without running that cell. build_grid runs the
+// calibration at plan time and hands the result back as a precomputed
+// shard; re-running the same cell in-process is deterministic, which keeps
+// the spool merge byte-identical to run_grid_inprocess over the full spec.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/shard.h"
+
+namespace xlink::harness::grids {
+
+/// The fig10 calibration cell: the stressed XLINK population with QoE
+/// control off (re-injection always on) and the 100ms play-time-left
+/// sampler attached. Its playtime distribution defines the th(X) values.
+shard::GridCell fig10_calibration_cell(int sessions = 18);
+
+/// The full fig10 sweep given the calibration playtime distribution (ms):
+/// cell 0 is the calibration cell itself, cell 1 the SP baseline, then one
+/// cell per threshold setting ("re-inj. off", "95-80", ..., "1-1") with
+/// tth1/tth2 derived exactly as the bench derives them.
+shard::GridSpec fig10_grid(const stats::Summary& calib_playtime_ms,
+                           int sessions = 18);
+
+/// The fig11 A/B sweep: `days` AB cells (arm A = SP, arm B = XLINK with
+/// default thresholds), day d seeded 2000 + d, matching the bench.
+shard::GridSpec fig11_grid(int days = 14, int sessions_per_day = 45);
+
+/// A grid plus plan-time prerequisite results (cells that had to run to
+/// enumerate the rest of the grid, e.g. fig10's calibration population).
+struct PlannedGrid {
+  shard::GridSpec spec;
+  std::vector<std::pair<std::size_t, shard::CellResult>> precomputed;
+};
+
+/// Builds a named grid: "fig10", "fig11", or the scaled-down CI presets
+/// "fig10-smoke" / "fig11-smoke". May run calibration cells in-process on
+/// `jobs` workers (0 = XLINK_JOBS default). Throws std::runtime_error for
+/// unknown names.
+PlannedGrid build_grid(const std::string& name, unsigned jobs = 0);
+
+/// Names accepted by build_grid, for CLI help text.
+std::vector<std::string> grid_names();
+
+}  // namespace xlink::harness::grids

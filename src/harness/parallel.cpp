@@ -18,9 +18,8 @@ SessionConfig day_session_config(core::Scheme scheme,
   return cfg;
 }
 
-/// Folds per-session results in index order — the exact accumulation
-/// sequence of the historical serial run_day loop, so metrics are
-/// bit-identical regardless of how many workers produced the slots.
+}  // namespace
+
 DayMetrics fold_day(const std::vector<SessionResult>& results) {
   DayMetrics day;
   double rebuffer_sum = 0.0;
@@ -46,8 +45,6 @@ DayMetrics fold_day(const std::vector<SessionResult>& results) {
           : 0.0;
   return day;
 }
-
-}  // namespace
 
 unsigned default_jobs() { return sim::ThreadPool::default_jobs(); }
 

@@ -41,6 +41,13 @@ std::vector<SessionResult> run_sessions_parallel(
     const std::function<SessionConfig(std::size_t)>& make_config,
     const std::function<void(std::size_t, Session&)>& setup, unsigned jobs);
 
+/// Folds per-session results into DayMetrics in index order — the exact
+/// accumulation sequence of the historical serial run_day loop, so the
+/// outcome is bit-identical regardless of how many workers produced the
+/// slots. Exposed so the grid-sharding runner (harness/shard.h) and
+/// custom sweeps reproduce run_day's arithmetic on their own batches.
+DayMetrics fold_day(const std::vector<SessionResult>& results);
+
 /// One A/B day: both arms replay the same drawn per-session conditions.
 struct AbDay {
   DayMetrics arm_a;

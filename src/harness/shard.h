@@ -1,0 +1,197 @@
+// Cross-process experiment grid sharding with deterministic merge.
+//
+// The paper's headline results come from sweeping grids of
+// scheduler x trace x threshold x day populations. PR 1's parallel engine
+// (harness/parallel.h) parallelizes WITHIN one population; this module
+// shards whole grids ACROSS worker processes (or machines on a shared
+// filesystem) and folds the results back together without losing the
+// engine's determinism contract:
+//
+//   - A grid is enumerated once into a manifest of cells, each a
+//     (scheme[s], options, population, day_seed) day run — exactly the
+//     inputs of run_day / run_ab_day.
+//   - Workers claim cells from a spool directory by atomically renaming
+//     `cell-N.todo` to `cell-N.claim`; the shared spool gives
+//     work-stealing between populations, so a slow day never idles a
+//     worker. Results land as `cell-N.json`, written tmp-then-rename so a
+//     crash can never leave a torn shard.
+//   - Every numeric field round-trips through JSON losslessly (doubles as
+//     C99 hex-float strings), and the merge step folds shards in manifest
+//     index order, so `merge(shards=K, jobs=J)` is BYTE-identical to the
+//     same grid run in-process, for any K and any XLINK_JOBS value.
+//   - Re-running a spool skips completed shards, and claims owned by dead
+//     processes are re-spooled, so a killed worker costs at most its
+//     in-flight cell.
+//
+// The xlink_grid CLI (tools/) fronts this module with plan / work / merge
+// subcommands; harness/grids.h defines the bench grids (fig10, fig11).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/ab_test.h"
+#include "harness/parallel.h"
+
+namespace xlink::harness::shard {
+
+// ------------------------------------------------- lossless double codec
+
+/// Encodes a double as a C99 hex-float literal ("0x1.91eb851eb851fp+1"):
+/// exact, locale-independent, and parsed back bit-for-bit by strtod. Every
+/// double in a shard file goes through this codec, which is what makes the
+/// spool merge byte-identical to the in-process sweep.
+std::string encode_double(double v);
+double decode_double(const std::string& s);
+
+// --------------------------------------------------------- grid geometry
+
+/// One grid cell: a single day population run (run_day) or an A/B day
+/// (run_ab_day). Cells are self-contained — a worker process reconstructs
+/// the exact run from the manifest entry alone.
+struct GridCell {
+  std::string label;  // e.g. "day03" or "th-90-60"
+  /// false: one arm (scheme_a) via run_day. true: run_ab_day(a, b).
+  bool ab = false;
+  core::Scheme scheme_a = core::Scheme::kXlink;
+  core::SchemeOptions options_a;
+  core::Scheme scheme_b = core::Scheme::kSinglePath;
+  core::SchemeOptions options_b;
+  PopulationConfig pop;
+  std::uint64_t day_seed = 1;
+  /// Session seed derivation: false = run_day's day_seed * 1000003 + i;
+  /// true = day_seed + i (the fig10 bench's historical population seeds).
+  bool raw_session_seeds = false;
+  /// Attach the fig10 buffer-level sampler (100ms period, post-startup
+  /// play-time-left in ms) and report it as CellResult::playtime_*.
+  bool sample_playtime = false;
+};
+
+struct GridSpec {
+  std::string name;
+  std::vector<GridCell> cells;
+};
+
+/// Manifest JSON round-trip. parse_manifest throws std::runtime_error on
+/// malformed input.
+void write_manifest(const GridSpec& spec, std::ostream& os);
+GridSpec parse_manifest(const std::string& text);
+
+// --------------------------------------------------------------- results
+
+/// The outcome of one cell. arm_b is meaningful only for ab cells,
+/// playtime_* only when the cell sampled it. wall_seconds is measurement
+/// metadata: it is stored in the shard file (per-cell timing for perf
+/// tracking) but excluded from the merged output, which must not depend
+/// on which process ran the cell or how fast.
+struct CellResult {
+  DayMetrics arm_a;
+  DayMetrics arm_b;
+  stats::Summary playtime_a;
+  stats::Summary playtime_b;
+  double wall_seconds = 0.0;
+};
+
+/// Runs one cell in-process on `jobs` workers (0 = XLINK_JOBS default).
+/// For standard-seed cells this IS run_day / run_ab_day; fig10-style cells
+/// (raw seeds / playtime sampler) reproduce the bench's historical loop on
+/// the same engine. wall_seconds is left 0 — callers time if they care.
+CellResult run_cell(const GridCell& cell, unsigned jobs = 0);
+
+/// Shard-file JSON round-trip for one cell result.
+void write_cell_result(const GridCell& cell, const CellResult& result,
+                       std::ostream& os);
+CellResult parse_cell_result(const std::string& text);
+
+/// Canonical merged-grid JSON: grid name plus every cell's deterministic
+/// fields in manifest index order (timing excluded). Both the spool merge
+/// and in-process sweeps emit through this writer, so "bit-identical"
+/// is plain byte equality of the output.
+void write_grid_results(const GridSpec& spec,
+                        const std::vector<CellResult>& results,
+                        std::ostream& os);
+
+/// Convenience: run every cell of a grid in-process, in manifest order.
+std::vector<CellResult> run_grid_inprocess(const GridSpec& spec,
+                                           unsigned jobs = 0);
+
+// ----------------------------------------------------------------- spool
+
+/// A spool directory holds one planned grid and its work/result state:
+///
+///   dir/manifest.json      the GridSpec
+///   dir/cell-0007.todo     unclaimed cell (content: the index)
+///   dir/cell-0007.claim    claimed by a worker (content: {"pid": N})
+///   dir/cell-0007.json     completed shard (tmp-then-rename, never torn)
+///
+/// Claiming renames todo -> claim, which POSIX guarantees atomic: exactly
+/// one of any number of racing workers wins a cell. Completed cells are
+/// never re-run, so re-invoking workers on a partially finished spool
+/// resumes where it left off.
+class Spool {
+ public:
+  /// Creates `dir` and populates manifest + one todo per cell. Cells whose
+  /// index appears in `precomputed` are written as completed shards
+  /// instead (used for plan-time prerequisite cells, e.g. the fig10
+  /// calibration population). Throws if the directory already contains a
+  /// manifest.
+  static Spool plan(
+      const GridSpec& spec, const std::string& dir,
+      const std::vector<std::pair<std::size_t, CellResult>>& precomputed = {});
+
+  /// Opens an existing spool (throws if dir/manifest.json is missing).
+  explicit Spool(std::string dir);
+
+  const GridSpec& spec() const { return spec_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Claims the lowest-index available cell: skips completed cells, steals
+  /// todos atomically, and re-spools claims whose owning pid is dead (a
+  /// crashed worker's in-flight cell). Returns nullopt when nothing is
+  /// claimable (all cells completed or claimed by live workers).
+  std::optional<std::size_t> claim_next();
+
+  /// Writes the shard for a claimed cell (tmp + rename) and releases the
+  /// claim.
+  void complete(std::size_t index, const CellResult& result);
+
+  /// Returns a claimed cell to the todo pool without running it.
+  void abandon(std::size_t index);
+
+  bool has_result(std::size_t index) const;
+  std::size_t completed() const;
+
+  /// Force-respools every claim regardless of owner liveness (for
+  /// cross-machine spools where pid probing is meaningless). Returns the
+  /// number of claims returned to the pool.
+  std::size_t reclaim_all_claims();
+
+  /// Reads every completed shard in manifest index order. Indices without
+  /// a shard are appended to `missing` (if given) and left default-valued.
+  std::vector<CellResult> collect(std::vector<std::size_t>* missing) const;
+
+  std::string todo_path(std::size_t index) const;
+  std::string claim_path(std::size_t index) const;
+  std::string result_path(std::size_t index) const;
+
+ private:
+  std::string dir_;
+  GridSpec spec_;
+};
+
+/// One worker's account of a spool run: which cells it claimed and how
+/// long each took (per-cell timing also lands in each shard file).
+struct WorkerReport {
+  std::vector<std::pair<std::size_t, double>> cell_wall_seconds;
+  double total_wall_seconds = 0.0;
+};
+
+/// Claims and runs cells until the spool has nothing left to claim.
+WorkerReport run_worker(Spool& spool, unsigned jobs = 0);
+
+}  // namespace xlink::harness::shard

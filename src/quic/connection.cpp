@@ -120,6 +120,9 @@ PathState& Connection::create_path(PathId id, PathState::State state) {
   auto p = std::make_unique<PathState>();
   p->id = id;
   p->state = state;
+  // RFC 9002 §5.3: RTT samples may subtract at most the negotiated
+  // max_ack_delay; the estimator owns the clamp.
+  p->rtt.set_max_ack_delay(sim::millis(config_.params.max_ack_delay_ms));
   if (config_.cc == CcAlgorithm::kCoupledLia) {
     if (!lia_group_) lia_group_ = std::make_shared<LiaGroup>();
     p->cc = make_lia_controller(lia_group_);
@@ -984,10 +987,7 @@ void Connection::handle_ack_info(PathId acked_path, const AckInfo& info) {
 
   auto outcome = p.loss.on_ack_received(info, loop_.now(), p.rtt);
   if (outcome.rtt_sample) {
-    p.rtt.on_sample(*outcome.rtt_sample,
-                    std::min<sim::Duration>(
-                        info.ack_delay_us,
-                        sim::millis(config_.params.max_ack_delay_ms)));
+    p.rtt.on_sample(*outcome.rtt_sample, info.ack_delay_us);
   }
   XLINK_TRACE(config_.trace,
               telemetry::Event::ack_mp(

@@ -15,9 +15,11 @@ void RttEstimator::on_sample(sim::Duration latest, sim::Duration ack_delay) {
     return;
   }
   min_rtt_ = std::min(min_rtt_, latest);
+  // RFC 9002 §5.3: the peer cannot claim more delay than it negotiated.
+  const sim::Duration delay = std::min(ack_delay, max_ack_delay_);
   // Subtract ack delay only when the result stays above min_rtt.
   sim::Duration adjusted = latest;
-  if (adjusted >= min_rtt_ + ack_delay) adjusted -= ack_delay;
+  if (adjusted >= min_rtt_ + delay) adjusted -= delay;
   const auto s = static_cast<std::int64_t>(srtt_);
   const auto a = static_cast<std::int64_t>(adjusted);
   const std::int64_t sample_var = s > a ? s - a : a - s;

@@ -7,8 +7,18 @@ namespace xlink::quic {
 
 class RttEstimator {
  public:
-  /// Feeds one RTT sample. `ack_delay` is the peer-reported delay, which is
-  /// subtracted when doing so does not go below min_rtt (RFC 9002 §5.3).
+  /// Bounds the peer-reported ack delay that on_sample may subtract
+  /// (RFC 9002 §5.3: "MUST use the lesser of the acknowledged delay and
+  /// the peer's max_ack_delay"). Set from the peer's transport parameter
+  /// when the path is created; defaults to the protocol default of 25ms.
+  void set_max_ack_delay(sim::Duration d) { max_ack_delay_ = d; }
+  sim::Duration max_ack_delay() const { return max_ack_delay_; }
+
+  /// Feeds one RTT sample. `ack_delay` is the peer-reported delay; it is
+  /// clamped to max_ack_delay() and then subtracted when doing so does not
+  /// go below min_rtt (RFC 9002 §5.3). A misbehaving or emulated peer can
+  /// therefore no longer inflate rttvar (and with it every PTO) by
+  /// advertising an absurd delay.
   void on_sample(sim::Duration latest, sim::Duration ack_delay);
 
   bool has_sample() const { return has_sample_; }
@@ -31,6 +41,7 @@ class RttEstimator {
   sim::Duration min_rtt_ = 0;
   sim::Duration srtt_ = sim::millis(333);
   sim::Duration rttvar_ = sim::millis(166);
+  sim::Duration max_ack_delay_ = sim::millis(25);
 };
 
 }  // namespace xlink::quic

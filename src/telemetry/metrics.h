@@ -22,6 +22,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 
 namespace xlink::telemetry {
 
@@ -63,6 +64,13 @@ class MetricsRegistry {
   /// must merge in a deterministic order; harness/parallel.cpp merges in
   /// session-index order.
   void merge(const MetricsRegistry& other);
+
+  /// Replaces the named histogram wholesale. Deserializers (the grid-shard
+  /// reader in harness/shard.cpp) use this to reconstruct a registry
+  /// bit-for-bit, which observe() cannot do from aggregated state.
+  void restore_histogram(const std::string& name, Histogram h) {
+    histograms_[name] = std::move(h);
+  }
 
   bool empty() const {
     return counters_.empty() && gauges_.empty() && histograms_.empty();

@@ -29,8 +29,10 @@ LinkTrace curve_to_trace(const std::vector<double>& mbps_per_step,
     }
   }
   if (ms.empty())
-    ms.push_back(static_cast<std::uint32_t>(
-        static_cast<double>(mbps_per_step.size()) * step_ms));
+    ms.push_back(std::max<std::uint32_t>(
+        static_cast<std::uint32_t>(
+            static_cast<double>(mbps_per_step.size()) * step_ms),
+        1));
   return LinkTrace(std::move(ms));
 }
 

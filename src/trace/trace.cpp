@@ -1,8 +1,12 @@
 #include "trace/trace.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 
 namespace xlink::trace {
@@ -11,7 +15,15 @@ LinkTrace::LinkTrace(std::vector<std::uint32_t> opportunities_ms)
     : ms_(std::move(opportunities_ms)) {
   if (!std::is_sorted(ms_.begin(), ms_.end()))
     throw std::runtime_error("LinkTrace: opportunities must be non-decreasing");
-  period_ms_ = ms_.empty() ? 1 : std::max<std::uint32_t>(ms_.back(), 1);
+  // Opportunity offsets live in (0, period]: the trace period is the last
+  // timestamp, so an entry at t == 0 would alias the previous period's
+  // t == period (period * period_ms_ + 0 == (period-1) * period_ms_ +
+  // period_ms_), double-scheduling one delivery instant at every wrap.
+  if (!ms_.empty() && ms_.front() == 0)
+    throw std::runtime_error(
+        "LinkTrace: opportunity at t=0 aliases the period seam (timestamps "
+        "must be >= 1)");
+  period_ms_ = ms_.empty() ? 1 : ms_.back();
 }
 
 LinkTrace LinkTrace::load(const std::string& path) {
@@ -19,11 +31,28 @@ LinkTrace LinkTrace::load(const std::string& path) {
   if (!in) throw std::runtime_error("LinkTrace: cannot open " + path);
   std::vector<std::uint32_t> ms;
   std::string line;
+  std::size_t lineno = 0;
+  const auto fail = [&](const std::string& what) {
+    throw std::runtime_error("LinkTrace: " + path + ":" +
+                             std::to_string(lineno) + ": " + what + " ('" +
+                             line + "')");
+  };
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty() || line[0] == '#') continue;
-    std::size_t pos = 0;
-    const long v = std::stol(line, &pos);
-    if (v < 0) throw std::runtime_error("LinkTrace: negative timestamp");
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(line.c_str(), &end, 10);
+    if (end == line.c_str()) fail("unparsable timestamp");
+    // Allow trailing whitespace (including a stray '\r'), nothing else.
+    for (; *end != '\0'; ++end) {
+      if (!std::isspace(static_cast<unsigned char>(*end)))
+        fail("trailing garbage after timestamp");
+    }
+    if (v < 0) fail("negative timestamp");
+    if (errno == ERANGE ||
+        v > static_cast<long long>(std::numeric_limits<std::uint32_t>::max()))
+      fail("timestamp out of range (max 2^32-1 ms)");
     ms.push_back(static_cast<std::uint32_t>(v));
   }
   return LinkTrace(std::move(ms));
@@ -46,9 +75,18 @@ std::uint64_t LinkTrace::first_opportunity_at_or_after(sim::Time at) const {
   if (ms_.empty()) return 0;
   const std::uint64_t at_ms = at / sim::kMillisecond +
                               ((at % sim::kMillisecond) ? 1 : 0);
-  const std::uint64_t period = at_ms / period_ms_;
-  const auto within = static_cast<std::uint32_t>(at_ms % period_ms_);
-  const auto it = std::lower_bound(ms_.begin(), ms_.end(), within);
+  std::uint64_t period = at_ms / period_ms_;
+  std::uint64_t within = at_ms % period_ms_;
+  // Offsets are in (0, period]: an exact period boundary is the LAST
+  // instant of the previous period, not the first of the next one.
+  // Mapping it to within == 0 of period p would skip any opportunities at
+  // t == period_ms_ in period p-1, whose absolute time equals `at`.
+  if (within == 0 && at_ms > 0) {
+    --period;
+    within = period_ms_;
+  }
+  const auto it = std::lower_bound(ms_.begin(), ms_.end(),
+                                   static_cast<std::uint32_t>(within));
   if (it == ms_.end())
     return (period + 1) * ms_.size();
   return period * ms_.size() + static_cast<std::uint64_t>(it - ms_.begin());
@@ -86,7 +124,9 @@ LinkTrace constant_rate_trace(double mbps, sim::Duration duration) {
       credit -= 1.0;
     }
   }
-  if (ms.empty()) ms.push_back(static_cast<std::uint32_t>(total_ms));
+  if (ms.empty())
+    ms.push_back(static_cast<std::uint32_t>(std::max<std::uint64_t>(
+        total_ms, 1)));
   return LinkTrace(std::move(ms));
 }
 

@@ -25,11 +25,16 @@ class LinkTrace {
   LinkTrace() = default;
 
   /// Builds from millisecond delivery-opportunity timestamps. Must be
-  /// non-decreasing; the trace period is the last timestamp (or 1ms min).
+  /// non-decreasing and >= 1; the trace period is the last timestamp, and
+  /// offsets live in (0, period] (Mahimahi's convention), so a timestamp
+  /// at exactly the period is the period's final opportunity — never an
+  /// alias of the next period's start.
   explicit LinkTrace(std::vector<std::uint32_t> opportunities_ms);
 
-  /// Parses the Mahimahi on-disk format: one integer (ms) per line. Throws
-  /// std::runtime_error on unreadable file or unparsable/decreasing input.
+  /// Parses the Mahimahi on-disk format: one integer (ms) per line ('#'
+  /// comments and blank lines allowed). Throws std::runtime_error — with
+  /// the offending file and line number — on unreadable files, unparsable
+  /// lines, values outside [1, 2^32-1] ms, or decreasing input.
   static LinkTrace load(const std::string& path);
 
   /// Writes the Mahimahi on-disk format.

@@ -189,6 +189,54 @@ TEST(ThreadPool, DefaultJobsHonoursEnvVar) {
   EXPECT_GE(sim::ThreadPool::default_jobs(), 1u);
 }
 
+TEST(ThreadPool, DefaultJobsRejectsEnvEdgeValues) {
+  // Every rejected value must fall back to hardware_concurrency (>= 1),
+  // never to 0 workers or an absurd pool size.
+  const unsigned hw_fallback = [] {
+    ::unsetenv("XLINK_JOBS");
+    return sim::ThreadPool::default_jobs();
+  }();
+  const char* rejected[] = {
+      "0",                      // zero workers is not a pool
+      "4097",                   // above the sanity cap
+      "99999999999999999999",   // overflows unsigned long (ERANGE)
+      "8garbage",               // trailing junk
+      "-2",                     // strtoul wraps negatives to huge values
+      " 4",                     // leading whitespace is accepted by strtoul,
+                                // but the full-string parse still succeeds;
+                                // see the accepted list below
+      "",                       // empty string
+  };
+  for (const char* v : rejected) {
+    if (std::string(v) == " 4") continue;  // handled separately below
+    ::setenv("XLINK_JOBS", v, 1);
+    EXPECT_EQ(sim::ThreadPool::default_jobs(), hw_fallback)
+        << "XLINK_JOBS='" << v << "'";
+  }
+  // Boundary values that must be accepted verbatim.
+  ::setenv("XLINK_JOBS", "1", 1);
+  EXPECT_EQ(sim::ThreadPool::default_jobs(), 1u);
+  ::setenv("XLINK_JOBS", "4096", 1);
+  EXPECT_EQ(sim::ThreadPool::default_jobs(), 4096u);
+  ::setenv("XLINK_JOBS", " 4", 1);  // strtoul skips leading whitespace
+  EXPECT_EQ(sim::ThreadPool::default_jobs(), 4u);
+  ::unsetenv("XLINK_JOBS");
+}
+
+TEST(ParallelHarness, AbDayArmsShareSessionSeeds) {
+  // The A/B property: both arms draw the same per-session conditions. With
+  // the SAME scheme on both arms, the two arms must therefore be
+  // bit-identical — any divergence means the arm-seed pairing broke.
+  const PopulationConfig pop = small_pop();
+  const core::SchemeOptions opts;
+  const AbDay ab = run_ab_day(core::Scheme::kVanillaMp, opts,
+                              core::Scheme::kVanillaMp, opts, pop, 888, 4);
+  expect_identical(ab.arm_a, ab.arm_b);
+  // And the shared conditions equal what run_day draws for that seed.
+  expect_identical(ab.arm_a,
+                   run_day(core::Scheme::kVanillaMp, opts, pop, 888, 1));
+}
+
 TEST(ThreadPool, SubmitAndWaitIdleDrainEverything) {
   sim::ThreadPool pool(2);
   std::atomic<int> done{0};

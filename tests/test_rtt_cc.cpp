@@ -39,6 +39,7 @@ TEST(Rtt, MinTracksSmallest) {
 
 TEST(Rtt, AckDelaySubtractedOnlyAboveMin) {
   RttEstimator rtt;
+  rtt.set_max_ack_delay(sim::millis(30));
   rtt.on_sample(sim::millis(100), 0);
   // Sample 150 with 30ms ack delay: adjusted 120.
   rtt.on_sample(sim::millis(150), sim::millis(30));
@@ -50,6 +51,35 @@ TEST(Rtt, AckDelaySubtractedOnlyAboveMin) {
   rtt2.on_sample(sim::millis(100), 0);
   rtt2.on_sample(sim::millis(100), sim::millis(90));
   EXPECT_NEAR(sim::to_millis(rtt2.smoothed()), 100, 1.0);
+}
+
+TEST(Rtt, AckDelayClampedToMaxAckDelay) {
+  // RFC 9002 §5.3: a peer reporting an absurd ack delay must not be able
+  // to shrink the adjusted sample (inflating rttvar and every PTO) beyond
+  // what its negotiated max_ack_delay allows.
+  RttEstimator honest;
+  honest.set_max_ack_delay(sim::millis(25));
+  honest.on_sample(sim::millis(100), 0);
+  honest.on_sample(sim::millis(400), sim::millis(25));
+
+  RttEstimator lying;
+  lying.set_max_ack_delay(sim::millis(25));
+  lying.on_sample(sim::millis(100), 0);
+  lying.on_sample(sim::millis(400), sim::millis(250));  // claimed 10x cap
+
+  // The claimed 250ms is clamped to 25ms, so both estimators see the same
+  // adjusted sample: identical srtt, rttvar, and PTO.
+  EXPECT_EQ(lying.smoothed(), honest.smoothed());
+  EXPECT_EQ(lying.variation(), honest.variation());
+  EXPECT_EQ(lying.pto(sim::millis(25)), honest.pto(sim::millis(25)));
+
+  // Sanity: an unclamped subtraction would have produced a smaller srtt.
+  RttEstimator unclamped;
+  unclamped.set_max_ack_delay(sim::millis(1000));
+  unclamped.on_sample(sim::millis(100), 0);
+  unclamped.on_sample(sim::millis(400), sim::millis(250));
+  EXPECT_LT(unclamped.smoothed(), honest.smoothed());
+  EXPECT_EQ(honest.max_ack_delay(), sim::millis(25));
 }
 
 TEST(Rtt, PtoFormula) {

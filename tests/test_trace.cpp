@@ -2,6 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
 
 #include "trace/synthetic.h"
 #include "trace/trace.h"
@@ -44,6 +47,68 @@ TEST(LinkTrace, RejectsDecreasingTimestamps) {
   EXPECT_THROW(LinkTrace({5, 3}), std::runtime_error);
 }
 
+TEST(LinkTrace, RejectsZeroTimestamp) {
+  // t == 0 would alias the previous period's t == period at every wrap
+  // (period * P + back == (period+1) * P + 0), double-scheduling one
+  // delivery instant. Offsets live in (0, period].
+  EXPECT_THROW(LinkTrace({0, 5, 10}), std::runtime_error);
+  EXPECT_THROW(LinkTrace({0}), std::runtime_error);
+}
+
+TEST(LinkTrace, SeamOpportunityAtExactPeriodIsFound) {
+  // Trace with an opportunity at t == period: the period boundary instant
+  // belongs to the PREVIOUS period's final opportunity.
+  LinkTrace t({5, 10});
+  EXPECT_EQ(t.period(), sim::millis(10));
+  EXPECT_EQ(t.opportunity_time(1), sim::millis(10));
+  // The lookup must return n=1 (time 10), not skip into period 1 (n=2,
+  // time 15) as the pre-fix within-period arithmetic did.
+  EXPECT_EQ(t.first_opportunity_at_or_after(sim::millis(10)), 1u);
+  EXPECT_EQ(t.opportunity_time(t.first_opportunity_at_or_after(sim::millis(10))),
+            sim::millis(10));
+  // Across the wrap: t=20 is period 1's final opportunity (n=3).
+  EXPECT_EQ(t.first_opportunity_at_or_after(sim::millis(20)), 3u);
+  // Just past the boundary resolves into the next period normally.
+  EXPECT_EQ(t.first_opportunity_at_or_after(sim::millis(10) + 1), 2u);
+  EXPECT_EQ(t.first_opportunity_at_or_after(sim::millis(11)), 2u);
+}
+
+TEST(LinkTrace, OpportunityTimesStrictlyIncreaseAcrossWrap) {
+  // With offsets in (0, period], consecutive opportunity times never
+  // decrease and the boundary instant is scheduled exactly once.
+  LinkTrace t({2, 7, 7, 7, 9});
+  for (std::uint64_t n = 0; n + 1 < 25; ++n)
+    EXPECT_LE(t.opportunity_time(n), t.opportunity_time(n + 1)) << "n=" << n;
+  // first_opportunity_at_or_after is the inverse of opportunity_time:
+  // looking up any opportunity's own time returns the first opportunity
+  // at that instant (never a later one).
+  for (std::uint64_t n = 0; n < 25; ++n) {
+    const std::uint64_t found = t.first_opportunity_at_or_after(
+        t.opportunity_time(n));
+    EXPECT_LE(found, n) << "n=" << n;
+    EXPECT_EQ(t.opportunity_time(found), t.opportunity_time(n)) << "n=" << n;
+  }
+}
+
+TEST(LinkTrace, WindowBpsExactAcrossSeam) {
+  // One packet at t=5 and one at t=10 per 10ms period.
+  LinkTrace t({5, 10});
+  const double pkt_bits = kDeliveryMtu * 8.0;
+  // [0, 10ms): only t=5. The boundary opportunity belongs to [10, 20).
+  EXPECT_NEAR(t.window_bps(0, sim::millis(10)),
+              pkt_bits / 0.010, 1e-6);
+  // [10ms, 20ms): t=10 and t=15 — the pre-fix lookup skipped t=10 and
+  // under-counted this window by half.
+  EXPECT_NEAR(t.window_bps(sim::millis(10), sim::millis(10)),
+              2 * pkt_bits / 0.010, 1e-6);
+  // A window spanning several wraps counts exactly 2 per period.
+  EXPECT_NEAR(t.window_bps(sim::millis(10), sim::millis(40)),
+              8 * pkt_bits / 0.040, 1e-6);
+  // Whole periods starting at a boundary reproduce the average exactly.
+  EXPECT_NEAR(t.window_bps(sim::millis(10), sim::millis(50)), t.average_bps(),
+              t.average_bps() * 1e-9);
+}
+
 TEST(LinkTrace, AverageBps) {
   // 4 packets of 1500B in 9 ms = 48000 bits / 0.009 s.
   LinkTrace t({1, 5, 5, 9});
@@ -68,6 +133,42 @@ TEST(LinkTrace, SaveLoadRoundtrip) {
 
 TEST(LinkTrace, LoadMissingFileThrows) {
   EXPECT_THROW(LinkTrace::load("/nonexistent/trace"), std::runtime_error);
+}
+
+TEST(LinkTrace, LoadReportsFileAndLineOnMalformedInput) {
+  const std::string path = ::testing::TempDir() + "/trace_malformed.txt";
+  {
+    std::ofstream out(path);
+    out << "# header\n5\nnot-a-number\n9\n";
+  }
+  try {
+    LinkTrace::load(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find(":3"), std::string::npos) << what;  // line number
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LinkTrace, LoadRejectsTrailingGarbageNegativeAndOutOfRange) {
+  const std::string path = ::testing::TempDir() + "/trace_bad.txt";
+  auto write_and_load = [&path](const std::string& body) {
+    std::ofstream(path) << body;
+    return LinkTrace::load(path);
+  };
+  EXPECT_THROW(write_and_load("5\n7 packets\n"), std::runtime_error);
+  EXPECT_THROW(write_and_load("-3\n"), std::runtime_error);
+  // Above uint32 max: previously silently truncated by static_cast.
+  EXPECT_THROW(write_and_load("99999999999\n"), std::runtime_error);
+  // Far beyond long long: strtoll saturates with ERANGE.
+  EXPECT_THROW(write_and_load("999999999999999999999999999\n"),
+               std::runtime_error);
+  // Windows line endings and trailing spaces are tolerated.
+  const LinkTrace ok = write_and_load("5 \r\n10\r\n");
+  EXPECT_EQ(ok.opportunities_ms(), (std::vector<std::uint32_t>{5, 10}));
+  std::remove(path.c_str());
 }
 
 TEST(ConstantRateTrace, MatchesRequestedRate) {
