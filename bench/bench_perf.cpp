@@ -5,15 +5,19 @@
 //  - event_loop_schedule_fire:   schedule 1M events, run them all
 //  - event_loop_schedule_cancel: 1M armed-then-disarmed timers (the
 //    retransmission-timer pattern; exercises slab + lazy compaction)
+//  - packet_datapath_roundtrip:  seal -> link -> parse/open round trips per
+//    second through the pooled zero-allocation datapath, with buffer-pool
+//    hit/alloc counters recorded alongside
 //  - session_throughput:         small end-to-end XLINK sessions per second
 //    (plus the same population with per-session tracing enabled)
 //  - telemetry_trace_hook:       cost of one XLINK_TRACE hook in a tight
 //    loop — compiled out (loop without the hook, the exact codegen of
 //    -DXLINK_TELEMETRY=OFF), compiled in but disabled (null-sink check),
 //    and enabled (ring-buffer record)
-//  - fig10_threshold_sweep:      the Fig. 10-style population sweep, run
-//    serially (jobs=1) and on the parallel engine (jobs=default) — the
-//    speedup column is the headline number of the engine
+//  - fig10_threshold_sweep_serial / _parallel: the Fig. 10-style population
+//    sweep as two separate records — jobs=1 and jobs=hardware_concurrency —
+//    so the parallel record's speedup_vs_serial is meaningful even when the
+//    environment pins XLINK_JOBS=1
 //  - grid_shard:                 the cross-process grid runner end to end
 //    (plan a small grid into a spool, work it, merge) with per-cell wall
 //    times — tracks the sharding subsystem's overhead per commit
@@ -24,7 +28,10 @@
 //    machine on vs off — the delta is the hot-path cost of failover
 //    bookkeeping and must stay in the noise
 //
-// Usage: bench_perf [output.json]   (default: BENCH_perf.json in cwd)
+// Usage: bench_perf [--smoke] [output.json]
+//   (default output: BENCH_perf.json in cwd; --smoke cuts iteration counts
+//   for CI smoke runs -- same coverage, not comparable numbers)
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -43,6 +50,9 @@
 #include "harness/grids.h"
 #include "harness/parallel.h"
 #include "harness/shard.h"
+#include "net/link.h"
+#include "net/packet_buffer.h"
+#include "quic/packet.h"
 #include "sim/event_loop.h"
 #include "sim/thread_pool.h"
 #include "telemetry/trace_sink.h"
@@ -66,12 +76,11 @@ struct Record {
   double rate = 0.0;
 };
 
-double bench_schedule_fire(std::uint64_t& fired_out) {
-  constexpr int kEvents = 1'000'000;
+double bench_schedule_fire(int events, std::uint64_t& fired_out) {
   sim::EventLoop loop;
   std::uint64_t fired = 0;
   const double s = wall_seconds([&] {
-    for (int i = 0; i < kEvents; ++i)
+    for (int i = 0; i < events; ++i)
       loop.schedule_in(static_cast<sim::Duration>(i % 9973), [&fired] {
         ++fired;
       });
@@ -81,16 +90,83 @@ double bench_schedule_fire(std::uint64_t& fired_out) {
   return s;
 }
 
-double bench_schedule_cancel() {
-  constexpr int kEvents = 1'000'000;
+double bench_schedule_cancel(int events) {
   sim::EventLoop loop;
   return wall_seconds([&] {
-    for (int i = 0; i < kEvents; ++i) {
+    for (int i = 0; i < events; ++i) {
       const sim::EventId id =
           loop.schedule_in(static_cast<sim::Duration>(i % 9973 + 1), [] {});
       loop.cancel(id);
     }
   });
+}
+
+struct DatapathPerf {
+  std::uint64_t packets = 0;
+  double wall_s = 0.0;
+  net::PacketBufferPool::Counters pool;  // delta over the measured loop
+};
+
+/// The pooled packet datapath in isolation: seal into a pooled buffer,
+/// move through a fixed-rate link, parse/decrypt in place, parse frames
+/// into a reused scratch list. After warm-up this loop performs zero heap
+/// allocations (tests/test_alloc_guard.cpp proves it); the pool counter
+/// delta recorded here keeps the claim visible per commit.
+DatapathPerf bench_packet_datapath(std::uint64_t packets) {
+  sim::EventLoop loop;
+  net::LinkConfig cfg;
+  net::FixedRateLink link(loop, 1e9, cfg, sim::Rng(1));
+
+  quic::PacketProtection aead(0x5eed);
+  std::vector<std::uint8_t> payload_src(1200, 0xab);
+  std::vector<quic::Frame> send_frames;
+  std::vector<quic::Frame> recv_frames;
+  std::uint64_t delivered = 0;
+
+  link.set_receiver([&](net::Datagram d) {
+    const auto pkt = quic::parse_packet_view(d.span());
+    if (!pkt) return;
+    const auto payload = quic::open_packet_in_place(aead, *pkt);
+    if (!payload) return;
+    recv_frames.clear();
+    if (quic::parse_frames_into(*payload, recv_frames)) ++delivered;
+  });
+
+  quic::PacketNumber pn = 0;
+  const auto send_one = [&] {
+    quic::StreamFrame f;
+    f.stream_id = 4;
+    f.offset = pn * payload_src.size();
+    f.data = quic::FrameData::borrowed(payload_src);
+    send_frames.clear();
+    send_frames.emplace_back(std::move(f));
+    quic::PacketHeader h;
+    h.cid_sequence = 0;
+    h.packet_number = pn++;
+    link.send(quic::seal_packet_buffer(aead, h, send_frames));
+  };
+
+  for (int i = 0; i < 256; ++i) {  // warm the pool, queues and scratch
+    send_one();
+    loop.run();
+  }
+
+  auto& pool = net::PacketBufferPool::local();
+  pool.reset_counters();
+  DatapathPerf r;
+  r.packets = packets;
+  r.wall_s = wall_seconds([&] {
+    for (std::uint64_t i = 0; i < packets; ++i) {
+      send_one();
+      loop.run();
+    }
+  });
+  r.pool = pool.counters();
+  if (delivered != 256 + packets)
+    std::fprintf(stderr, "bench_packet_datapath: delivered %llu != %llu\n",
+                 static_cast<unsigned long long>(delivered),
+                 static_cast<unsigned long long>(256 + packets));
+  return r;
 }
 
 harness::SessionConfig small_session_config(std::uint64_t seed) {
@@ -198,9 +274,9 @@ struct TraceHookRates {
   double enabled = 0.0;       // ops/sec, recording into the ring
 };
 
-TraceHookRates bench_trace_hook() {
+TraceHookRates bench_trace_hook(std::uint64_t iters) {
   TraceHookRates r;
-  r.iters = 50'000'000;
+  r.iters = iters;
   r.compiled_out = double(r.iters) / trace_hook_loop<false>(nullptr, r.iters);
   r.disabled = double(r.iters) / trace_hook_loop<true>(nullptr, r.iters);
   telemetry::TraceSink sink(1 << 16);
@@ -212,8 +288,8 @@ TraceHookRates bench_trace_hook() {
 /// Fig. 10-shaped workload: per threshold setting, a fading-cellular
 /// population of sessions. Scaled down from the real bench so the sweep
 /// finishes quickly at jobs=1 too.
-void fig10_style_sweep(unsigned jobs) {
-  constexpr int kSessions = 10;
+void fig10_style_sweep(unsigned jobs, int sessions) {
+  const int kSessions = sessions;
   harness::PopulationConfig pop;
   pop.p_fading_cellular = 0.8;
   pop.time_limit = sim::seconds(60);
@@ -277,27 +353,52 @@ GridShardPerf bench_grid_shard() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_perf.json";
+  bool smoke = false;
+  const char* out_path = "BENCH_perf.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke")
+      smoke = true;
+    else
+      out_path = argv[i];
+  }
   const unsigned jobs = harness::default_jobs();
-  std::printf("bench_perf: jobs=%u (XLINK_JOBS overrides), output=%s\n", jobs,
-              out_path);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("bench_perf: jobs=%u (XLINK_JOBS overrides), output=%s%s\n",
+              jobs, out_path, smoke ? " [smoke]" : "");
+
+  // Smoke mode (CI): same code paths, ~10-20x fewer iterations. The JSON it
+  // writes is for plumbing checks, not cross-commit comparison.
+  const int loop_events = smoke ? 100'000 : 1'000'000;
+  const std::uint64_t datapath_packets = smoke ? 20'000 : 200'000;
+  const int throughput_sessions = smoke ? 4 : 24;
+  const std::uint64_t hook_iters = smoke ? 2'000'000 : 50'000'000;
+  const int sweep_sessions = smoke ? 3 : 10;
 
   std::vector<Record> records;
 
   std::uint64_t fired = 0;
-  const double sf = bench_schedule_fire(fired);
+  const double sf = bench_schedule_fire(loop_events, fired);
   records.push_back({"event_loop_schedule_fire", sf, "events_per_sec",
                      static_cast<double>(fired) / sf});
   std::printf("  event_loop_schedule_fire:   %.3fs  (%.2fM events/s)\n", sf,
               static_cast<double>(fired) / sf / 1e6);
 
-  const double sc = bench_schedule_cancel();
+  const double sc = bench_schedule_cancel(loop_events);
   records.push_back({"event_loop_schedule_cancel", sc, "ops_per_sec",
-                     1'000'000.0 / sc});
+                     loop_events / sc});
   std::printf("  event_loop_schedule_cancel: %.3fs  (%.2fM ops/s)\n", sc,
-              1'000'000.0 / sc / 1e6);
+              loop_events / sc / 1e6);
 
-  constexpr int kThroughputSessions = 24;
+  const DatapathPerf dp = bench_packet_datapath(datapath_packets);
+  std::printf(
+      "  packet_datapath_roundtrip:  %.3fs  (%.2fk pkts/s; pool hits %llu, "
+      "slab allocs %llu, oversize %llu)\n",
+      dp.wall_s, static_cast<double>(dp.packets) / dp.wall_s / 1e3,
+      static_cast<unsigned long long>(dp.pool.pool_hits),
+      static_cast<unsigned long long>(dp.pool.slab_allocs),
+      static_cast<unsigned long long>(dp.pool.oversize_allocs));
+
+  const int kThroughputSessions = throughput_sessions;
   const double st = bench_session_throughput(kThroughputSessions, false);
   records.push_back({"session_throughput", st, "sessions_per_sec",
                      kThroughputSessions / st});
@@ -326,21 +427,25 @@ int main(int argc, char** argv) {
       "(download %.2fs)\n",
       fr.detect_s, fr.resume_s, fr.download_s);
 
-  const TraceHookRates hook = bench_trace_hook();
+  const TraceHookRates hook = bench_trace_hook(hook_iters);
   std::printf(
       "  telemetry_trace_hook:       compiled-out %.2fns, disabled %.2fns, "
       "enabled %.2fns per hook\n",
       1e9 / hook.compiled_out, 1e9 / hook.disabled, 1e9 / hook.enabled);
 
-  const double sweep_serial = wall_seconds([] { fig10_style_sweep(1); });
+  // Serial and parallel sweeps are separate records: the parallel leg runs
+  // at hardware_concurrency explicitly, so speedup_vs_serial measures the
+  // engine even when XLINK_JOBS pins the default to 1.
+  const double sweep_serial =
+      wall_seconds([&] { fig10_style_sweep(1, sweep_sessions); });
   const double sweep_parallel =
-      wall_seconds([jobs] { fig10_style_sweep(jobs); });
+      wall_seconds([&] { fig10_style_sweep(hw, sweep_sessions); });
   const double speedup = sweep_parallel > 0 ? sweep_serial / sweep_parallel
                                             : 0.0;
   std::printf(
       "  fig10_threshold_sweep:      serial %.3fs, %u-way %.3fs "
       "(speedup %.2fx)\n",
-      sweep_serial, jobs, sweep_parallel, speedup);
+      sweep_serial, hw, sweep_parallel, speedup);
 
   const GridShardPerf gs = bench_grid_shard();
   std::printf(
@@ -358,6 +463,7 @@ int main(int argc, char** argv) {
   w.kv("bench", "bench_perf");
   w.kv("jobs", jobs);
   w.kv("hardware_concurrency", std::thread::hardware_concurrency());
+  w.kv("smoke", smoke);
   w.key("benches");
   w.begin_array();
   for (const auto& r : records) {
@@ -368,6 +474,16 @@ int main(int argc, char** argv) {
     w.end_object();
   }
   w.begin_object();
+  w.kv("name", "packet_datapath_roundtrip");
+  w.kv("wall_s", dp.wall_s);
+  w.kv("packets", dp.packets);
+  w.kv("packets_per_sec", static_cast<double>(dp.packets) / dp.wall_s);
+  w.kv("pool_acquires", dp.pool.acquires);
+  w.kv("pool_hits", dp.pool.pool_hits);
+  w.kv("pool_slab_allocs", dp.pool.slab_allocs);
+  w.kv("pool_oversize_allocs", dp.pool.oversize_allocs);
+  w.end_object();
+  w.begin_object();
   w.kv("name", "telemetry_trace_hook");
   w.kv("iters", hook.iters);
   w.kv("compiled_out_ops_per_sec", hook.compiled_out);
@@ -377,11 +493,15 @@ int main(int argc, char** argv) {
   w.kv("enabled_ns_per_hook", 1e9 / hook.enabled);
   w.end_object();
   w.begin_object();
-  w.kv("name", "fig10_threshold_sweep");
-  w.kv("serial_wall_s", sweep_serial);
-  w.kv("parallel_wall_s", sweep_parallel);
-  w.kv("jobs", jobs);
-  w.kv("speedup", speedup);
+  w.kv("name", "fig10_threshold_sweep_serial");
+  w.kv("wall_s", sweep_serial);
+  w.kv("jobs", 1);
+  w.end_object();
+  w.begin_object();
+  w.kv("name", "fig10_threshold_sweep_parallel");
+  w.kv("wall_s", sweep_parallel);
+  w.kv("jobs", hw);
+  w.kv("speedup_vs_serial", speedup);
   w.end_object();
   w.begin_object();
   w.kv("name", "grid_shard");

@@ -29,10 +29,10 @@ void Endpoint::bind_path(std::size_t index) {
                   static_cast<std::uint64_t>(path.tech())));
   if (side_ == Side::kClient) {
     path.set_down_receiver(
-        [this, id](net::Datagram d) { conn_.on_datagram(id, d); });
+        [this, id](net::Datagram d) { conn_.on_datagram(id, std::move(d)); });
   } else {
     path.set_up_receiver(
-        [this, id](net::Datagram d) { conn_.on_datagram(id, d); });
+        [this, id](net::Datagram d) { conn_.on_datagram(id, std::move(d)); });
   }
 }
 

@@ -1,14 +1,18 @@
 // UDP-datagram abstraction carried by emulated links.
 #pragma once
 
-#include <cstdint>
-#include <vector>
+#include "net/packet_buffer.h"
 
 namespace xlink::net {
 
 /// Raw datagram payload: in this simulator a datagram carries exactly one
 /// QUIC packet (the common case for video transport; coalescing is a wire
 /// optimization that does not affect scheduling behaviour).
-using Datagram = std::vector<std::uint8_t>;
+///
+/// A Datagram is a move-only handle to a pooled buffer: links, paths and
+/// the fault injector move it hop to hop, and the slot returns to its
+/// thread-local pool when the last holder drops it. Call clone() where a
+/// genuine copy is required (tests, capture-and-replay harnesses).
+using Datagram = PacketBuffer;
 
 }  // namespace xlink::net

@@ -6,13 +6,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 
 #include "net/datagram.h"
 #include "net/loss_model.h"
 #include "sim/event_loop.h"
+#include "sim/ring_queue.h"
 #include "sim/rng.h"
 #include "trace/trace.h"
 
@@ -75,7 +75,7 @@ class TraceLink final : public Link {
   trace::LinkTrace trace_;
   LinkConfig cfg_;
   sim::Rng rng_;
-  std::deque<Datagram> queue_;
+  sim::RingQueue<Datagram> queue_;
   std::uint64_t next_opportunity_ = 0;  // monotone cursor into the trace
   bool departure_armed_ = false;
 };
@@ -96,7 +96,7 @@ class FixedRateLink final : public Link {
   double rate_bps_;
   LinkConfig cfg_;
   sim::Rng rng_;
-  std::deque<Datagram> queue_;
+  sim::RingQueue<Datagram> queue_;
   sim::Time link_free_at_ = 0;  // when the serializer is next idle
   bool departure_armed_ = false;
 };

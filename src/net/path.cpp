@@ -15,30 +15,39 @@ EmulatedPath::EmulatedPath(sim::EventLoop& loop, PathSpec spec, sim::Rng rng,
 }
 
 void EmulatedPath::set_up_receiver(Link::DeliverFn fn) {
-  up_->set_receiver(wrap_receiver(FaultInjector::Direction::kUp,
-                                  std::move(fn)));
+  if (!faults_) {
+    up_->set_receiver(std::move(fn));
+    return;
+  }
+  up_fn_ = std::move(fn);
+  up_->set_receiver([this](Datagram d) {
+    deliver_faulted(FaultInjector::Direction::kUp, std::move(d));
+  });
 }
 
 void EmulatedPath::set_down_receiver(Link::DeliverFn fn) {
-  down_->set_receiver(wrap_receiver(FaultInjector::Direction::kDown,
-                                    std::move(fn)));
+  if (!faults_) {
+    down_->set_receiver(std::move(fn));
+    return;
+  }
+  down_fn_ = std::move(fn);
+  down_->set_receiver([this](Datagram d) {
+    deliver_faulted(FaultInjector::Direction::kDown, std::move(d));
+  });
 }
 
-Link::DeliverFn EmulatedPath::wrap_receiver(FaultInjector::Direction dir,
-                                            Link::DeliverFn fn) {
-  if (!faults_) return fn;
+void EmulatedPath::deliver_faulted(FaultInjector::Direction dir, Datagram d) {
   // Reorder/delay-spike windows hold datagrams past the link's own
   // propagation delay; undelayed successors overtake them.
-  return [this, dir, fn = std::move(fn)](Datagram d) {
-    const sim::Duration extra = faults_->delivery_delay(dir);
-    if (extra == 0) {
-      fn(std::move(d));
-      return;
-    }
-    loop_.schedule_in(extra, [fn, d = std::move(d)]() mutable {
-      fn(std::move(d));
-    });
-  };
+  const sim::Duration extra = faults_->delivery_delay(dir);
+  auto& fn = dir == FaultInjector::Direction::kUp ? up_fn_ : down_fn_;
+  if (extra == 0) {
+    fn(std::move(d));
+    return;
+  }
+  loop_.schedule_in(extra, [this, dir, d = std::move(d)]() mutable {
+    (dir == FaultInjector::Direction::kUp ? up_fn_ : down_fn_)(std::move(d));
+  });
 }
 
 std::unique_ptr<Link> EmulatedPath::make_link(

@@ -67,14 +67,18 @@ class EmulatedPath {
   std::unique_ptr<Link> make_link(sim::EventLoop& loop,
                                   const std::optional<trace::LinkTrace>& t,
                                   sim::Rng rng) const;
-  Link::DeliverFn wrap_receiver(FaultInjector::Direction dir,
-                                Link::DeliverFn fn);
+  void deliver_faulted(FaultInjector::Direction dir, Datagram d);
 
   sim::EventLoop& loop_;
   PathSpec spec_;
   std::unique_ptr<Link> up_;
   std::unique_ptr<Link> down_;
   std::unique_ptr<FaultInjector> faults_;
+  // Final receivers, stored once so the per-packet fault hop captures only
+  // [this, dir, datagram] (stays within the event loop's inline storage)
+  // instead of copying a std::function per delivered packet.
+  Link::DeliverFn up_fn_;
+  Link::DeliverFn down_fn_;
 };
 
 }  // namespace xlink::net

@@ -514,7 +514,10 @@ bool Connection::send_one_packet(PathId path_id, bool ignore_cwnd) {
                                           path.cwnd_available());
   if (budget < 64) return false;
 
-  std::vector<Frame> frames;
+  // Reuse the scratch frame list (moved out so re-entrant sends fall back
+  // to a fresh vector rather than aliasing).
+  std::vector<Frame> frames = std::move(send_frames_scratch_);
+  frames.clear();
   std::vector<SendItem> taken;
   std::size_t used = 0;
 
@@ -574,7 +577,10 @@ bool Connection::send_one_packet(PathId path_id, bool ignore_cwnd) {
     frame.stream_id = piece.stream_id;
     frame.offset = piece.offset;
     frame.fin = piece.fin;
-    frame.data = stream->read_range(piece.offset, piece.length);
+    // Borrow the payload straight from the stream buffer: the frame list
+    // lives only until seal_packet_buffer copies it onto the wire below.
+    frame.data =
+        FrameData::borrowed(stream->view_range(piece.offset, piece.length));
     used += overhead + frame.data.size();
     frames.emplace_back(std::move(frame));
 
@@ -591,19 +597,25 @@ bool Connection::send_one_packet(PathId path_id, bool ignore_cwnd) {
     if (used + 32 >= budget) break;  // packet effectively full
   }
 
-  if (taken.empty()) return false;
-  build_and_send(path_id, std::move(frames), std::move(taken),
+  if (taken.empty()) {
+    frames.clear();
+    send_frames_scratch_ = std::move(frames);
+    return false;
+  }
+  build_and_send(path_id, frames, std::move(taken),
                  /*ack_eliciting=*/true, /*is_probe=*/false);
+  frames.clear();
+  send_frames_scratch_ = std::move(frames);
   return true;
 }
 
 void Connection::send_control_packet(PathId path_id, std::vector<Frame> frames,
                                      bool count_inflight) {
-  build_and_send(path_id, std::move(frames), {}, count_inflight,
+  build_and_send(path_id, frames, {}, count_inflight,
                  /*is_probe=*/!count_inflight);
 }
 
-void Connection::build_and_send(PathId path_id, std::vector<Frame> frames,
+void Connection::build_and_send(PathId path_id, std::vector<Frame>& frames,
                                 std::vector<SendItem> items,
                                 bool ack_eliciting, bool /*is_probe*/) {
   auto pit = paths_.find(path_id);
@@ -635,8 +647,7 @@ void Connection::build_and_send(PathId path_id, std::vector<Frame> frames,
   header.cid_sequence = path_id;
   header.packet_number = path.next_pn++;
 
-  const std::vector<std::uint8_t> wire =
-      seal_packet(aead_, header, frames);
+  net::PacketBuffer wire = seal_packet_buffer(aead_, header, frames);
   const bool has_ack_eliciting_frame =
       std::any_of(frames.begin(), frames.end(),
                   [](const Frame& f) { return is_ack_eliciting(f); });
@@ -686,7 +697,7 @@ void Connection::build_and_send(PathId path_id, std::vector<Frame> frames,
                   loop_.now(), trace_origin(),
                   static_cast<std::uint8_t>(path_id), header.packet_number,
                   wire.size(), eliciting, is_reinjection_pkt));
-  send_fn_(path_id, wire);
+  send_fn_(path_id, std::move(wire));
 }
 
 void Connection::send_pending_acks() {
@@ -733,10 +744,10 @@ std::optional<PathId> Connection::ack_carrier_path(PathId acked_path) const {
 
 // ------------------------------------------------------------ receive side
 
-void Connection::on_datagram(PathId arrival_path, const net::Datagram& dgram) {
+void Connection::on_datagram(PathId arrival_path, net::Datagram dgram) {
   if (closed_) return;
   stats_.bytes_received += dgram.size();
-  auto pkt = parse_packet(dgram);
+  const auto pkt = parse_packet_view(dgram.span());
   if (!pkt) return;
   const PathId path_id = pkt->header.cid_sequence;
   (void)arrival_path;  // header's CID sequence is authoritative
@@ -757,9 +768,16 @@ void Connection::on_datagram(PathId arrival_path, const net::Datagram& dgram) {
   }
   PathState& path = *pit->second;
 
-  auto frames = open_packet(aead_, *pkt);
-  if (!frames) {
+  // Decrypt in place inside the receive buffer and parse the frames into
+  // the reusable scratch list; stream/crypto payloads borrow from `dgram`,
+  // which stays alive for the rest of this call.
+  const auto payload = open_packet_in_place(aead_, *pkt);
+  std::vector<Frame> frames = std::move(recv_frames_scratch_);
+  frames.clear();
+  const bool parsed_ok = payload && parse_frames_into(*payload, frames);
+  if (!parsed_ok) {
     ++stats_.auth_failures;
+    recv_frames_scratch_ = std::move(frames);
     return;
   }
 
@@ -773,13 +791,15 @@ void Connection::on_datagram(PathId arrival_path, const net::Datagram& dgram) {
                   pkt->header.packet_number, dgram.size()));
 
   const bool eliciting =
-      std::any_of(frames->begin(), frames->end(),
+      std::any_of(frames.begin(), frames.end(),
                   [](const Frame& f) { return is_ack_eliciting(f); });
   const bool duplicate = already_received(path, pkt->header.packet_number);
   note_received(path, pkt->header.packet_number, eliciting);
   if (!duplicate)
-    handle_frames(path_id, pkt->header.packet_number, *frames);
+    handle_frames(path_id, pkt->header.packet_number, frames);
 
+  frames.clear();
+  recv_frames_scratch_ = std::move(frames);
   pump_send();
 }
 

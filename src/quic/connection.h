@@ -205,8 +205,10 @@ class Connection {
   void set_send_callback(SendFn fn) { send_fn_ = std::move(fn); }
 
   /// Feeds a datagram that arrived on `path` (network-path index == path
-  /// id; the harness guarantees the mapping).
-  void on_datagram(PathId path, const net::Datagram& datagram);
+  /// id; the harness guarantees the mapping). Takes ownership: the packet
+  /// is decrypted in place inside the buffer, and stream payloads are
+  /// borrowed from it for the duration of the call.
+  void on_datagram(PathId path, net::Datagram datagram);
 
   // ---- lifecycle ----------------------------------------------------
   /// Client: starts the handshake on the primary path (path 0).
@@ -329,7 +331,9 @@ class Connection {
   void send_control_packet(PathId path, std::vector<Frame> frames,
                            bool count_inflight);
   void send_pending_acks();
-  void build_and_send(PathId path, std::vector<Frame> frames,
+  /// Seals `frames` into a pooled buffer and hands it to send_fn_. The
+  /// frame list is an lvalue ref so callers can reuse scratch storage.
+  void build_and_send(PathId path, std::vector<Frame>& frames,
                       std::vector<SendItem> items, bool ack_eliciting,
                       bool is_probe);
   std::optional<PathId> ack_carrier_path(PathId acked_path) const;
@@ -413,6 +417,11 @@ class Connection {
   sim::EventId timer_id_ = 0;
   bool in_pump_ = false;
   std::shared_ptr<LiaGroup> lia_group_;  // only for kCoupledLia
+
+  // Reusable frame-list storage for the receive and send hot paths; moved
+  // out while in use (re-entrancy safe) and moved back with capacity kept.
+  std::vector<Frame> recv_frames_scratch_;
+  std::vector<Frame> send_frames_scratch_;
 
   Stats stats_;
 };

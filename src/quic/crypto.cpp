@@ -1,5 +1,7 @@
 #include "quic/crypto.h"
 
+#include <algorithm>
+
 namespace xlink::quic {
 namespace {
 
@@ -38,20 +40,35 @@ Nonce build_multipath_nonce(std::uint32_t cid_sequence, PacketNumber pn) {
   return n;
 }
 
-Nonce PacketProtection::iv() const {
-  Nonce n{};
+PacketProtection::PacketProtection(std::uint64_t key) : key_(key), iv_{} {
   std::uint64_t a = prf(key_ ^ 0x1111111111111111ULL);
   std::uint64_t b = prf(key_ ^ 0x2222222222222222ULL);
-  for (int i = 0; i < 8; ++i) n[i] = static_cast<std::uint8_t>(a >> (56 - 8 * i));
+  for (int i = 0; i < 8; ++i)
+    iv_[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(a >> (56 - 8 * i));
   for (int i = 0; i < 4; ++i)
-    n[8 + i] = static_cast<std::uint8_t>(b >> (24 - 8 * i));
-  return n;
+    iv_[static_cast<std::size_t>(8 + i)] =
+        static_cast<std::uint8_t>(b >> (24 - 8 * i));
 }
 
-std::uint64_t PacketProtection::keystream_block(const Nonce& nonce,
-                                                std::uint64_t counter) const {
-  return prf(key_ ^ prf(nonce_to_u64(nonce, 0) ^
-                        prf(nonce_to_u64(nonce, 4) ^ counter)));
+Nonce PacketProtection::effective_nonce(std::uint32_t cid_sequence,
+                                        PacketNumber pn) const {
+  Nonce nonce = build_multipath_nonce(cid_sequence, pn);
+  for (std::size_t i = 0; i < nonce.size(); ++i) nonce[i] ^= iv_[i];
+  return nonce;
+}
+
+void PacketProtection::apply_keystream(const Nonce& nonce, std::uint8_t* data,
+                                       std::size_t len) const {
+  // One keystream block covers 8 bytes; byte i is XORed with byte (i % 8)
+  // of block (i / 8), exactly the historical layout.
+  const std::uint64_t n0 = nonce_to_u64(nonce, 0);
+  const std::uint64_t n4 = nonce_to_u64(nonce, 4);
+  for (std::size_t i = 0; i < len; i += 8) {
+    const std::uint64_t block = prf(key_ ^ prf(n0 ^ prf(n4 ^ (i / 8))));
+    const std::size_t n = len - i < 8 ? len - i : 8;
+    for (std::size_t j = 0; j < n; ++j)
+      data[i + j] ^= static_cast<std::uint8_t>(block >> (8 * j));
+  }
 }
 
 std::uint64_t PacketProtection::mac(const Nonce& nonce,
@@ -73,22 +90,43 @@ std::uint64_t PacketProtection::mac(const Nonce& nonce,
                             prf(nonce_to_u64(nonce, 4))));
 }
 
+void PacketProtection::seal_in_place(std::uint32_t cid_sequence,
+                                     PacketNumber pn,
+                                     std::span<const std::uint8_t> aad,
+                                     std::uint8_t* payload,
+                                     std::size_t payload_len) const {
+  const Nonce nonce = effective_nonce(cid_sequence, pn);
+  apply_keystream(nonce, payload, payload_len);
+  const std::uint64_t tag = mac(nonce, aad, {payload, payload_len});
+  for (std::size_t i = 0; i < kAeadTagSize; ++i)
+    payload[payload_len + i] = static_cast<std::uint8_t>(tag >> (56 - 8 * i));
+}
+
+std::optional<std::size_t> PacketProtection::open_in_place(
+    std::uint32_t cid_sequence, PacketNumber pn,
+    std::span<const std::uint8_t> aad,
+    std::span<std::uint8_t> ciphertext_and_tag) const {
+  if (ciphertext_and_tag.size() < kAeadTagSize) return std::nullopt;
+  const Nonce nonce = effective_nonce(cid_sequence, pn);
+
+  const std::size_t ct_len = ciphertext_and_tag.size() - kAeadTagSize;
+  std::uint64_t tag = 0;
+  for (std::size_t i = 0; i < kAeadTagSize; ++i)
+    tag = (tag << 8) | ciphertext_and_tag[ct_len + i];
+  if (tag != mac(nonce, aad, ciphertext_and_tag.first(ct_len)))
+    return std::nullopt;
+
+  apply_keystream(nonce, ciphertext_and_tag.data(), ct_len);
+  return ct_len;
+}
+
 std::vector<std::uint8_t> PacketProtection::seal(
     std::uint32_t cid_sequence, PacketNumber pn,
     std::span<const std::uint8_t> aad,
     std::span<const std::uint8_t> plaintext) const {
-  Nonce nonce = build_multipath_nonce(cid_sequence, pn);
-  const Nonce iv_bytes = iv();
-  for (std::size_t i = 0; i < nonce.size(); ++i) nonce[i] ^= iv_bytes[i];
-
-  std::vector<std::uint8_t> out(plaintext.begin(), plaintext.end());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const std::uint64_t block = keystream_block(nonce, i / 8);
-    out[i] ^= static_cast<std::uint8_t>(block >> (8 * (i % 8)));
-  }
-  const std::uint64_t tag = mac(nonce, aad, out);
-  for (int i = 0; i < 8; ++i)
-    out.push_back(static_cast<std::uint8_t>(tag >> (56 - 8 * i)));
+  std::vector<std::uint8_t> out(plaintext.size() + kAeadTagSize);
+  std::copy(plaintext.begin(), plaintext.end(), out.begin());
+  seal_in_place(cid_sequence, pn, aad, out.data(), plaintext.size());
   return out;
 }
 
@@ -96,24 +134,12 @@ std::optional<std::vector<std::uint8_t>> PacketProtection::open(
     std::uint32_t cid_sequence, PacketNumber pn,
     std::span<const std::uint8_t> aad,
     std::span<const std::uint8_t> ciphertext_and_tag) const {
-  if (ciphertext_and_tag.size() < kAeadTagSize) return std::nullopt;
-  Nonce nonce = build_multipath_nonce(cid_sequence, pn);
-  const Nonce iv_bytes = iv();
-  for (std::size_t i = 0; i < nonce.size(); ++i) nonce[i] ^= iv_bytes[i];
-
-  const std::size_t ct_len = ciphertext_and_tag.size() - kAeadTagSize;
-  const auto ct = ciphertext_and_tag.first(ct_len);
-  std::uint64_t tag = 0;
-  for (std::size_t i = 0; i < kAeadTagSize; ++i)
-    tag = (tag << 8) | ciphertext_and_tag[ct_len + i];
-  if (tag != mac(nonce, aad, ct)) return std::nullopt;
-
-  std::vector<std::uint8_t> out(ct.begin(), ct.end());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const std::uint64_t block = keystream_block(nonce, i / 8);
-    out[i] ^= static_cast<std::uint8_t>(block >> (8 * (i % 8)));
-  }
-  return out;
+  std::vector<std::uint8_t> buf(ciphertext_and_tag.begin(),
+                                ciphertext_and_tag.end());
+  const auto len = open_in_place(cid_sequence, pn, aad, buf);
+  if (!len) return std::nullopt;
+  buf.resize(*len);
+  return buf;
 }
 
 }  // namespace xlink::quic

@@ -34,16 +34,31 @@ Nonce build_multipath_nonce(std::uint32_t cid_sequence, PacketNumber pn);
 /// same key across every path (the draft's design).
 class PacketProtection {
  public:
-  explicit PacketProtection(std::uint64_t key) : key_(key) {}
+  explicit PacketProtection(std::uint64_t key);
 
-  /// Encrypts `plaintext` in place semantics: returns ciphertext || tag.
-  /// `aad` is the packet header (authenticated, not encrypted).
+  /// Encrypts `payload_len` bytes at `payload` in place and writes the
+  /// kAeadTagSize-byte tag directly after them (the caller guarantees
+  /// room). `aad` is the packet header (authenticated, not encrypted).
+  /// This is the hot path: no allocation, no copy.
+  void seal_in_place(std::uint32_t cid_sequence, PacketNumber pn,
+                     std::span<const std::uint8_t> aad, std::uint8_t* payload,
+                     std::size_t payload_len) const;
+
+  /// Verifies and decrypts `ciphertext_and_tag` in place; returns the
+  /// plaintext length (tag stripped, plaintext at the span's start) or
+  /// nullopt when the tag does not verify (wrong key, path id, packet
+  /// number, or corrupted bytes).
+  std::optional<std::size_t> open_in_place(
+      std::uint32_t cid_sequence, PacketNumber pn,
+      std::span<const std::uint8_t> aad,
+      std::span<std::uint8_t> ciphertext_and_tag) const;
+
+  /// Copying convenience over seal_in_place: returns ciphertext || tag.
   std::vector<std::uint8_t> seal(std::uint32_t cid_sequence, PacketNumber pn,
                                  std::span<const std::uint8_t> aad,
                                  std::span<const std::uint8_t> plaintext) const;
 
-  /// Reverses seal(); nullopt when the tag does not verify (wrong key, path
-  /// id, packet number, or corrupted bytes).
+  /// Copying convenience over open_in_place.
   std::optional<std::vector<std::uint8_t>> open(
       std::uint32_t cid_sequence, PacketNumber pn,
       std::span<const std::uint8_t> aad,
@@ -52,13 +67,15 @@ class PacketProtection {
   std::uint64_t key() const { return key_; }
 
  private:
-  std::uint64_t keystream_block(const Nonce& nonce, std::uint64_t counter) const;
+  Nonce effective_nonce(std::uint32_t cid_sequence, PacketNumber pn) const;
+  void apply_keystream(const Nonce& nonce, std::uint8_t* data,
+                       std::size_t len) const;
   std::uint64_t mac(const Nonce& nonce, std::span<const std::uint8_t> aad,
                     std::span<const std::uint8_t> ciphertext) const;
 
   std::uint64_t key_;
-  // Per-connection IV derived from the key (fixed derivation).
-  Nonce iv() const;
+  // Per-connection IV derived from the key once (fixed derivation).
+  Nonce iv_;
 };
 
 }  // namespace xlink::quic

@@ -21,7 +21,8 @@ constexpr std::uint64_t kTypePathResponse = 0x1b;
 constexpr std::uint64_t kTypeConnectionClose = 0x1c;
 constexpr std::uint64_t kTypeHandshakeDone = 0x1e;
 
-void encode_ack_info(const AckInfo& info, Writer& w) {
+template <typename W>
+void encode_ack_info(const AckInfo& info, W& w) {
   // RFC 9000 ACK layout: largest, delay, range count - 1, first range,
   // then (gap, range) pairs walking downward.
   w.varint(info.largest_acked());
@@ -52,6 +53,10 @@ std::optional<AckInfo> parse_ack_info(Reader& r) {
   if (!largest || !delay || !count || !first_len) return std::nullopt;
   if (*first_len > *largest) return std::nullopt;
   info.ack_delay_us = *delay;
+  // Exact-size preallocation, capped so a hostile range count cannot force
+  // a huge reservation before the per-range bounds checks below reject it.
+  info.ranges.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(
+      *count + 1, 64)));
   AckRange first{*largest - *first_len, *largest};
   info.ranges.push_back(first);
   PacketNumber smallest = first.first;
@@ -83,15 +88,17 @@ std::optional<QoeSignal> parse_qoe(Reader& r) {
   return q;
 }
 
-void encode_qoe(const QoeSignal& q, Writer& w) {
+template <typename W>
+void encode_qoe(const QoeSignal& q, W& w) {
   w.varint(q.cached_bytes);
   w.varint(q.cached_frames);
   w.varint(q.bps);
   w.varint(q.fps);
 }
 
+template <typename W>
 struct FrameEncoder {
-  Writer& w;
+  W& w;
 
   void operator()(const PaddingFrame& f) const {
     for (std::uint64_t i = 0; i < f.length; ++i) w.u8(0);
@@ -184,6 +191,12 @@ struct FrameEncoder {
   }
 };
 
+FrameData payload_of(std::span<const std::uint8_t> view, PayloadOwnership own) {
+  return own == PayloadOwnership::kBorrow
+             ? FrameData::borrowed(view)
+             : FrameData(std::vector<std::uint8_t>(view.begin(), view.end()));
+}
+
 }  // namespace
 
 bool AckInfo::contains(PacketNumber pn) const {
@@ -193,10 +206,18 @@ bool AckInfo::contains(PacketNumber pn) const {
 }
 
 void encode_frame(const Frame& frame, Writer& w) {
-  std::visit(FrameEncoder{w}, frame);
+  std::visit(FrameEncoder<Writer>{w}, frame);
 }
 
-std::optional<Frame> parse_frame(Reader& r) {
+void encode_frame(const Frame& frame, BufWriter& w) {
+  std::visit(FrameEncoder<BufWriter>{w}, frame);
+}
+
+void encode_frame(const Frame& frame, SizeWriter& w) {
+  std::visit(FrameEncoder<SizeWriter>{w}, frame);
+}
+
+std::optional<Frame> parse_frame(Reader& r, PayloadOwnership own) {
   const auto type = r.varint();
   if (!type) return std::nullopt;
   switch (*type) {
@@ -263,10 +284,10 @@ std::optional<Frame> parse_frame(Reader& r) {
       // (RFC 9000 §19.6); rejecting here keeps downstream reassembly
       // arithmetic overflow-free.
       if (*off > kVarintMax - *len) return std::nullopt;
-      auto data = r.bytes(*len);
+      auto data = r.view(*len);
       if (!data) return std::nullopt;
       f.offset = *off;
-      f.data = std::move(*data);
+      f.data = payload_of(*data, own);
       return Frame{std::move(f)};
     }
     case kTypeMaxData: {
@@ -351,9 +372,9 @@ std::optional<Frame> parse_frame(Reader& r) {
         }
         // RFC 9000 §19.8: final size must stay below 2^62.
         if (f.offset > kVarintMax - len) return std::nullopt;
-        auto data = r.bytes(len);
+        auto data = r.view(len);
         if (!data) return std::nullopt;
-        f.data = std::move(*data);
+        f.data = payload_of(*data, own);
         return Frame{std::move(f)};
       }
       return std::nullopt;  // unknown frame type
@@ -362,18 +383,25 @@ std::optional<Frame> parse_frame(Reader& r) {
 
 std::optional<std::vector<Frame>> parse_frames(
     std::span<const std::uint8_t> payload) {
-  Reader r(payload);
   std::vector<Frame> frames;
-  while (!r.done()) {
-    auto f = parse_frame(r);
-    if (!f) return std::nullopt;
-    frames.push_back(std::move(*f));
-  }
+  if (!parse_frames_into(payload, frames, PayloadOwnership::kCopy))
+    return std::nullopt;
   return frames;
 }
 
+bool parse_frames_into(std::span<const std::uint8_t> payload,
+                       std::vector<Frame>& out, PayloadOwnership own) {
+  Reader r(payload);
+  while (!r.done()) {
+    auto f = parse_frame(r, own);
+    if (!f) return false;
+    out.push_back(std::move(*f));
+  }
+  return true;
+}
+
 std::size_t frame_wire_size(const Frame& frame) {
-  Writer w;
+  SizeWriter w;
   encode_frame(frame, w);
   return w.size();
 }
@@ -393,6 +421,10 @@ std::size_t stream_frame_overhead(StreamId id, std::uint64_t offset,
 
 std::vector<std::uint8_t> encode_transport_params(const TransportParams& p) {
   Writer w;
+  w.reserve(1 + varint_size(p.initial_max_data) +
+            varint_size(p.initial_max_stream_data) +
+            varint_size(p.active_connection_id_limit) +
+            varint_size(p.max_ack_delay_ms));
   w.u8(p.enable_multipath ? 1 : 0);
   w.varint(p.initial_max_data);
   w.varint(p.initial_max_stream_data);

@@ -9,9 +9,11 @@
 // emit feedback decoupled from ACK frequency.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <variant>
 #include <vector>
@@ -20,6 +22,85 @@
 #include "quic/varint.h"
 
 namespace xlink::quic {
+
+/// Payload bytes of a CRYPTO/STREAM frame: owned on the send/store side,
+/// borrowed (a view of the receive buffer) on the decode hot path, where it
+/// saves one heap allocation and copy per data frame. Copying an owned
+/// payload deep-copies; copying a borrowed payload copies only the view, so
+/// borrowed frames must not outlive the datagram they view -- Connection
+/// honours this by never storing received frames past the dispatch call.
+class FrameData {
+ public:
+  FrameData() = default;
+  FrameData(std::vector<std::uint8_t> bytes)  // NOLINT: implicit by design
+      : owned_(std::move(bytes)), view_(owned_) {}
+  FrameData(std::initializer_list<std::uint8_t> bytes)
+      : owned_(bytes), view_(owned_) {}
+
+  static FrameData borrowed(std::span<const std::uint8_t> bytes) {
+    FrameData d;
+    d.view_ = bytes;
+    return d;
+  }
+
+  FrameData(const FrameData& other) { assign(other); }
+  FrameData& operator=(const FrameData& other) {
+    if (this != &other) {
+      owned_.clear();
+      assign(other);
+    }
+    return *this;
+  }
+  FrameData(FrameData&& other) noexcept { move_from(other); }
+  FrameData& operator=(FrameData&& other) noexcept {
+    if (this != &other) move_from(other);
+    return *this;
+  }
+
+  /// vector-style fill assign (owned).
+  void assign(std::size_t n, std::uint8_t value) {
+    owned_.assign(n, value);
+    view_ = owned_;
+  }
+
+  const std::uint8_t* data() const { return view_.data(); }
+  std::size_t size() const { return view_.size(); }
+  bool empty() const { return view_.empty(); }
+  std::span<const std::uint8_t> span() const { return view_; }
+  operator std::span<const std::uint8_t>() const {  // NOLINT: by design
+    return view_;
+  }
+  auto begin() const { return view_.begin(); }
+  auto end() const { return view_.end(); }
+
+  bool operator==(const FrameData& other) const {
+    return view_.size() == other.view_.size() &&
+           std::equal(view_.begin(), view_.end(), other.view_.begin());
+  }
+
+ private:
+  void assign(const FrameData& other) {
+    if (other.owned_.empty()) {
+      view_ = other.view_;
+    } else {
+      owned_ = other.owned_;
+      view_ = owned_;
+    }
+  }
+  void move_from(FrameData& other) {
+    if (other.owned_.empty()) {
+      owned_.clear();
+      view_ = other.view_;
+    } else {
+      owned_ = std::move(other.owned_);
+      view_ = owned_;
+    }
+    other.view_ = {};
+  }
+
+  std::vector<std::uint8_t> owned_;
+  std::span<const std::uint8_t> view_;
+};
 
 // Extension frame type codes.
 constexpr std::uint64_t kFrameAckMp = 0xbaba;
@@ -100,14 +181,14 @@ struct QoeControlSignalsFrame {
 
 struct CryptoFrame {
   std::uint64_t offset = 0;
-  std::vector<std::uint8_t> data;
+  FrameData data;
   bool operator==(const CryptoFrame&) const = default;
 };
 
 struct StreamFrame {
   StreamId stream_id = 0;
   std::uint64_t offset = 0;
-  std::vector<std::uint8_t> data;
+  FrameData data;
   bool fin = false;
   bool operator==(const StreamFrame&) const = default;
 };
@@ -174,15 +255,29 @@ using Frame =
 
 /// Serializes one frame (type code + body) into `w`.
 void encode_frame(const Frame& frame, Writer& w);
+void encode_frame(const Frame& frame, BufWriter& w);
+void encode_frame(const Frame& frame, SizeWriter& w);
+
+/// Whether parsed CRYPTO/STREAM payloads copy into owned storage or borrow
+/// a view of the input buffer (zero-copy; input must outlive the frames).
+enum class PayloadOwnership { kCopy, kBorrow };
 
 /// Parses one frame; nullopt on malformed/unknown input.
-std::optional<Frame> parse_frame(Reader& r);
+std::optional<Frame> parse_frame(Reader& r,
+                                 PayloadOwnership own = PayloadOwnership::kCopy);
 
 /// Parses a full packet payload into frames; nullopt if any frame is bad.
 std::optional<std::vector<Frame>> parse_frames(
     std::span<const std::uint8_t> payload);
 
-/// Encoded size of a frame (by encoding into a scratch writer).
+/// Appends the payload's frames to `out` (reusing its capacity -- the
+/// receive hot path passes a cleared scratch vector); false if any frame is
+/// bad. Borrowed frames view `payload` directly.
+bool parse_frames_into(std::span<const std::uint8_t> payload,
+                       std::vector<Frame>& out,
+                       PayloadOwnership own = PayloadOwnership::kBorrow);
+
+/// Encoded size of a frame (counted, no allocation).
 std::size_t frame_wire_size(const Frame& frame);
 
 /// True if the frame counts as ack-eliciting per RFC 9002 §2.

@@ -6,8 +6,8 @@ namespace {
 constexpr std::uint8_t kLongHeaderByte = 0xc0;
 constexpr std::uint8_t kShortHeaderByte = 0x40;
 
-std::vector<std::uint8_t> encode_header(const PacketHeader& h) {
-  Writer w;
+template <typename W>
+void encode_header_to(const PacketHeader& h, W& w) {
   if (h.type == PacketType::kInitial) {
     w.u8(kLongHeaderByte);
     w.bytes(h.dcid);
@@ -18,48 +18,99 @@ std::vector<std::uint8_t> encode_header(const PacketHeader& h) {
   }
   w.u32(h.cid_sequence);
   w.varint(h.packet_number);
-  return w.take();
 }
 
-}  // namespace
-
-std::vector<std::uint8_t> seal_packet(const PacketProtection& aead,
-                                      const PacketHeader& header,
-                                      const std::vector<Frame>& frames) {
-  Writer payload;
-  for (const Frame& f : frames) encode_frame(f, payload);
-  const std::vector<std::uint8_t> hdr = encode_header(header);
-  std::vector<std::uint8_t> sealed = aead.seal(
-      header.cid_sequence, header.packet_number, hdr, payload.data());
-  std::vector<std::uint8_t> out = hdr;
-  out.insert(out.end(), sealed.begin(), sealed.end());
-  return out;
-}
-
-std::optional<ReceivedPacket> parse_packet(
-    std::span<const std::uint8_t> datagram) {
+// Parses the header into `header`; returns the header length (the AAD
+// boundary) or nullopt on malformed input.
+std::optional<std::size_t> parse_header(std::span<const std::uint8_t> datagram,
+                                        PacketHeader& header) {
   Reader r(datagram);
-  ReceivedPacket pkt;
   const auto first = r.u8();
   if (!first) return std::nullopt;
   if (*first == kLongHeaderByte) {
-    pkt.header.type = PacketType::kInitial;
-    if (!r.bytes_into(pkt.header.dcid)) return std::nullopt;
-    if (!r.bytes_into(pkt.header.scid)) return std::nullopt;
+    header.type = PacketType::kInitial;
+    if (!r.bytes_into(header.dcid)) return std::nullopt;
+    if (!r.bytes_into(header.scid)) return std::nullopt;
   } else if (*first == kShortHeaderByte) {
-    pkt.header.type = PacketType::kOneRtt;
-    if (!r.bytes_into(pkt.header.dcid)) return std::nullopt;
+    header.type = PacketType::kOneRtt;
+    if (!r.bytes_into(header.dcid)) return std::nullopt;
   } else {
     return std::nullopt;
   }
   const auto seq = r.u32();
   const auto pn = r.varint();
   if (!seq || !pn) return std::nullopt;
-  pkt.header.cid_sequence = *seq;
-  pkt.header.packet_number = *pn;
+  header.cid_sequence = *seq;
+  header.packet_number = *pn;
+  return r.position();
+}
+
+}  // namespace
+
+net::PacketBuffer seal_packet_buffer(const PacketProtection& aead,
+                                     const PacketHeader& header,
+                                     std::span<const Frame> frames) {
+  net::PacketBuffer out =
+      net::PacketBuffer::with_capacity(net::PacketBufferPool::kSlotCapacity);
+  const auto write_all = [&](BufWriter& w) {
+    encode_header_to(header, w);
+    const std::size_t hdr = w.size();
+    for (const Frame& f : frames) encode_frame(f, w);
+    return hdr;
+  };
+  BufWriter w(out.data(), out.capacity() - kAeadTagSize);
+  std::size_t hdr_len = write_all(w);
+  if (w.overflowed()) {
+    // Oversize packet (jumbo control bursts): size it exactly, then retry
+    // into a standalone block.
+    SizeWriter sz;
+    encode_header_to(header, sz);
+    for (const Frame& f : frames) encode_frame(f, sz);
+    out = net::PacketBuffer::with_capacity(sz.size() + kAeadTagSize);
+    w = BufWriter(out.data(), out.capacity() - kAeadTagSize);
+    hdr_len = write_all(w);
+  }
+  const std::size_t total = w.size();
+  aead.seal_in_place(header.cid_sequence, header.packet_number,
+                     std::span<const std::uint8_t>(out.data(), hdr_len),
+                     out.data() + hdr_len, total - hdr_len);
+  out.resize(total + kAeadTagSize);
+  return out;
+}
+
+std::vector<std::uint8_t> seal_packet(const PacketProtection& aead,
+                                      const PacketHeader& header,
+                                      const std::vector<Frame>& frames) {
+  const net::PacketBuffer buf = seal_packet_buffer(aead, header, frames);
+  return std::vector<std::uint8_t>(buf.begin(), buf.end());
+}
+
+std::optional<PacketView> parse_packet_view(std::span<std::uint8_t> datagram) {
+  PacketView pkt;
+  const auto hdr_len = parse_header(datagram, pkt.header);
+  if (!hdr_len) return std::nullopt;
+  pkt.header_bytes = std::span<const std::uint8_t>(datagram.first(*hdr_len));
+  pkt.ciphertext = datagram.subspan(*hdr_len);
+  return pkt;
+}
+
+std::optional<std::span<const std::uint8_t>> open_packet_in_place(
+    const PacketProtection& aead, const PacketView& pkt) {
+  const auto len =
+      aead.open_in_place(pkt.header.cid_sequence, pkt.header.packet_number,
+                         pkt.header_bytes, pkt.ciphertext);
+  if (!len) return std::nullopt;
+  return std::span<const std::uint8_t>(pkt.ciphertext.first(*len));
+}
+
+std::optional<ReceivedPacket> parse_packet(
+    std::span<const std::uint8_t> datagram) {
+  ReceivedPacket pkt;
+  const auto hdr_len = parse_header(datagram, pkt.header);
+  if (!hdr_len) return std::nullopt;
   pkt.header_bytes.assign(datagram.begin(),
-                          datagram.begin() + static_cast<long>(r.position()));
-  pkt.ciphertext.assign(datagram.begin() + static_cast<long>(r.position()),
+                          datagram.begin() + static_cast<long>(*hdr_len));
+  pkt.ciphertext.assign(datagram.begin() + static_cast<long>(*hdr_len),
                         datagram.end());
   return pkt;
 }

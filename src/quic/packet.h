@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "net/packet_buffer.h"
 #include "quic/crypto.h"
 #include "quic/frame.h"
 #include "quic/types.h"
@@ -36,20 +37,47 @@ struct PacketHeader {
   PacketNumber packet_number = 0;
 };
 
-/// A parsed-but-not-yet-decrypted packet.
+/// A parsed-but-not-yet-decrypted packet (owning copies; legacy/offline
+/// path -- the hot path uses PacketView below).
 struct ReceivedPacket {
   PacketHeader header;
   std::vector<std::uint8_t> header_bytes;  // AAD
   std::vector<std::uint8_t> ciphertext;    // payload || tag
 };
 
-/// Builds the wire bytes of one protected packet.
+/// A parsed packet whose bytes still live in the receive buffer: the AAD
+/// and ciphertext are borrowed spans, and open_packet_in_place decrypts
+/// the ciphertext span directly. Valid only while the datagram is alive.
+struct PacketView {
+  PacketHeader header;
+  std::span<const std::uint8_t> header_bytes;  // AAD
+  std::span<std::uint8_t> ciphertext;          // payload || tag
+};
+
+/// Seals header + frames into one pooled buffer: header and payload are
+/// encoded straight into the slot, then the AEAD encrypts the payload in
+/// place and appends the tag. Zero heap allocations once the pool is warm.
 /// The header carries cid_sequence explicitly (in a real deployment the
 /// receiver derives it by looking up the DCID it issued; carrying it keeps
 /// the simulator honest without a global CID table).
+net::PacketBuffer seal_packet_buffer(const PacketProtection& aead,
+                                     const PacketHeader& header,
+                                     std::span<const Frame> frames);
+
+/// Copying convenience over seal_packet_buffer (tests, offline tools).
 std::vector<std::uint8_t> seal_packet(const PacketProtection& aead,
                                       const PacketHeader& header,
                                       const std::vector<Frame>& frames);
+
+/// Splits wire bytes into borrowed header/ciphertext views; nullopt on
+/// malformed input. The mutable span lets open_packet_in_place decrypt the
+/// buffer it points into.
+std::optional<PacketView> parse_packet_view(std::span<std::uint8_t> datagram);
+
+/// Decrypts a parsed packet in its receive buffer; returns the plaintext
+/// payload span (a prefix of pkt.ciphertext) or nullopt on auth failure.
+std::optional<std::span<const std::uint8_t>> open_packet_in_place(
+    const PacketProtection& aead, const PacketView& pkt);
 
 /// Splits wire bytes into header + ciphertext; nullopt on malformed input.
 std::optional<ReceivedPacket> parse_packet(

@@ -25,11 +25,16 @@ int SendStream::frame_priority_at(std::uint64_t offset) const {
 
 std::vector<std::uint8_t> SendStream::read_range(std::uint64_t offset,
                                                  std::size_t len) const {
+  const auto view = view_range(offset, len);
+  return {view.begin(), view.end()};
+}
+
+std::span<const std::uint8_t> SendStream::view_range(std::uint64_t offset,
+                                                     std::size_t len) const {
   if (offset >= buffer_.size()) return {};
   const std::size_t n =
       std::min<std::uint64_t>(len, buffer_.size() - offset);
-  return {buffer_.begin() + static_cast<long>(offset),
-          buffer_.begin() + static_cast<long>(offset + n)};
+  return {buffer_.data() + offset, n};
 }
 
 void SendStream::on_range_acked(std::uint64_t begin, std::uint64_t end) {
@@ -58,7 +63,7 @@ bool SendStream::fully_acked() const {
 }
 
 void RecvStream::on_data(std::uint64_t offset,
-                         const std::vector<std::uint8_t>& data, bool fin) {
+                         std::span<const std::uint8_t> data, bool fin) {
   if (fin) {
     const std::uint64_t fs = offset + data.size();
     if (!final_size_) final_size_ = fs;

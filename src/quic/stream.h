@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "quic/interval_set.h"
@@ -47,9 +49,15 @@ class SendStream {
   int priority() const { return priority_; }
   void set_priority(int p) { priority_ = p; }
 
-  /// Copies [offset, offset+len) into `out`; clamps to written data.
+  /// Copies [offset, offset+len); clamps to written data.
   std::vector<std::uint8_t> read_range(std::uint64_t offset,
                                        std::size_t len) const;
+
+  /// Borrowed view of [offset, offset+len), clamped to written data. Valid
+  /// until the next write(); the send path seals the packet synchronously,
+  /// so it never holds the view across a mutation.
+  std::span<const std::uint8_t> view_range(std::uint64_t offset,
+                                           std::size_t len) const;
 
   void on_range_acked(std::uint64_t begin, std::uint64_t end);
   bool range_acked(std::uint64_t begin, std::uint64_t end) const {
@@ -83,10 +91,16 @@ class RecvStream {
 
   StreamId id() const { return id_; }
 
-  /// Ingests a STREAM frame payload. Duplicate/overlapping ranges are fine
-  /// (re-injected packets arrive as duplicates by design).
-  void on_data(std::uint64_t offset, const std::vector<std::uint8_t>& data,
+  /// Ingests a STREAM frame payload (borrowed from the receive buffer on
+  /// the hot path). Duplicate/overlapping ranges are fine (re-injected
+  /// packets arrive as duplicates by design).
+  void on_data(std::uint64_t offset, std::span<const std::uint8_t> data,
                bool fin);
+  void on_data(std::uint64_t offset, std::initializer_list<std::uint8_t> data,
+               bool fin) {
+    on_data(offset, std::span<const std::uint8_t>(data.begin(), data.size()),
+            fin);
+  }
 
   /// Contiguous bytes available past the read offset.
   std::uint64_t readable_bytes() const;

@@ -34,6 +34,31 @@ void varint_encode(std::uint64_t v, std::vector<std::uint8_t>& out) {
   }
 }
 
+std::size_t varint_encode_to(std::uint64_t v, std::uint8_t* out) {
+  const std::size_t len = varint_size(v);
+  switch (len) {
+    case 1:
+      out[0] = static_cast<std::uint8_t>(v);
+      break;
+    case 2:
+      out[0] = static_cast<std::uint8_t>(0x40 | (v >> 8));
+      out[1] = static_cast<std::uint8_t>(v);
+      break;
+    case 4:
+      out[0] = static_cast<std::uint8_t>(0x80 | (v >> 24));
+      out[1] = static_cast<std::uint8_t>(v >> 16);
+      out[2] = static_cast<std::uint8_t>(v >> 8);
+      out[3] = static_cast<std::uint8_t>(v);
+      break;
+    default:
+      out[0] = static_cast<std::uint8_t>(0xc0 | (v >> 56));
+      for (int i = 1; i < 8; ++i)
+        out[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+      break;
+  }
+  return len;
+}
+
 void Writer::u32(std::uint32_t v) {
   buf_.push_back(static_cast<std::uint8_t>(v >> 24));
   buf_.push_back(static_cast<std::uint8_t>(v >> 16));
@@ -43,6 +68,20 @@ void Writer::u32(std::uint32_t v) {
 
 void Writer::bytes(std::span<const std::uint8_t> data) {
   buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void BufWriter::u32(std::uint32_t v) {
+  if (!fits(4)) return;
+  data_[pos_++] = static_cast<std::uint8_t>(v >> 24);
+  data_[pos_++] = static_cast<std::uint8_t>(v >> 16);
+  data_[pos_++] = static_cast<std::uint8_t>(v >> 8);
+  data_[pos_++] = static_cast<std::uint8_t>(v);
+}
+
+void BufWriter::bytes(std::span<const std::uint8_t> data) {
+  if (!fits(data.size())) return;
+  for (std::size_t i = 0; i < data.size(); ++i) data_[pos_ + i] = data[i];
+  pos_ += data.size();
 }
 
 std::optional<std::uint8_t> Reader::u8() {
@@ -72,6 +111,13 @@ std::optional<std::vector<std::uint8_t>> Reader::bytes(std::size_t n) {
   if (remaining() < n) return std::nullopt;
   std::vector<std::uint8_t> out(data_.begin() + static_cast<long>(pos_),
                                 data_.begin() + static_cast<long>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::optional<std::span<const std::uint8_t>> Reader::view(std::size_t n) {
+  if (remaining() < n) return std::nullopt;
+  std::span<const std::uint8_t> out = data_.subspan(pos_, n);
   pos_ += n;
   return out;
 }

@@ -21,6 +21,10 @@ std::size_t varint_size(std::uint64_t v);
 /// Appends the varint encoding of `v` to `out`. `v` must be <= kVarintMax.
 void varint_encode(std::uint64_t v, std::vector<std::uint8_t>& out);
 
+/// Writes the varint encoding of `v` at `out` (which must have room for
+/// varint_size(v) bytes); returns the encoded length.
+std::size_t varint_encode_to(std::uint64_t v, std::uint8_t* out);
+
 /// Serialization cursor over a growing byte vector.
 class Writer {
  public:
@@ -29,12 +33,67 @@ class Writer {
   void varint(std::uint64_t v) { varint_encode(v, buf_); }
   void bytes(std::span<const std::uint8_t> data);
 
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
   const std::vector<std::uint8_t>& data() const { return buf_; }
   std::vector<std::uint8_t> take() { return std::move(buf_); }
   std::size_t size() const { return buf_.size(); }
 
  private:
   std::vector<std::uint8_t> buf_;
+};
+
+/// Serialization cursor over caller-owned storage (a pooled packet
+/// buffer). Writes never allocate; running past `capacity` latches the
+/// overflow flag and discards further bytes, which the caller checks once
+/// after encoding instead of per write.
+class BufWriter {
+ public:
+  BufWriter(std::uint8_t* data, std::size_t capacity)
+      : data_(data), capacity_(capacity) {}
+
+  void u8(std::uint8_t v) {
+    if (!fits(1)) return;
+    data_[pos_++] = v;
+  }
+  void u32(std::uint32_t v);
+  void varint(std::uint64_t v) {
+    if (!fits(varint_size(v))) return;
+    pos_ += varint_encode_to(v, data_ + pos_);
+  }
+  void bytes(std::span<const std::uint8_t> data);
+
+  std::size_t size() const { return pos_; }
+  bool overflowed() const { return overflowed_; }
+
+ private:
+  bool fits(std::size_t n) {
+    if (capacity_ - pos_ < n) {
+      overflowed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::uint8_t* data_;
+  std::size_t capacity_;
+  std::size_t pos_ = 0;
+  bool overflowed_ = false;
+};
+
+/// Counting writer: measures encoded size without touching memory, for
+/// exact preallocation and allocation-free frame_wire_size().
+class SizeWriter {
+ public:
+  void u8(std::uint8_t) { ++size_; }
+  void u32(std::uint32_t) { size_ += 4; }
+  void varint(std::uint64_t v) { size_ += varint_size(v); }
+  void bytes(std::span<const std::uint8_t> data) { size_ += data.size(); }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  std::size_t size_ = 0;
 };
 
 /// Parsing cursor over a byte span. All reads return nullopt on underrun,
@@ -50,6 +109,9 @@ class Reader {
   std::optional<std::vector<std::uint8_t>> bytes(std::size_t n);
   /// Copies `n` bytes into `out` (avoids an allocation).
   bool bytes_into(std::span<std::uint8_t> out);
+  /// Borrows `n` bytes without copying; the view shares the Reader's
+  /// underlying storage.
+  std::optional<std::span<const std::uint8_t>> view(std::size_t n);
 
   std::size_t remaining() const { return data_.size() - pos_; }
   bool done() const { return pos_ == data_.size(); }

@@ -1,0 +1,226 @@
+// Allocation guard for the packet datapath.
+//
+// Replaces global operator new/delete with counting wrappers (binary-wide;
+// this is why the suite lives in its own test executable) and asserts the
+// zero-allocation claims of the pooled datapath:
+//   1. a sealed send -> link -> open round trip performs ZERO heap
+//      allocations once the buffer pool, ring queues and scratch vectors
+//      are warm;
+//   2. a full end-to-end session stays within a bounded allocation budget
+//      per packet (connection bookkeeping allocates, but it must not scale
+//      with payload bytes or regress silently).
+//
+// The wrappers forward to std::malloc/std::free, which keeps ASan's
+// malloc-level checking intact when this binary is built sanitized.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "harness/scenario.h"
+#include "net/link.h"
+#include "net/packet_buffer.h"
+#include "quic/frame.h"
+#include "quic/packet.h"
+#include "sim/event_loop.h"
+#include "sim/rng.h"
+#include "trace/synthetic.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+
+std::uint64_t alloc_count() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t& nt) noexcept {
+  return ::operator new(size, nt);
+}
+
+void operator delete(void* p) noexcept {
+  if (p) g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+
+namespace xlink {
+namespace {
+
+/// Steady-state seal -> FixedRateLink -> parse/open/parse_frames round trip
+/// must be completely allocation-free once every pool is warm.
+TEST(AllocGuard, WarmPacketRoundTripIsAllocationFree) {
+  sim::EventLoop loop;
+  net::LinkConfig cfg;
+  net::FixedRateLink link(loop, 1e9, cfg, sim::Rng(1));
+
+  quic::PacketProtection aead(0x5eed);
+  std::vector<std::uint8_t> payload_src(1200, 0xab);
+  std::vector<quic::Frame> send_frames;
+  std::vector<quic::Frame> recv_frames;
+  std::uint64_t delivered = 0;
+
+  link.set_receiver([&](net::Datagram d) {
+    const auto pkt = quic::parse_packet_view(d.span());
+    ASSERT_TRUE(pkt.has_value());
+    const auto payload = quic::open_packet_in_place(aead, *pkt);
+    ASSERT_TRUE(payload.has_value());
+    recv_frames.clear();
+    ASSERT_TRUE(quic::parse_frames_into(*payload, recv_frames));
+    ASSERT_EQ(recv_frames.size(), 1u);
+    ++delivered;
+  });
+
+  quic::PacketNumber pn = 0;
+  const auto send_one = [&] {
+    quic::StreamFrame f;
+    f.stream_id = 4;
+    f.offset = pn * payload_src.size();
+    f.data = quic::FrameData::borrowed(payload_src);
+    send_frames.clear();
+    send_frames.emplace_back(std::move(f));
+    quic::PacketHeader h;
+    h.cid_sequence = 0;
+    h.packet_number = pn++;
+    link.send(quic::seal_packet_buffer(aead, h, send_frames));
+  };
+
+  // Warm-up: fills the thread-local buffer pool, the link's ring queue,
+  // the event loop's slab and both scratch frame vectors.
+  for (int i = 0; i < 64; ++i) {
+    send_one();
+    loop.run();
+  }
+  ASSERT_EQ(delivered, 64u);
+
+  const std::uint64_t before = alloc_count();
+  for (int i = 0; i < 256; ++i) {
+    send_one();
+    loop.run();
+  }
+  const std::uint64_t after = alloc_count();
+
+  EXPECT_EQ(delivered, 64u + 256u);
+  EXPECT_EQ(after - before, 0u)
+      << "warm packet round trip allocated " << (after - before) << " times";
+
+  const auto& pool = net::PacketBufferPool::local().counters();
+  EXPECT_GT(pool.pool_hits, 0u);
+}
+
+/// Pipelined variant: many packets in flight inside the link queue at
+/// once, so pooled buffers are recycled out of order.
+TEST(AllocGuard, WarmBurstTrafficIsAllocationFree) {
+  sim::EventLoop loop;
+  net::LinkConfig cfg;
+  net::FixedRateLink link(loop, 5e7, cfg, sim::Rng(2));
+
+  quic::PacketProtection aead(0x1234);
+  std::vector<std::uint8_t> payload_src(600, 0x5a);
+  std::vector<quic::Frame> send_frames;
+  std::vector<quic::Frame> recv_frames;
+  std::uint64_t delivered = 0;
+
+  link.set_receiver([&](net::Datagram d) {
+    const auto pkt = quic::parse_packet_view(d.span());
+    ASSERT_TRUE(pkt.has_value());
+    const auto payload = quic::open_packet_in_place(aead, *pkt);
+    ASSERT_TRUE(payload.has_value());
+    recv_frames.clear();
+    ASSERT_TRUE(quic::parse_frames_into(*payload, recv_frames));
+    ++delivered;
+  });
+
+  quic::PacketNumber pn = 0;
+  const auto send_burst = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      quic::StreamFrame f;
+      f.stream_id = 8;
+      f.offset = pn * payload_src.size();
+      f.data = quic::FrameData::borrowed(payload_src);
+      send_frames.clear();
+      send_frames.emplace_back(std::move(f));
+      quic::PacketHeader h;
+      h.cid_sequence = 1;
+      h.packet_number = pn++;
+      link.send(quic::seal_packet_buffer(aead, h, send_frames));
+    }
+    loop.run();
+  };
+
+  send_burst(32);  // warm-up
+  const std::uint64_t expected_warm = delivered;
+
+  const std::uint64_t before = alloc_count();
+  for (int round = 0; round < 8; ++round) send_burst(32);
+  const std::uint64_t after = alloc_count();
+
+  EXPECT_EQ(delivered, expected_warm + 8 * 32);
+  EXPECT_EQ(after - before, 0u)
+      << "warm burst traffic allocated " << (after - before) << " times";
+}
+
+/// End-to-end guard: a whole simulated session (handshake, video download,
+/// acks, retransmissions, telemetry off) must stay within a bounded number
+/// of allocations per packet. The bound is deliberately generous -- the
+/// connection's maps and queues do allocate -- but it fails loudly if a
+/// per-byte copy or per-packet vector sneaks back into the datapath.
+TEST(AllocGuard, FullSessionAllocationsPerPacketAreBounded) {
+  harness::SessionConfig cfg;
+  cfg.scheme = core::Scheme::kXlink;
+  cfg.video.duration = sim::seconds(3);
+  cfg.video.bitrate_bps = 2'000'000;
+  cfg.seed = 9;
+  cfg.paths.push_back(harness::make_path_spec(
+      net::Wireless::kWifi, trace::stable_lte(1, sim::seconds(10)),
+      sim::millis(30)));
+  cfg.paths.push_back(harness::make_path_spec(
+      net::Wireless::kLte, trace::stable_lte(2, sim::seconds(10)),
+      sim::millis(80)));
+
+  harness::Session session(std::move(cfg));
+  const std::uint64_t before = alloc_count();
+  const auto result = session.run();
+  const std::uint64_t after = alloc_count();
+  ASSERT_TRUE(result.download_finished);
+
+  const std::uint64_t packets = session.client_conn().stats().packets_sent +
+                                session.server_conn().stats().packets_sent;
+  ASSERT_GT(packets, 100u);
+  const double per_packet =
+      static_cast<double>(after - before) / static_cast<double>(packets);
+  EXPECT_LT(per_packet, 32.0)
+      << "session made " << (after - before) << " allocations for " << packets
+      << " packets (" << per_packet << "/packet)";
+}
+
+}  // namespace
+}  // namespace xlink

@@ -262,7 +262,7 @@ TEST(Connection, TamperedDatagramsCountAuthFailures) {
   net::Datagram garbage{0x40, 1, 2, 3, 4, 5, 6, 7, 8, 0, 0, 0, 0, 1, 9, 9,
                         9, 9, 9, 9, 9, 9, 9};
   const auto before = pair.server->stats().auth_failures;
-  pair.server->on_datagram(0, garbage);
+  pair.server->on_datagram(0, std::move(garbage));
   EXPECT_EQ(pair.server->stats().auth_failures, before + 1);
 }
 

@@ -24,14 +24,13 @@ WirePair::Options mp_options() {
 TEST(ConnectionEdge, SurvivesHeavyReordering) {
   // Hold every 3rd server->client datagram and deliver it 80ms late.
   WirePair pair(mp_options());
-  std::deque<std::pair<PathId, net::Datagram>> held;
   int counter = 0;
   pair.drop_server_to_client = [&](PathId path, const net::Datagram& d) {
     if (++counter % 3 == 0) {
-      held.emplace_back(path, d);
-      pair.loop.schedule_in(sim::millis(80), [&pair, path, d] {
-        pair.client->on_datagram(path, d);
-      });
+      pair.loop.schedule_in(sim::millis(80),
+                            [&pair, path, d = d.clone()]() mutable {
+                              pair.client->on_datagram(path, std::move(d));
+                            });
       return true;  // drop the immediate delivery; the late copy arrives
     }
     return false;
@@ -55,9 +54,10 @@ TEST(ConnectionEdge, DuplicateDatagramsAreIdempotent) {
   WirePair pair(mp_options());
   // Deliver every server->client datagram twice.
   pair.drop_server_to_client = [&](PathId path, const net::Datagram& d) {
-    pair.loop.schedule_in(sim::millis(5), [&pair, path, d] {
-      pair.client->on_datagram(path, d);
-    });
+    pair.loop.schedule_in(sim::millis(5),
+                          [&pair, path, d = d.clone()]() mutable {
+                            pair.client->on_datagram(path, std::move(d));
+                          });
     return false;
   };
   ASSERT_TRUE(pair.establish());

@@ -87,7 +87,7 @@ TEST(FaultInjector, CorruptFlipsBitsDeterministically) {
     net::FaultInjector inj(loop, plan, sim::Rng(seed), nullptr, 0);
     loop.schedule_at(sim::millis(1), [] {});
     loop.run_until(sim::millis(1));
-    net::Datagram d = original;
+    net::Datagram d = original.clone();
     EXPECT_TRUE(inj.admit(net::FaultInjector::Direction::kDown, d));
     EXPECT_EQ(inj.stats().packets_corrupted, 1u);
     return d;

@@ -31,8 +31,8 @@ class WirePair {
           if (drop_client_to_server && drop_client_to_server(path, d)) return;
           ++packets_c2s;
           loop.schedule_in(options_.client_to_server,
-                           [this, path, d = std::move(d)] {
-                             server->on_datagram(path, d);
+                           [this, path, d = std::move(d)]() mutable {
+                             server->on_datagram(path, std::move(d));
                            });
         });
     server->set_send_callback(
@@ -40,8 +40,8 @@ class WirePair {
           if (drop_server_to_client && drop_server_to_client(path, d)) return;
           ++packets_s2c;
           loop.schedule_in(options_.server_to_client,
-                           [this, path, d = std::move(d)] {
-                             client->on_datagram(path, d);
+                           [this, path, d = std::move(d)]() mutable {
+                             client->on_datagram(path, std::move(d));
                            });
         });
   }
