@@ -80,6 +80,10 @@ void ReinjectionEngine::run(quic::Connection& conn) {
       // Eligible once every queued first transmission is of a strictly
       // lower class ("the last packet of this class has been sent").
       if (frontier && record_class(rec) <= *frontier) continue;
+      // Mutual awareness with FEC: a packet a recent repair window covers
+      // can be rebuilt from the repair symbol -- duplicating it too would
+      // pay the redundancy cost twice.
+      if (conn.fec_covers(id, pn)) continue;
       const std::uint64_t bytes = conn.reinject_record(rec, mode_);
       if (bytes > 0) {
         ++stats_.records_reinjected;

@@ -62,8 +62,16 @@ quic::Connection::Config make_scheme_config(Scheme scheme, quic::Role role,
       XlinkSchedulerConfig xc;
       xc.control = opts.control;
       xc.insert_mode = opts.xlink_insert_mode;
+      xc.redundancy = opts.xlink_redundancy;
       config.scheduler = make_xlink_scheduler(xc);
       config.ack_policy = opts.xlink_ack_policy;
+      if (redundancy_has_fec(opts.xlink_redundancy)) {
+        // The video server is the protecting sender; the client only
+        // recovers. Both need fec.enabled so the receiver side exists.
+        config.fec = opts.fec;
+        config.fec.enabled = true;
+        config.fec.protect = (role == quic::Role::kServer);
+      }
       break;
     }
   }

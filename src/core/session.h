@@ -30,6 +30,11 @@ struct SchemeOptions {
   quic::AckPathPolicy xlink_ack_policy = quic::AckPathPolicy::kFastestPath;
   /// Overrides XLINK's re-injection insertion mode (Fig. 4 ablation).
   quic::InsertMode xlink_insert_mode = quic::InsertMode::kPriority;
+  /// Which loss-protection mechanisms XLINK runs (FEC ablation arms).
+  XlinkRedundancy xlink_redundancy = XlinkRedundancy::kReinject;
+  /// FEC tunables (window size, repair budget, payload cap). `enabled` and
+  /// `protect` are derived from `xlink_redundancy` and the role.
+  fec::FecConfig fec;
   std::uint64_t aead_key = 0x5eed;
 };
 

@@ -28,8 +28,12 @@ void XlinkScheduler::maybe_reinject(quic::Connection& conn) {
     gate_traced_ = true;
   }
   last_decision_ = d.allowed;
+  // The FEC framer obeys the same QoE gate as re-injection: when the
+  // client's buffer is healthy (or the dip is hopeless), proactive
+  // redundancy is suppressed too.
+  conn.set_fec_gate(redundancy_has_fec(config_.redundancy) && d.allowed);
   if (!last_decision_) return;
-  engine_.run(conn);
+  if (redundancy_has_reinject(config_.redundancy)) engine_.run(conn);
 }
 
 std::shared_ptr<XlinkScheduler> make_xlink_scheduler(

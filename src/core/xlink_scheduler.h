@@ -16,11 +16,30 @@
 
 namespace xlink::core {
 
+/// Which redundancy mechanisms the scheduler drives. Both are gated by the
+/// same double-threshold QoE rule; the FEC arm additionally requires the
+/// connection to have been configured with `Config::fec.enabled`.
+enum class XlinkRedundancy : std::uint8_t {
+  kNone,            // neither (ablation baseline)
+  kReinject,        // reactive duplication only (paper default)
+  kFec,             // proactive repair symbols only
+  kReinjectPlusFec, // both, mutually aware (FEC-covered pns not re-injected)
+};
+
+constexpr bool redundancy_has_reinject(XlinkRedundancy r) {
+  return r == XlinkRedundancy::kReinject ||
+         r == XlinkRedundancy::kReinjectPlusFec;
+}
+constexpr bool redundancy_has_fec(XlinkRedundancy r) {
+  return r == XlinkRedundancy::kFec || r == XlinkRedundancy::kReinjectPlusFec;
+}
+
 struct XlinkSchedulerConfig {
   DoubleThresholdConfig control;
   /// Fig. 4 insertion behaviour; kPriority is XLINK, kAppend the
   /// traditional baseline.
   quic::InsertMode insert_mode = quic::InsertMode::kPriority;
+  XlinkRedundancy redundancy = XlinkRedundancy::kReinject;
 };
 
 class XlinkScheduler final : public quic::Scheduler {
@@ -39,6 +58,8 @@ class XlinkScheduler final : public quic::Scheduler {
 
   /// Last re-injection gating decision (for instrumentation/benches).
   bool last_decision() const { return last_decision_; }
+
+  XlinkRedundancy redundancy() const { return config_.redundancy; }
 
  private:
   XlinkSchedulerConfig config_;

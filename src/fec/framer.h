@@ -1,0 +1,202 @@
+// Sender-side FEC framing and receiver-side recovery.
+//
+// The FecFramer groups every sealed packet of a path's packet-number space
+// into fixed-size windows of k consecutive packet numbers and, when a
+// window closes, emits r REPAIR frames (r adaptive: per-path loss estimate
+// scaled by a headroom multiplier, clamped to [min_repairs, max_repairs],
+// and gated by the double-threshold QoE controller exactly like
+// re-injection). A source symbol is the sealed wire datagram prefixed with
+// its 2-byte big-endian length and implicitly zero-padded to the window's
+// longest symbol -- so a recovered symbol is a complete datagram that
+// re-enters the normal decrypt/deliver path.
+//
+// The RecoveryBuffer keeps a ring of recently received datagrams per path
+// (keyed by packet number) plus a small set of pending repair windows; when
+// enough repair symbols arrive to cover a window's erasures it decodes and
+// hands back the reconstructed datagrams.
+//
+// Both sides use pooled PacketBuffer storage and fixed-size scratch: the
+// warm encode -> repair -> recover path performs no heap allocations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fec/scheme.h"
+#include "net/packet_buffer.h"
+#include "quic/frame.h"
+#include "sim/time.h"
+
+namespace xlink::fec {
+
+struct FecConfig {
+  bool enabled = false;
+  /// Sender-side protection; receivers keep only the RecoveryBuffer. The
+  /// harness enables this on the video server, not the client.
+  bool protect = true;
+  enum class SchemeKind : std::uint8_t { kXor, kReedSolomon };
+  SchemeKind scheme = SchemeKind::kReedSolomon;
+  std::size_t window = 8;         // k: source packets per window
+  std::size_t min_repairs = 1;    // r floor while the gate allows FEC
+  std::size_t max_repairs = 4;    // r ceiling (<= kMaxRepairs)
+  /// r = clamp(ceil(k * loss_estimate * loss_multiplier)): headroom over
+  /// the average loss rate so burst erasures stay within the budget.
+  double loss_multiplier = 3.0;
+  /// Data-packet payload cap while FEC is on, so a repair symbol (sealed
+  /// wire + 2-byte length prefix + REPAIR frame header) still fits one
+  /// packet payload.
+  std::size_t payload_cap = 1280;
+  /// How long an emitted repair window suppresses re-injection of the
+  /// packets it covers (mutual awareness with the ReinjectionEngine).
+  sim::Duration cover_linger = sim::millis(300);
+};
+
+/// Static scheme instance for a config kind.
+const FecScheme& scheme_for(FecConfig::SchemeKind kind);
+
+class FecFramer {
+ public:
+  explicit FecFramer(const FecConfig& cfg);
+
+  /// Double-threshold gate: while closed, windows close without emitting
+  /// repair symbols (the cost-control rule the paper applies to
+  /// re-injection, applied to proactive redundancy too).
+  void set_gate(bool allowed) { gate_ = allowed; }
+  bool gate() const { return gate_; }
+
+  /// Feeds one sealed packet. When this closes a window and the gate +
+  /// redundancy policy yield r > 0, appends r RepairFrames to `out` whose
+  /// payloads BORROW internal buffers -- valid until the next call for the
+  /// same path. `loss_estimate` is the path's smoothed loss rate in [0,1].
+  void on_packet_sent(quic::PathId path, quic::PacketNumber pn,
+                      std::span<const std::uint8_t> wire, sim::Time now,
+                      double loss_estimate, std::vector<quic::Frame>& out);
+
+  /// True if `pn` on `path` is covered by a recently emitted repair window
+  /// (re-injection of such packets is redundant with the repair symbol).
+  bool covers(quic::PathId path, quic::PacketNumber pn, sim::Time now) const;
+
+  struct Stats {
+    std::uint64_t windows_closed = 0;
+    std::uint64_t windows_protected = 0;  // closed with >= 1 repair emitted
+    std::uint64_t repair_symbols = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr std::size_t kMaxPaths = 8;
+  static constexpr std::size_t kCoverRing = 4;
+
+  struct Cover {
+    quic::PacketNumber first_pn = 0;
+    std::size_t k = 0;
+    sim::Time at = 0;
+    bool emitted = false;
+  };
+
+  struct PathSender {
+    quic::PathId id = 0;
+    bool in_use = false;
+    std::uint64_t next_window_id = 0;
+    quic::PacketNumber first_pn = 0;
+    std::size_t count = 0;
+    std::size_t max_symbol = 0;
+    std::array<net::PacketBuffer, kMaxSources> sources;
+    std::array<net::PacketBuffer, kMaxRepairs> repairs;
+    std::array<Cover, kCoverRing> covers;
+    std::size_t cover_head = 0;
+  };
+
+  PathSender& sender(quic::PathId path);
+  std::size_t decide_repairs(double loss_estimate) const;
+
+  FecConfig cfg_;
+  const FecScheme& scheme_;
+  bool gate_ = true;
+  std::array<PathSender, kMaxPaths> paths_;
+  Stats stats_;
+};
+
+class RecoveryBuffer {
+ public:
+  explicit RecoveryBuffer(const FecConfig& cfg);
+
+  /// Records a received datagram (sealed bytes, pre-decrypt) so it can act
+  /// as a present source symbol for later repair windows.
+  void on_source(quic::PathId path, quic::PacketNumber pn,
+                 std::span<const std::uint8_t> wire, sim::Time now);
+
+  struct Recovered {
+    net::PacketBuffer wire;  // full sealed datagram, ready for on_datagram
+    quic::PacketNumber pn = 0;
+    std::uint64_t window_id = 0;
+    std::uint64_t latency_us = 0;  // vs the window's newest source arrival
+  };
+
+  struct RepairOutcome {
+    std::size_t recovered = 0;
+    std::size_t wasted = 0;            // repair symbols that bought nothing
+    std::size_t erased_newly_seen = 0; // erasures first observed this call
+  };
+
+  /// Ingests one REPAIR frame; decodes when enough symbols are present.
+  /// Reconstructed datagrams are appended to `out`.
+  RepairOutcome on_repair(quic::PathId path, const quic::RepairFrame& f,
+                          sim::Time now, std::vector<Recovered>& out);
+
+  struct Stats {
+    std::uint64_t recovered = 0;
+    std::uint64_t wasted = 0;
+    std::uint64_t erased_seen = 0;
+    std::uint64_t windows_observed = 0;
+    std::uint64_t unrecoverable = 0;  // windows past the repair budget
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr std::size_t kMaxPaths = 8;
+  static constexpr std::size_t kStash = 64;
+  static constexpr std::size_t kPendingWindows = 4;
+
+  struct StashEntry {
+    quic::PacketNumber pn = 0;
+    sim::Time at = 0;
+    net::PacketBuffer buf;
+    bool valid = false;
+  };
+
+  struct Pending {
+    bool active = false;
+    std::uint64_t window_id = 0;
+    quic::PacketNumber first_pn = 0;
+    std::size_t k = 0;
+    std::uint64_t repair_total = 0;  // r declared by the frames
+    std::size_t repair_count = 0;    // symbols held
+    std::array<std::uint32_t, kMaxRepairs> repair_index{};
+    std::array<net::PacketBuffer, kMaxRepairs> repairs;
+  };
+
+  struct PathRecv {
+    quic::PathId id = 0;
+    bool in_use = false;
+    std::array<StashEntry, kStash> stash;
+    std::array<Pending, kPendingWindows> pending;
+  };
+
+  PathRecv& recv(quic::PathId path);
+  const StashEntry* stash_find(const PathRecv& p, quic::PacketNumber pn) const;
+  void stash_store(PathRecv& p, quic::PacketNumber pn,
+                   std::span<const std::uint8_t> wire, sim::Time now);
+  std::size_t count_missing(const PathRecv& p, const Pending& w) const;
+  void drop_window(Pending& w);
+
+  FecConfig cfg_;
+  const FecScheme& scheme_;
+  std::array<PathRecv, kMaxPaths> paths_;
+  std::array<net::PacketBuffer, kMaxRepairs> decode_scratch_;
+  Stats stats_;
+};
+
+}  // namespace xlink::fec

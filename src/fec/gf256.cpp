@@ -1,0 +1,59 @@
+#include "fec/gf256.h"
+
+namespace xlink::fec {
+namespace detail {
+
+Gf256Tables::Gf256Tables() {
+  // Generator 0x03 is primitive for the 0x11b polynomial: powers of 3
+  // enumerate every non-zero field element exactly once.
+  std::uint8_t x = 1;
+  for (unsigned i = 0; i < 255; ++i) {
+    exp[i] = x;
+    log[x] = static_cast<std::uint8_t>(i);
+    // x *= 3  ==  x ^ (x << 1) with reduction.
+    const std::uint8_t hi = static_cast<std::uint8_t>(x & 0x80u);
+    std::uint8_t shifted = static_cast<std::uint8_t>(x << 1);
+    if (hi) shifted ^= 0x1b;
+    x ^= shifted;
+  }
+  for (unsigned i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+  log[0] = 0;  // never read; keeps the table fully initialised
+}
+
+const Gf256Tables& gf_tables() {
+  static const Gf256Tables tables;
+  return tables;
+}
+
+}  // namespace detail
+
+void gf_addmul(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src,
+               std::uint8_t c) {
+  const std::size_t n = dst.size() < src.size() ? dst.size() : src.size();
+  if (c == 0 || n == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const auto& t = detail::gf_tables();
+  const unsigned log_c = t.log[c];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t s = src[i];
+    if (s) dst[i] ^= t.exp[log_c + t.log[s]];
+  }
+}
+
+void gf_scale(std::span<std::uint8_t> dst, std::uint8_t c) {
+  if (c == 1) return;
+  if (c == 0) {
+    for (auto& b : dst) b = 0;
+    return;
+  }
+  const auto& t = detail::gf_tables();
+  const unsigned log_c = t.log[c];
+  for (auto& b : dst) {
+    if (b) b = t.exp[log_c + t.log[b]];
+  }
+}
+
+}  // namespace xlink::fec

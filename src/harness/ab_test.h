@@ -39,7 +39,7 @@ struct DayMetrics {
   stats::Summary rct;          // per-chunk request completion time (s)
   stats::Summary first_frame;  // first-video-frame latency (s)
   double rebuffer_rate = 0.0;  // sum(rebuffer)/sum(play) over the day
-  double redundancy_pct = 0.0; // extra egress traffic from duplication (%)
+  double redundancy_pct = 0.0; // extra egress from re-injection + FEC (%)
   int sessions = 0;
   int unfinished_downloads = 0;
   /// Per-session registries merged in session-index order (bit-identical

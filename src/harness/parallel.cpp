@@ -32,7 +32,10 @@ DayMetrics fold_day(const std::vector<SessionResult>& results) {
     rebuffer_sum += r.rebuffer_seconds;
     play_sum += r.play_seconds;
     payload_sum += r.stream_payload_bytes;
-    dup_sum += r.reinjected_bytes;
+    // All redundancy egress counts: re-injected duplicates AND FEC repair
+    // symbols (both are traffic the server would not send without the
+    // protection mechanism).
+    dup_sum += r.reinjected_bytes + r.fec_repair_bytes;
     if (!r.download_finished) ++day.unfinished_downloads;
     ++day.sessions;
     day.metrics.merge(r.metrics);

@@ -211,6 +211,13 @@ SessionResult Session::run() {
   result.retransmitted_bytes = server_stats.retransmitted_bytes;
   result.packets_lost = server_stats.packets_lost;
   result.redundancy_ratio = server_stats.redundancy_ratio();
+  result.fec_repair_bytes = server_stats.fec_repair_bytes_sent;
+  result.fec_repair_packets = server_stats.fec_repair_packets_sent;
+  result.fec_windows_protected = server_stats.fec_windows_protected;
+  const auto& client_stats = client_conn_->stats();
+  result.fec_recovered_packets = client_stats.fec_recovered_packets;
+  result.fec_wasted_symbols = client_stats.fec_wasted_symbols;
+  result.fec_erased_seen = client_stats.fec_erased_seen;
   for (std::size_t i = 0; i < network_->path_count(); ++i)
     result.path_down_bytes.push_back(
         network_->path(i).down_stats().bytes_delivered);
@@ -243,6 +250,15 @@ void Session::fill_metrics(SessionResult& result) const {
                 server.retransmitted_bytes);
   m.add_counter("quic.client.packets_received", client.packets_received);
   m.add_counter("quic.client.acks_sent", client.acks_sent);
+  if (server.fec_repair_packets_sent > 0 || client.fec_erased_seen > 0) {
+    m.add_counter("fec.server.repair_packets", server.fec_repair_packets_sent);
+    m.add_counter("fec.server.repair_bytes", server.fec_repair_bytes_sent);
+    m.add_counter("fec.server.windows_protected",
+                  server.fec_windows_protected);
+    m.add_counter("fec.client.recovered_packets", client.fec_recovered_packets);
+    m.add_counter("fec.client.wasted_symbols", client.fec_wasted_symbols);
+    m.add_counter("fec.client.erased_seen", client.fec_erased_seen);
+  }
 
   m.add_counter("session.count", 1);
   m.add_counter("session.chunks_total", result.chunks_total);

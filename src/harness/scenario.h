@@ -92,6 +92,13 @@ struct SessionResult {
   std::uint64_t retransmitted_bytes = 0;
   std::uint64_t packets_lost = 0;
   double redundancy_ratio = 0.0;
+  // FEC (server = protecting sender, client = recovering receiver).
+  std::uint64_t fec_repair_bytes = 0;       // repair symbol bytes sent
+  std::uint64_t fec_repair_packets = 0;
+  std::uint64_t fec_windows_protected = 0;
+  std::uint64_t fec_recovered_packets = 0;  // erasures rebuilt client-side
+  std::uint64_t fec_wasted_symbols = 0;
+  std::uint64_t fec_erased_seen = 0;        // erasures FEC windows observed
   /// Per network path: bytes the server pushed down it.
   std::vector<std::uint64_t> path_down_bytes;
   /// Structured per-session metrics (counters/gauges/histograms); derived

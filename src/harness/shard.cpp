@@ -104,6 +104,38 @@ quic::AckPathPolicy ack_policy_from_key(const std::string& key) {
   fail("unknown ack policy key '" + key + "'");
 }
 
+std::string redundancy_key(core::XlinkRedundancy r) {
+  switch (r) {
+    case core::XlinkRedundancy::kNone: return "none";
+    case core::XlinkRedundancy::kReinject: return "reinject";
+    case core::XlinkRedundancy::kFec: return "fec";
+    case core::XlinkRedundancy::kReinjectPlusFec: return "reinject_fec";
+  }
+  fail("unknown redundancy enum value");
+}
+
+core::XlinkRedundancy redundancy_from_key(const std::string& key) {
+  if (key == "none") return core::XlinkRedundancy::kNone;
+  if (key == "reinject") return core::XlinkRedundancy::kReinject;
+  if (key == "fec") return core::XlinkRedundancy::kFec;
+  if (key == "reinject_fec") return core::XlinkRedundancy::kReinjectPlusFec;
+  fail("unknown redundancy key '" + key + "'");
+}
+
+std::string fec_scheme_key(fec::FecConfig::SchemeKind s) {
+  switch (s) {
+    case fec::FecConfig::SchemeKind::kXor: return "xor";
+    case fec::FecConfig::SchemeKind::kReedSolomon: return "reed_solomon";
+  }
+  fail("unknown fec scheme enum value");
+}
+
+fec::FecConfig::SchemeKind fec_scheme_from_key(const std::string& key) {
+  if (key == "xor") return fec::FecConfig::SchemeKind::kXor;
+  if (key == "reed_solomon") return fec::FecConfig::SchemeKind::kReedSolomon;
+  fail("unknown fec scheme key '" + key + "'");
+}
+
 std::string insert_mode_key(quic::InsertMode m) {
   switch (m) {
     case quic::InsertMode::kAppend: return "append";
@@ -205,6 +237,14 @@ void write_options(JsonWriter& w, const core::SchemeOptions& o) {
   w.kv("control_mode", control_mode_key(o.control.mode));
   w.kv("ack_policy", ack_policy_key(o.xlink_ack_policy));
   w.kv("insert_mode", insert_mode_key(o.xlink_insert_mode));
+  w.kv("redundancy", redundancy_key(o.xlink_redundancy));
+  w.kv("fec_scheme", fec_scheme_key(o.fec.scheme));
+  kv_u64(w, "fec_window", o.fec.window);
+  kv_u64(w, "fec_min_repairs", o.fec.min_repairs);
+  kv_u64(w, "fec_max_repairs", o.fec.max_repairs);
+  kv_double(w, "fec_loss_multiplier", o.fec.loss_multiplier);
+  kv_u64(w, "fec_payload_cap", o.fec.payload_cap);
+  kv_u64(w, "fec_cover_linger_us", o.fec.cover_linger);
   kv_u64(w, "aead_key", o.aead_key);
   w.end_object();
 }
@@ -217,6 +257,14 @@ core::SchemeOptions parse_options(const JsonValue& v) {
   o.control.mode = control_mode_from_key(parse_str(v, "control_mode"));
   o.xlink_ack_policy = ack_policy_from_key(parse_str(v, "ack_policy"));
   o.xlink_insert_mode = insert_mode_from_key(parse_str(v, "insert_mode"));
+  o.xlink_redundancy = redundancy_from_key(parse_str(v, "redundancy"));
+  o.fec.scheme = fec_scheme_from_key(parse_str(v, "fec_scheme"));
+  o.fec.window = parse_u64(v, "fec_window");
+  o.fec.min_repairs = parse_u64(v, "fec_min_repairs");
+  o.fec.max_repairs = parse_u64(v, "fec_max_repairs");
+  o.fec.loss_multiplier = parse_double(v, "fec_loss_multiplier");
+  o.fec.payload_cap = parse_u64(v, "fec_payload_cap");
+  o.fec.cover_linger = parse_u64(v, "fec_cover_linger_us");
   o.aead_key = parse_u64(v, "aead_key");
   return o;
 }

@@ -56,8 +56,20 @@ std::unique_ptr<Link> EmulatedPath::make_link(
   LinkConfig cfg;
   cfg.propagation_delay = spec_.one_way_delay;
   cfg.queue_capacity_bytes = spec_.queue_capacity_bytes;
-  if (spec_.loss_rate > 0.0)
+  if (spec_.loss_rate > 0.0 && spec_.ge_loss) {
+    std::vector<std::unique_ptr<LossModel>> models;
+    models.push_back(std::make_unique<BernoulliLoss>(spec_.loss_rate));
+    models.push_back(std::make_unique<GilbertElliottLoss>(
+        spec_.ge_loss->p_good_to_bad, spec_.ge_loss->p_bad_to_good,
+        spec_.ge_loss->loss_good, spec_.ge_loss->loss_bad));
+    cfg.loss = std::make_shared<CompositeLoss>(std::move(models));
+  } else if (spec_.ge_loss) {
+    cfg.loss = std::make_shared<GilbertElliottLoss>(
+        spec_.ge_loss->p_good_to_bad, spec_.ge_loss->p_bad_to_good,
+        spec_.ge_loss->loss_good, spec_.ge_loss->loss_bad);
+  } else if (spec_.loss_rate > 0.0) {
     cfg.loss = std::make_shared<BernoulliLoss>(spec_.loss_rate);
+  }
   if (t.has_value())
     return std::make_unique<TraceLink>(loop, *t, std::move(cfg), rng);
   return std::make_unique<FixedRateLink>(loop, spec_.fixed_rate_mbps * 1e6,

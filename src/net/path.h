@@ -25,6 +25,16 @@ struct PathSpec {
   double fixed_rate_mbps = 20.0;
   sim::Duration one_way_delay = sim::millis(15);
   double loss_rate = 0.0;                       // residual Bernoulli loss
+  /// Optional Gilbert-Elliott bursty loss (applied on both directions,
+  /// composed with loss_rate when both are set). Burst loss is the regime
+  /// where FEC windows see correlated erasures (FEC ablation benches).
+  struct GeLoss {
+    double p_good_to_bad = 0.0;
+    double p_bad_to_good = 0.3;
+    double loss_good = 0.0;
+    double loss_bad = 0.5;
+  };
+  std::optional<GeLoss> ge_loss;
   std::size_t queue_capacity_bytes = 1024 * 1024;
   /// Scripted fault windows applied to this path (empty = no injector).
   FaultPlan fault_plan;

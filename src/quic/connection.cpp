@@ -67,6 +67,12 @@ Connection::Connection(sim::EventLoop& loop, Config config)
   // Until the peer's params arrive, assume symmetric defaults (the true
   // values are applied in handle_crypto).
   peer_max_data_ = config_.params.initial_max_data;
+  if (config_.fec.enabled) {
+    fec_recovery_ = std::make_unique<fec::RecoveryBuffer>(config_.fec);
+    if (config_.fec.protect)
+      fec_framer_ = std::make_unique<fec::FecFramer>(config_.fec);
+    fec_recovered_scratch_.reserve(fec::kMaxRepairs);
+  }
 }
 
 Connection::~Connection() {
@@ -508,9 +514,16 @@ bool Connection::send_one_packet(PathId path_id, bool ignore_cwnd) {
   // PTO probes may exceed the congestion window (RFC 9002 §7.5): when the
   // window is full of packets a dead path will never acknowledge, the probe
   // is the only thing that can restart the ack clock.
+  // With sender-side FEC on, data payloads are capped below the MTU so a
+  // repair symbol (sealed wire + length prefix + REPAIR header) still fits
+  // one packet payload.
+  const std::size_t max_payload =
+      fec_framer_ ? std::min<std::size_t>(kMaxPacketPayload,
+                                          config_.fec.payload_cap)
+                  : kMaxPacketPayload;
   const std::size_t budget =
-      ignore_cwnd ? kMaxPacketPayload
-                  : std::min<std::size_t>(kMaxPacketPayload,
+      ignore_cwnd ? max_payload
+                  : std::min<std::size_t>(max_payload,
                                           path.cwnd_available());
   if (budget < 64) return false;
 
@@ -697,7 +710,47 @@ void Connection::build_and_send(PathId path_id, std::vector<Frame>& frames,
                   loop_.now(), trace_origin(),
                   static_cast<std::uint8_t>(path_id), header.packet_number,
                   wire.size(), eliciting, is_reinjection_pkt));
+
+  // Sender-side FEC: every sealed packet except the repair carriers
+  // themselves is a source symbol (repairs sit at window boundaries, so
+  // the protected packet-number range stays contiguous).
+  const bool fec_protect =
+      fec_framer_ &&
+      !std::any_of(frames.begin(), frames.end(), [](const Frame& f) {
+        return std::holds_alternative<RepairFrame>(f);
+      });
+  if (fec_protect) {
+    fec_frames_scratch_.clear();
+    fec_framer_->on_packet_sent(path_id, header.packet_number, wire.cspan(),
+                                loop_.now(), path_loss_estimate(path),
+                                fec_frames_scratch_);
+  }
   send_fn_(path_id, std::move(wire));
+  if (fec_protect && !fec_frames_scratch_.empty()) {
+    ++stats_.fec_windows_protected;
+    for (Frame& f : fec_frames_scratch_) {
+      const auto& rf = std::get<RepairFrame>(f);
+      ++stats_.fec_repair_packets_sent;
+      stats_.fec_repair_bytes_sent += rf.payload.size();
+      XLINK_TRACE(config_.trace,
+                  telemetry::Event::fec_repair_sent(
+                      loop_.now(), trace_origin(),
+                      static_cast<std::uint8_t>(path_id), rf.window_id,
+                      rf.payload.size(), rf.first_pn,
+                      static_cast<std::uint8_t>(rf.k),
+                      static_cast<std::uint8_t>(rf.repair_count),
+                      static_cast<std::uint8_t>(rf.symbol_index)));
+      // Each repair symbol travels in its own packet (it nearly fills
+      // one); recursion is safe because repair carriers are never fed
+      // back into the framer.
+      fec_emit_scratch_.clear();
+      fec_emit_scratch_.push_back(std::move(f));
+      build_and_send(path_id, fec_emit_scratch_, {}, /*ack_eliciting=*/true,
+                     /*is_probe=*/false);
+      fec_emit_scratch_.clear();
+    }
+    fec_frames_scratch_.clear();
+  }
 }
 
 void Connection::send_pending_acks() {
@@ -767,6 +820,13 @@ void Connection::on_datagram(PathId arrival_path, net::Datagram dgram) {
     pit = paths_.find(path_id);
   }
   PathState& path = *pit->second;
+
+  // FEC: stash the sealed bytes (pre-decrypt -- open_packet_in_place
+  // destroys the ciphertext) so this packet can serve as a present source
+  // symbol when a repair window referencing it arrives.
+  if (fec_recovery_)
+    fec_recovery_->on_source(path_id, pkt->header.packet_number,
+                             dgram.cspan(), loop_.now());
 
   // Decrypt in place inside the receive buffer and parse the frames into
   // the reusable scratch list; stream/crypto payloads borrow from `dgram`,
@@ -876,6 +936,8 @@ void Connection::handle_frames(PathId path_id, PacketNumber /*pn*/,
                       f->qoe.cached_frames, f->qoe.bps));
       if (config_.scheduler) config_.scheduler->on_qoe(*this, f->qoe);
       if (on_qoe_feedback) on_qoe_feedback(f->qoe);
+    } else if (const auto* f = std::get_if<RepairFrame>(&frame)) {
+      handle_repair_frame(path_id, *f);
     } else if (const auto* f = std::get_if<StreamFrame>(&frame)) {
       handle_stream_frame(*f);
     } else if (const auto* f = std::get_if<CryptoFrame>(&frame)) {
@@ -998,6 +1060,44 @@ void Connection::handle_stream_frame(const StreamFrame& f) {
       if (on_stream_data_finished) on_stream_data_finished(id);
     });
   }
+}
+
+double Connection::path_loss_estimate(const PathState& p) const {
+  if (p.packets_sent == 0) return 0.0;
+  return static_cast<double>(p.packets_lost) /
+         static_cast<double>(p.packets_sent);
+}
+
+void Connection::handle_repair_frame(PathId path_id, const RepairFrame& f) {
+  if (!fec_recovery_) return;
+  fec_recovered_scratch_.clear();
+  const auto outcome =
+      fec_recovery_->on_repair(path_id, f, loop_.now(), fec_recovered_scratch_);
+  stats_.fec_wasted_symbols += outcome.wasted;
+  stats_.fec_erased_seen += outcome.erased_newly_seen;
+  stats_.fec_recovered_packets += outcome.recovered;
+  if (outcome.wasted > 0) {
+    XLINK_TRACE(config_.trace,
+                telemetry::Event::fec_wasted(
+                    loop_.now(), trace_origin(),
+                    static_cast<std::uint8_t>(path_id), f.window_id,
+                    outcome.wasted));
+  }
+  if (fec_recovered_scratch_.empty()) return;
+  // Move the list out before delivery: a recovered datagram re-enters
+  // on_datagram, which may reach this method again for a later window.
+  std::vector<fec::RecoveryBuffer::Recovered> recovered =
+      std::move(fec_recovered_scratch_);
+  for (auto& rec : recovered) {
+    XLINK_TRACE(config_.trace,
+                telemetry::Event::fec_recovered(
+                    loop_.now(), trace_origin(),
+                    static_cast<std::uint8_t>(path_id), rec.pn, rec.window_id,
+                    rec.latency_us));
+    on_datagram(path_id, std::move(rec.wire));
+  }
+  recovered.clear();
+  fec_recovered_scratch_ = std::move(recovered);
 }
 
 void Connection::handle_ack_info(PathId acked_path, const AckInfo& info) {

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "fec/framer.h"
 #include "net/datagram.h"
 #include "quic/cc.h"
 #include "quic/cc_coupled.h"
@@ -165,6 +166,12 @@ class Connection {
       sim::Duration probe_interval_max = sim::seconds(3);
     };
     PathHealth health;
+
+    /// Forward erasure correction (src/fec/): sender-side REPAIR framing
+    /// over sealed packets plus receiver-side recovery. `fec.enabled`
+    /// instantiates the RecoveryBuffer; `fec.protect` additionally runs
+    /// the FecFramer on this endpoint's outgoing packets.
+    fec::FecConfig fec;
   };
 
   struct Stats {
@@ -183,11 +190,21 @@ class Connection {
     std::uint64_t path_resurrections = 0;    // probe acked, path back in use
     std::uint64_t dead_path_probes = 0;      // backoff probes while kProbing
 
-    /// Redundancy ratio: duplicate stream bytes / first-transmission bytes.
+    // Forward erasure correction (src/fec/).
+    std::uint64_t fec_repair_packets_sent = 0;  // REPAIR packets emitted
+    std::uint64_t fec_repair_bytes_sent = 0;    // repair SYMBOL bytes
+    std::uint64_t fec_windows_protected = 0;    // windows with >=1 repair
+    std::uint64_t fec_recovered_packets = 0;    // erasures reconstructed
+    std::uint64_t fec_wasted_symbols = 0;       // repairs that bought nothing
+    std::uint64_t fec_erased_seen = 0;          // erasures observed in windows
+
+    /// Redundancy ratio: duplicated bytes (re-injection egress plus FEC
+    /// repair symbols) / first-transmission stream bytes.
     double redundancy_ratio() const {
       return stream_bytes_sent == 0
                  ? 0.0
-                 : static_cast<double>(reinjected_bytes) /
+                 : static_cast<double>(reinjected_bytes +
+                                       fec_repair_bytes_sent) /
                        static_cast<double>(stream_bytes_sent);
     }
   };
@@ -308,6 +325,20 @@ class Connection {
   /// Kicks the send loop (harness calls after app writes).
   void pump();
 
+  // ---- forward erasure correction ------------------------------------
+  bool fec_enabled() const { return fec_recovery_ != nullptr; }
+  bool fec_protecting() const { return fec_framer_ != nullptr; }
+  /// Double-threshold gate push-down: the XLINK scheduler forwards its
+  /// re-injection gate decision so FEC obeys the same cost control.
+  void set_fec_gate(bool allowed) {
+    if (fec_framer_) fec_framer_->set_gate(allowed);
+  }
+  /// True if a recently emitted repair window covers `pn` on `path`; the
+  /// ReinjectionEngine skips such records (mutual awareness).
+  bool fec_covers(PathId path, PacketNumber pn) const {
+    return fec_framer_ && fec_framer_->covers(path, pn, loop_.now());
+  }
+
   sim::EventLoop& loop() { return loop_; }
   const sim::EventLoop& loop() const { return loop_; }
   const Config& config() const { return config_; }
@@ -342,6 +373,8 @@ class Connection {
   // Receive-side machinery.
   void handle_frames(PathId path, PacketNumber pn,
                      const std::vector<Frame>& frames);
+  void handle_repair_frame(PathId path, const RepairFrame& f);
+  double path_loss_estimate(const PathState& p) const;
   void handle_ack_info(PathId acked_path, const AckInfo& info);
   void handle_stream_frame(const StreamFrame& f);
   void handle_crypto(PathId path, const CryptoFrame& f);
@@ -422,6 +455,13 @@ class Connection {
   // out while in use (re-entrancy safe) and moved back with capacity kept.
   std::vector<Frame> recv_frames_scratch_;
   std::vector<Frame> send_frames_scratch_;
+
+  // Forward erasure correction (both null unless config_.fec.enabled).
+  std::unique_ptr<fec::FecFramer> fec_framer_;
+  std::unique_ptr<fec::RecoveryBuffer> fec_recovery_;
+  std::vector<Frame> fec_frames_scratch_;   // repair frames from the framer
+  std::vector<Frame> fec_emit_scratch_;     // one-frame list per repair pkt
+  std::vector<fec::RecoveryBuffer::Recovered> fec_recovered_scratch_;
 
   Stats stats_;
 };

@@ -125,6 +125,17 @@ struct FrameEncoder {
     w.varint(kFrameQoeControlSignals);
     encode_qoe(f.qoe, w);
   }
+  void operator()(const RepairFrame& f) const {
+    w.varint(kFrameRepair);
+    w.varint(f.path_id);
+    w.varint(f.window_id);
+    w.varint(f.first_pn);
+    w.varint(f.k);
+    w.varint(f.repair_count);
+    w.varint(f.symbol_index);
+    w.varint(f.payload.size());
+    w.bytes(f.payload);
+  }
   void operator()(const CryptoFrame& f) const {
     w.varint(kTypeCrypto);
     w.varint(f.offset);
@@ -274,6 +285,33 @@ std::optional<Frame> parse_frame(Reader& r, PayloadOwnership own) {
       auto q = parse_qoe(r);
       if (!q) return std::nullopt;
       return Frame{QoeControlSignalsFrame{*q}};
+    }
+    case kFrameRepair: {
+      RepairFrame f;
+      const auto path = r.varint();
+      const auto window = r.varint();
+      const auto first_pn = r.varint();
+      const auto k = r.varint();
+      const auto rep = r.varint();
+      const auto idx = r.varint();
+      const auto len = r.varint();
+      if (!path || !window || !first_pn || !k || !rep || !idx || !len)
+        return std::nullopt;
+      // Sanity bounds: GF(2^8) caps k + r at 256; the window's last pn must
+      // not overflow the varint space; the symbol row must exist.
+      if (*k == 0 || *rep == 0 || *k + *rep > 256) return std::nullopt;
+      if (*idx >= *rep) return std::nullopt;
+      if (*first_pn > kVarintMax - *k) return std::nullopt;
+      auto data = r.view(*len);
+      if (!data) return std::nullopt;
+      f.path_id = static_cast<PathId>(*path);
+      f.window_id = *window;
+      f.first_pn = *first_pn;
+      f.k = *k;
+      f.repair_count = *rep;
+      f.symbol_index = *idx;
+      f.payload = payload_of(*data, own);
+      return Frame{std::move(f)};
     }
     case kTypeCrypto: {
       CryptoFrame f;

@@ -106,6 +106,7 @@ class FrameData {
 constexpr std::uint64_t kFrameAckMp = 0xbaba;
 constexpr std::uint64_t kFramePathStatus = 0xbabb;
 constexpr std::uint64_t kFrameQoeControlSignals = 0xbabc;
+constexpr std::uint64_t kFrameRepair = 0xbabd;
 
 /// Client video QoE snapshot (paper §5.2): everything the double-threshold
 /// controller needs to estimate play-time left.
@@ -179,6 +180,23 @@ struct QoeControlSignalsFrame {
   bool operator==(const QoeControlSignalsFrame&) const = default;
 };
 
+/// FEC repair symbol (QUIC-FEC style extension, greased codepoint 0xbabd).
+/// Covers the window of `k` consecutive source packets [first_pn,
+/// first_pn + k) in `path_id`'s packet-number space; `symbol_index` names
+/// this symbol's row among the window's `repair_count` repair symbols. The
+/// payload is one coded symbol: every source symbol is a sealed datagram
+/// framed as [2-byte big-endian length || wire bytes || zero padding].
+struct RepairFrame {
+  PathId path_id = 0;
+  std::uint64_t window_id = 0;
+  PacketNumber first_pn = 0;
+  std::uint64_t k = 1;             // source symbols in the window
+  std::uint64_t repair_count = 1;  // repair symbols emitted for the window
+  std::uint64_t symbol_index = 0;  // this symbol's row, < repair_count
+  FrameData payload;
+  bool operator==(const RepairFrame&) const = default;
+};
+
 struct CryptoFrame {
   std::uint64_t offset = 0;
   FrameData data;
@@ -247,8 +265,8 @@ struct ConnectionCloseFrame {
 
 using Frame =
     std::variant<PaddingFrame, PingFrame, AckFrame, AckMpFrame,
-                 PathStatusFrame, QoeControlSignalsFrame, CryptoFrame,
-                 StreamFrame, MaxDataFrame, MaxStreamDataFrame,
+                 PathStatusFrame, QoeControlSignalsFrame, RepairFrame,
+                 CryptoFrame, StreamFrame, MaxDataFrame, MaxStreamDataFrame,
                  ResetStreamFrame, StopSendingFrame, NewConnectionIdFrame,
                  PathChallengeFrame, PathResponseFrame, HandshakeDoneFrame,
                  ConnectionCloseFrame>;

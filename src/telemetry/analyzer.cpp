@@ -86,6 +86,12 @@ AnalysisReport analyze(const ParsedTrace& trace,
     if (inserted) it->second.path = id;
     return it->second;
   };
+  std::map<std::uint8_t, FecPathReport> fec_paths;
+  auto fec_path_of = [&](std::uint8_t id) -> FecPathReport& {
+    auto [it, inserted] = fec_paths.try_emplace(id);
+    if (inserted) it->second.path = id;
+    return it->second;
+  };
   auto touch = [](PathTimeline& p, sim::Time t) {
     if (p.first_activity == 0 && p.last_activity == 0) p.first_activity = t;
     p.last_activity = std::max(p.last_activity, t);
@@ -278,6 +284,30 @@ AnalysisReport analyze(const ParsedTrace& trace,
         if (f.fault_active) ++rep.faults_fired;
         break;
       }
+      case EventType::kFecRepairSent: {
+        FecPathReport& f = fec_path_of(e.path);
+        ++f.repair_packets;
+        f.repair_bytes += e.b;
+        if (e.flag == 0) ++f.windows;  // first symbol of the window
+        ++rep.fec.repair_packets;
+        rep.fec.repair_bytes += e.b;
+        touch(path_of(e.path), e.t);
+        break;
+      }
+      case EventType::kFecRecovered: {
+        FecPathReport& f = fec_path_of(e.path);
+        ++f.recovered;
+        ++rep.fec.recovered;
+        rep.fec.recovery_latency_ms.add(static_cast<double>(e.c) / 1000.0);
+        touch(path_of(e.path), e.t);
+        break;
+      }
+      case EventType::kFecWasted: {
+        FecPathReport& f = fec_path_of(e.path);
+        f.wasted_symbols += e.b;
+        rep.fec.wasted_symbols += e.b;
+        break;
+      }
       case EventType::kPathHealth: {
         FailoverEvent f;
         f.t = e.t;
@@ -309,6 +339,8 @@ AnalysisReport analyze(const ParsedTrace& trace,
 
   rep.paths.reserve(paths.size());
   for (auto& [id, p] : paths) rep.paths.push_back(std::move(p));
+  rep.fec.paths.reserve(fec_paths.size());
+  for (auto& [id, f] : fec_paths) rep.fec.paths.push_back(std::move(f));
   return rep;
 }
 
@@ -368,6 +400,64 @@ std::string render_report(const AnalysisReport& rep) {
               100.0 * double(r.gate_open_decisions) / double(r.gate_decisions),
               1)
        << "%), " << r.gate_flips << " flips\n";
+  }
+
+  if (rep.fec.present()) {
+    const FecReport& f = rep.fec;
+    os << "\n=== fec ===\n";
+    stats::Table ft({"path", "windows", "repair pkts", "repair KB",
+                     "recovered", "wasted"});
+    for (const FecPathReport& p : f.paths) {
+      ft.add_row({std::to_string(int(p.path)), std::to_string(p.windows),
+                  std::to_string(p.repair_packets),
+                  stats::Table::fmt(double(p.repair_bytes) / 1e3, 1),
+                  std::to_string(p.recovered),
+                  std::to_string(p.wasted_symbols)});
+    }
+    os << ft.render();
+    const std::uint64_t useful = f.recovered;
+    const std::uint64_t total_symbols = f.repair_packets;
+    if (total_symbols > 0) {
+      os << "repair symbols: " << total_symbols << " sent, " << useful
+         << " recovered an erasure, " << f.wasted_symbols << " wasted ("
+         << stats::Table::fmt(
+                100.0 * double(f.wasted_symbols) / double(total_symbols), 1)
+         << "% of symbols bought nothing)\n";
+    }
+    if (!f.recovery_latency_ms.empty()) {
+      os << "recovery latency: mean "
+         << stats::Table::fmt(f.recovery_latency_ms.mean(), 2) << "ms, p95 "
+         << stats::Table::fmt(f.recovery_latency_ms.percentile(95.0), 2)
+         << "ms (from the window's last source arrival)\n";
+      // A PTO-driven retransmit repairs the same erasure no sooner than the
+      // PTO timer plus one more flight: lower-bound it with the path srtt.
+      std::uint64_t srtt_lo = kNoValue;
+      for (const PathTimeline& p : rep.paths)
+        if (p.min_srtt_us != kNoValue)
+          srtt_lo = std::min<std::uint64_t>(srtt_lo, p.min_srtt_us);
+      if (srtt_lo != kNoValue && srtt_lo > 0) {
+        const double pto_floor_ms = 2.0 * double(srtt_lo) / 1000.0;
+        os << "vs PTO retransmit floor ~" << stats::Table::fmt(pto_floor_ms, 1)
+           << "ms (PTO wait + retransmit flight at min srtt "
+           << ms_str(srtt_lo) << "): "
+           << stats::Table::fmt(
+                  pto_floor_ms / std::max(0.001, f.recovery_latency_ms.mean()),
+                  1)
+           << "x slower than FEC recovery\n";
+      }
+    }
+    // Redundancy-overhead attribution: which mechanism paid for protection.
+    const std::uint64_t first_tx = rep.reinjection.first_tx_bytes;
+    if (first_tx > 0) {
+      const double reinj_pct =
+          100.0 * double(rep.reinjection.reinjected_bytes) / double(first_tx);
+      const double fec_pct = 100.0 * double(f.repair_bytes) / double(first_tx);
+      os << "redundancy attribution: re-injection "
+         << stats::Table::fmt(reinj_pct, 2) << "% + fec repairs "
+         << stats::Table::fmt(fec_pct, 2) << "% = "
+         << stats::Table::fmt(reinj_pct + fec_pct, 2)
+         << "% of first-tx bytes\n";
+    }
   }
 
   if (!rep.failover_timeline.empty()) {

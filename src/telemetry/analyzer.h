@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "stats/summary.h"
 #include "telemetry/event.h"
 #include "telemetry/qlog.h"
 
@@ -68,6 +69,30 @@ struct ReinjectionEfficiency {
   }
 };
 
+/// Per-path FEC activity (fec:repair_sent on the sender, fec:recovered /
+/// fec:wasted on the receiver).
+struct FecPathReport {
+  std::uint8_t path = 0;
+  std::uint64_t windows = 0;          // protected windows (symbol 0 sent)
+  std::uint64_t repair_packets = 0;
+  std::uint64_t repair_bytes = 0;     // repair symbol bytes
+  std::uint64_t recovered = 0;        // erasures rebuilt from repairs
+  std::uint64_t wasted_symbols = 0;   // repair symbols that bought nothing
+};
+
+struct FecReport {
+  std::vector<FecPathReport> paths;
+  std::uint64_t repair_packets = 0;
+  std::uint64_t repair_bytes = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t wasted_symbols = 0;
+  /// Latency from the window's newest source arrival to the rebuilt
+  /// datagram (ms) -- the FEC analogue of a retransmission's repair time.
+  stats::Summary recovery_latency_ms;
+
+  bool present() const { return repair_packets > 0 || recovered > 0; }
+};
+
 /// One entry of the failover timeline: either an injected fault window
 /// opening/closing (is_fault) or a path-health transition at an endpoint.
 struct FailoverEvent {
@@ -89,6 +114,7 @@ struct AnalysisReport {
   sim::Time trace_end = 0;
   std::vector<PathTimeline> paths;
   ReinjectionEfficiency reinjection;
+  FecReport fec;
   std::vector<StallReport> stalls;
   /// Interleaved fault windows and health transitions, trace order.
   std::vector<FailoverEvent> failover_timeline;

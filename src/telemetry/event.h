@@ -54,6 +54,13 @@ enum class EventType : std::uint8_t {
                           // flag bit0=1 window opens, 0 window closes
   kPathHealth,            // path; a=PathState::Health as integer,
                           // b=pto_count at the transition
+  kFecRepairSent,         // path=protected path; a=window id, b=repair
+                          // symbol bytes; c=window first pn; extra=k | r<<8;
+                          // flag=symbol index
+  kFecRecovered,          // path; a=recovered pn, b=window id;
+                          // c=recovery latency vs the loss (us)
+  kFecWasted,             // path; a=window id, b=wasted repair symbols
+                          // (window completed without needing them)
 };
 
 /// Sentinel for "value not available" in `a`/`b`/`c`.
@@ -191,6 +198,31 @@ struct Event {
   static Event path_health(sim::Time t, Origin o, std::uint8_t path,
                            std::uint64_t health, std::uint64_t pto_count) {
     return {t, EventType::kPathHealth, o, path, 0, 0, health, pto_count, 0};
+  }
+  static Event fec_repair_sent(sim::Time t, Origin o, std::uint8_t path,
+                               std::uint64_t window, std::uint64_t bytes,
+                               std::uint64_t first_pn, std::uint8_t k,
+                               std::uint8_t r, std::uint8_t symbol_index) {
+    return {t,
+            EventType::kFecRepairSent,
+            o,
+            path,
+            symbol_index,
+            static_cast<std::uint32_t>(k) |
+                (static_cast<std::uint32_t>(r) << 8),
+            window,
+            bytes,
+            first_pn};
+  }
+  static Event fec_recovered(sim::Time t, Origin o, std::uint8_t path,
+                             std::uint64_t pn, std::uint64_t window,
+                             std::uint64_t latency_us) {
+    return {t, EventType::kFecRecovered, o, path, 0, 0, pn, window,
+            latency_us};
+  }
+  static Event fec_wasted(sim::Time t, Origin o, std::uint8_t path,
+                          std::uint64_t window, std::uint64_t symbols) {
+    return {t, EventType::kFecWasted, o, path, 0, 0, window, symbols, 0};
   }
 };
 

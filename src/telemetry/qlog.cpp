@@ -33,6 +33,9 @@ constexpr NameEntry kNames[] = {
     {EventType::kPlayerFinished, "player:finished"},
     {EventType::kFault, "fault:injected"},
     {EventType::kPathHealth, "transport:path_health"},
+    {EventType::kFecRepairSent, "fec:repair_sent"},
+    {EventType::kFecRecovered, "fec:recovered"},
+    {EventType::kFecWasted, "fec:wasted"},
 };
 
 const char* origin_name(Origin o) {
@@ -144,6 +147,26 @@ void write_event_data(JsonWriter& w, const Event& e) {
       w.kv("health", e.a);
       w.kv("pto_count", e.b);
       break;
+    case EventType::kFecRepairSent:
+      w.kv("path", std::uint64_t{e.path});
+      w.kv("window", e.a);
+      w.kv("bytes", e.b);
+      w.kv("first_pn", e.c);
+      w.kv("k", std::uint64_t{e.extra & 0xff});
+      w.kv("r", std::uint64_t{(e.extra >> 8) & 0xff});
+      w.kv("symbol_index", std::uint64_t{e.flag});
+      break;
+    case EventType::kFecRecovered:
+      w.kv("path", std::uint64_t{e.path});
+      w.kv("pn", e.a);
+      w.kv("window", e.b);
+      w.kv("latency_us", e.c);
+      break;
+    case EventType::kFecWasted:
+      w.kv("path", std::uint64_t{e.path});
+      w.kv("window", e.a);
+      w.kv("symbols", e.b);
+      break;
   }
 }
 
@@ -247,6 +270,23 @@ std::optional<Event> event_from_json(const JsonValue& entry) {
     case EventType::kPathHealth:
       e = Event::path_health(e.t, e.origin, path, data->get_u64("health"),
                              data->get_u64("pto_count"));
+      break;
+    case EventType::kFecRepairSent:
+      e = Event::fec_repair_sent(
+          e.t, e.origin, path, data->get_u64("window"), data->get_u64("bytes"),
+          data->get_u64("first_pn"),
+          static_cast<std::uint8_t>(data->get_u64("k")),
+          static_cast<std::uint8_t>(data->get_u64("r")),
+          static_cast<std::uint8_t>(data->get_u64("symbol_index")));
+      break;
+    case EventType::kFecRecovered:
+      e = Event::fec_recovered(e.t, e.origin, path, data->get_u64("pn"),
+                               data->get_u64("window"),
+                               data->get_u64("latency_us"));
+      break;
+    case EventType::kFecWasted:
+      e = Event::fec_wasted(e.t, e.origin, path, data->get_u64("window"),
+                            data->get_u64("symbols"));
       break;
   }
   return e;

@@ -20,6 +20,7 @@
 #include <new>
 #include <vector>
 
+#include "fec/framer.h"
 #include "harness/scenario.h"
 #include "net/link.h"
 #include "net/packet_buffer.h"
@@ -186,6 +187,58 @@ TEST(AllocGuard, WarmBurstTrafficIsAllocationFree) {
   EXPECT_EQ(delivered, expected_warm + 8 * 32);
   EXPECT_EQ(after - before, 0u)
       << "warm burst traffic allocated " << (after - before) << " times";
+}
+
+/// The FEC warm path: encode a window, emit repair frames, drop a source,
+/// recover it -- all from pooled buffers and fixed scratch, so once the
+/// framer, recovery stash and scratch vectors are warm the whole
+/// encode -> repair -> recover loop performs ZERO heap allocations.
+TEST(AllocGuard, WarmFecEncodeRecoverLoopIsAllocationFree) {
+  fec::FecConfig cfg;
+  cfg.enabled = true;
+  cfg.window = 8;
+  cfg.min_repairs = 2;
+  cfg.max_repairs = 2;
+  fec::FecFramer framer(cfg);
+  fec::RecoveryBuffer recovery(cfg);
+
+  std::vector<std::uint8_t> wire(900);
+  std::vector<quic::Frame> repairs;
+  std::vector<fec::RecoveryBuffer::Recovered> recovered;
+  std::uint64_t windows_recovered = 0;
+
+  quic::PacketNumber pn = 0;
+  const auto run_window = [&] {
+    const quic::PacketNumber base = pn;
+    for (std::size_t i = 0; i < cfg.window; ++i, ++pn) {
+      for (std::size_t b = 0; b < wire.size(); ++b)
+        wire[b] = static_cast<std::uint8_t>(pn * 31 + b);
+      const sim::Time now = sim::micros(pn * 500);
+      repairs.clear();
+      framer.on_packet_sent(1, pn, wire, now, 0.0, repairs);
+      if (pn != base + 3)  // one erasure per window
+        recovery.on_source(1, pn, wire, now);
+      for (const quic::Frame& f : repairs) {
+        const auto* rf = std::get_if<quic::RepairFrame>(&f);
+        ASSERT_NE(rf, nullptr);
+        recovered.clear();
+        recovery.on_repair(1, *rf, now, recovered);
+        windows_recovered += recovered.size();
+      }
+    }
+  };
+
+  for (int w = 0; w < 32; ++w) run_window();  // warm pools and scratch
+  ASSERT_EQ(windows_recovered, 32u);
+
+  const std::uint64_t before = alloc_count();
+  for (int w = 0; w < 128; ++w) run_window();
+  const std::uint64_t after = alloc_count();
+
+  EXPECT_EQ(windows_recovered, 32u + 128u);
+  EXPECT_EQ(after - before, 0u)
+      << "warm FEC encode->recover loop allocated " << (after - before)
+      << " times";
 }
 
 /// End-to-end guard: a whole simulated session (handshake, video download,

@@ -117,6 +117,15 @@ TEST(GridManifest, RoundTripsEveryCellField) {
   spec.cells[0].options_b.xlink_ack_policy = quic::AckPathPolicy::kOriginalPath;
   spec.cells[0].options_b.xlink_insert_mode = quic::InsertMode::kFrontOfClass;
   spec.cells[0].options_b.aead_key = ~0ULL;  // all 64 bits must survive
+  spec.cells[0].options_b.xlink_redundancy =
+      core::XlinkRedundancy::kReinjectPlusFec;
+  spec.cells[0].options_b.fec.scheme = fec::FecConfig::SchemeKind::kXor;
+  spec.cells[0].options_b.fec.window = 12;
+  spec.cells[0].options_b.fec.min_repairs = 2;
+  spec.cells[0].options_b.fec.max_repairs = 5;
+  spec.cells[0].options_b.fec.loss_multiplier = 1.0 / 3.0;  // bit-exact codec
+  spec.cells[0].options_b.fec.payload_cap = 1100;
+  spec.cells[0].options_b.fec.cover_linger = sim::millis(123);
   spec.cells[1].pop.p_5g = 1.0 / 3.0;        // non-terminating binary fraction
   spec.cells[1].day_seed = (1ULL << 62) + 3; // above 2^53: needs string codec
 
@@ -140,6 +149,14 @@ TEST(GridManifest, RoundTripsEveryCellField) {
     EXPECT_EQ(a.options_b.xlink_ack_policy, b.options_b.xlink_ack_policy);
     EXPECT_EQ(a.options_b.xlink_insert_mode, b.options_b.xlink_insert_mode);
     EXPECT_EQ(a.options_b.aead_key, b.options_b.aead_key);
+    EXPECT_EQ(a.options_b.xlink_redundancy, b.options_b.xlink_redundancy);
+    EXPECT_EQ(a.options_b.fec.scheme, b.options_b.fec.scheme);
+    EXPECT_EQ(a.options_b.fec.window, b.options_b.fec.window);
+    EXPECT_EQ(a.options_b.fec.min_repairs, b.options_b.fec.min_repairs);
+    EXPECT_EQ(a.options_b.fec.max_repairs, b.options_b.fec.max_repairs);
+    EXPECT_EQ(a.options_b.fec.loss_multiplier, b.options_b.fec.loss_multiplier);
+    EXPECT_EQ(a.options_b.fec.payload_cap, b.options_b.fec.payload_cap);
+    EXPECT_EQ(a.options_b.fec.cover_linger, b.options_b.fec.cover_linger);
     EXPECT_EQ(a.pop.sessions_per_day, b.pop.sessions_per_day);
     EXPECT_EQ(a.pop.p_5g, b.pop.p_5g);  // bit-exact, not approximately
     EXPECT_EQ(a.pop.time_limit, b.pop.time_limit);
@@ -211,6 +228,54 @@ TEST(GridShard, MergeMatchesInProcessAtEveryShardAndJobCount) {
           << workers << " workers, jobs=" << jobs;
       fs::remove_all(dir);
     }
+  }
+}
+
+TEST(GridShard, FecArmMergesIdenticallyAtEveryShardCount) {
+  // FEC options ride the manifest codec: a sharded fec+reinject grid must
+  // reproduce the in-process merge byte-for-byte at every shard count
+  // (a dropped or mis-parsed FEC field would change the day's arithmetic).
+  GridSpec spec;
+  spec.name = "test-fec";
+  GridCell cell;
+  cell.label = "fec-day";
+  cell.scheme_a = core::Scheme::kXlink;
+  cell.options_a.xlink_redundancy = core::XlinkRedundancy::kReinjectPlusFec;
+  cell.options_a.fec.window = 8;
+  cell.options_a.fec.min_repairs = 2;
+  cell.options_a.fec.max_repairs = 4;
+  cell.pop = tiny_pop();
+  cell.day_seed = 7301;
+  spec.cells.push_back(cell);
+  GridCell ab = cell;
+  ab.label = "fec-ab";
+  ab.ab = true;
+  ab.scheme_b = core::Scheme::kXlink;
+  ab.options_b = cell.options_a;
+  ab.options_a.xlink_redundancy = core::XlinkRedundancy::kReinject;
+  ab.day_seed = 7302;
+  spec.cells.push_back(ab);
+
+  const std::string baseline = render(spec, run_grid_inprocess(spec, 1));
+  for (const int workers : {1, 2, 5}) {
+    const std::string dir =
+        fresh_spool_dir("fec_w" + std::to_string(workers));
+    Spool::plan(spec, dir);
+    std::vector<std::thread> crew;
+    for (int w = 0; w < workers; ++w)
+      crew.emplace_back([&dir] {
+        Spool spool(dir);
+        run_worker(spool, 4);
+      });
+    for (std::thread& t : crew) t.join();
+
+    Spool spool(dir);
+    std::vector<std::size_t> missing;
+    const auto results = spool.collect(&missing);
+    EXPECT_TRUE(missing.empty());
+    EXPECT_EQ(render(spool.spec(), results), baseline)
+        << workers << " workers";
+    fs::remove_all(dir);
   }
 }
 

@@ -59,6 +59,24 @@ TEST(ParallelHarness, RunDayBitIdenticalAcrossJobCounts) {
   }
 }
 
+TEST(ParallelHarness, FecRunDayBitIdenticalAcrossJobCounts) {
+  // FEC exercises extra per-session state (framer windows, recovery
+  // stashes, pooled repair buffers); the bit-identical contract must hold
+  // for the fec+reinject arm too.
+  const PopulationConfig pop = small_pop();
+  core::SchemeOptions opts;
+  opts.xlink_redundancy = core::XlinkRedundancy::kReinjectPlusFec;
+  opts.fec.window = 8;
+  opts.fec.min_repairs = 2;
+  opts.fec.max_repairs = 4;
+  const DayMetrics serial = run_day(core::Scheme::kXlink, opts, pop, 911, 1);
+  const DayMetrics parallel =
+      run_day(core::Scheme::kXlink, opts, pop, 911, 4);
+  expect_identical(serial, parallel);
+  // Repair symbols actually flowed: the arm is not silently FEC-free.
+  EXPECT_GT(serial.redundancy_pct, 0.0);
+}
+
 TEST(ParallelHarness, AbDayMatchesTwoSerialRunDays) {
   const PopulationConfig pop = small_pop();
   const core::SchemeOptions opts;

@@ -39,6 +39,15 @@ std::vector<Frame> exemplar_frames() {
   PathResponseFrame response;
   response.data = challenge.data;
 
+  RepairFrame repair;
+  repair.path_id = 1;
+  repair.window_id = 42;
+  repair.first_pn = 336;
+  repair.k = 8;
+  repair.repair_count = 2;
+  repair.symbol_index = 1;
+  repair.payload = {0x00, 0x10, 0xAA, 0xBB, 0xCC};
+
   return {
       Frame{PaddingFrame{3}},
       Frame{PingFrame{}},
@@ -46,6 +55,7 @@ std::vector<Frame> exemplar_frames() {
       Frame{ack_mp},
       Frame{PathStatusFrame{2, 7, PathStatusKind::kStandby}},
       Frame{QoeControlSignalsFrame{QoeSignal{999, 12, 1'000'000, 25}}},
+      Frame{repair},
       Frame{CryptoFrame{64, {0xDE, 0xAD, 0xBE, 0xEF}}},
       Frame{StreamFrame{8, 4096, {1, 2, 3, 4, 5}, true}},
       Frame{MaxDataFrame{1 << 20}},
