@@ -27,6 +27,9 @@
 //  - path_health_guard:          fault-free sessions with the health state
 //    machine on vs off — the delta is the hot-path cost of failover
 //    bookkeeping and must stay in the noise
+//  - invariant_auditor:          the same population with the runtime
+//    invariant auditor on vs off — per-tick cost of the cross-layer
+//    invariant walk; ~0 with -DXLINK_AUDIT=OFF, <5% when on
 //
 // Usage: bench_perf [--smoke] [output.json]
 //   (default output: BENCH_perf.json in cwd; --smoke cuts iteration counts
@@ -254,12 +257,13 @@ harness::SessionConfig small_session_config(std::uint64_t seed) {
 }
 
 double bench_session_throughput(int sessions, bool traced,
-                                bool path_health = true) {
+                                bool path_health = true, bool audit = true) {
   return wall_seconds([&] {
     for (int i = 0; i < sessions; ++i) {
       auto cfg = small_session_config(3 + i);
       cfg.trace.enabled = traced;
       cfg.path_health = path_health;
+      cfg.audit = audit;
       harness::Session session(std::move(cfg));
       const auto r = session.run();
       (void)r;
@@ -502,6 +506,19 @@ int main(int argc, char** argv) {
       "  path_health_guard:          on %.3fs, off %.3fs (overhead %+.1f%%)\n",
       st, sth, health_overhead_pct);
 
+  // Invariant auditor: the same fault-free population with the runtime
+  // auditor switched off. The default `st` run above audits every pump, so
+  // the delta is the per-tick cost of the cross-layer invariant walk. With
+  // -DXLINK_AUDIT=OFF both legs compile to the same code and the overhead
+  // collapses to noise (the ((void)0) claim, kept visible per commit).
+  const double sta = bench_session_throughput(kThroughputSessions, false,
+                                              /*path_health=*/true,
+                                              /*audit=*/false);
+  const double audit_overhead_pct = sta > 0 ? (st - sta) / sta * 100.0 : 0.0;
+  std::printf(
+      "  invariant_auditor:          on %.3fs, off %.3fs (overhead %+.1f%%)\n",
+      st, sta, audit_overhead_pct);
+
   const FailoverRecovery fr = bench_failover_recovery();
   std::printf(
       "  failover_recovery:          detect %.3fs, resume %.3fs after window "
@@ -617,6 +634,12 @@ int main(int argc, char** argv) {
   w.kv("health_on_wall_s", st);
   w.kv("health_off_wall_s", sth);
   w.kv("overhead_pct", health_overhead_pct);
+  w.end_object();
+  w.begin_object();
+  w.kv("name", "invariant_auditor");
+  w.kv("audit_on_wall_s", st);
+  w.kv("audit_off_wall_s", sta);
+  w.kv("overhead_pct", audit_overhead_pct);
   w.end_object();
   w.begin_object();
   w.kv("name", "failover_recovery");

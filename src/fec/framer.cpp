@@ -170,22 +170,75 @@ void RecoveryBuffer::stash_store(PathRecv& p, quic::PacketNumber pn,
                                  std::span<const std::uint8_t> wire,
                                  sim::Time now) {
   StashEntry& e = p.stash[pn % kStash];
+  if (e.valid) p.stash_bytes -= e.buf.size();
+  const std::size_t sym = 2 + wire.size();
+  // Overwriting an oversize slot with a pooled-size symbol would otherwise
+  // pin the jumbo capacity forever; drop it and reacquire from the pool.
+  if (e.buf.capacity() > net::PacketBufferPool::kSlotCapacity &&
+      sym <= net::PacketBufferPool::kSlotCapacity) {
+    e.buf.reset();
+  }
   e.pn = pn;
   e.at = now;
   e.valid = true;
   // Stored in SYMBOL format -- [2-byte big-endian length || wire] -- so a
   // present entry can be handed to the decoder as-is; the sender built its
   // source symbols with exactly this prefix.
-  e.buf.resize(2 + wire.size());
+  e.buf.resize(sym);
   e.buf[0] = static_cast<std::uint8_t>(wire.size() >> 8);
   e.buf[1] = static_cast<std::uint8_t>(wire.size() & 0xff);
   if (!wire.empty()) std::memcpy(e.buf.data() + 2, wire.data(), wire.size());
+  p.stash_bytes += e.buf.size();
+  if (p.stash_bytes > cfg_.stash_bytes_cap) evict_over_cap(p);
+}
+
+void RecoveryBuffer::evict_over_cap(PathRecv& p) {
+  // Drop-oldest until back under the per-path byte cap. A single entry
+  // larger than the whole cap is evicted too (the loop drains to empty).
+  while (p.stash_bytes > cfg_.stash_bytes_cap) {
+    StashEntry* oldest = nullptr;
+    for (auto& e : p.stash) {
+      if (!e.valid) continue;
+      if (!oldest || e.at < oldest->at ||
+          (e.at == oldest->at && e.pn < oldest->pn)) {
+        oldest = &e;
+      }
+    }
+    if (!oldest) break;  // accounting bug; the auditor will catch it
+    const std::size_t bytes = oldest->buf.size();
+    p.stash_bytes -= bytes;
+    const quic::PacketNumber pn = oldest->pn;
+    oldest->valid = false;
+    oldest->buf.reset();
+    ++stats_.stash_evicted;
+    XLINK_TRACE(trace_, telemetry::Event::fec_stash_evicted(
+                            now_, origin_, static_cast<std::uint8_t>(p.id), pn,
+                            bytes, p.stash_bytes));
+  }
 }
 
 void RecoveryBuffer::on_source(quic::PathId path, quic::PacketNumber pn,
                                std::span<const std::uint8_t> wire,
                                sim::Time now) {
+  now_ = now;
   stash_store(recv(path), pn, wire, now);
+}
+
+std::size_t RecoveryBuffer::stash_bytes_tracked() const {
+  std::size_t total = 0;
+  for (const auto& p : paths_)
+    if (p.in_use) total += p.stash_bytes;
+  return total;
+}
+
+std::size_t RecoveryBuffer::audit_recompute_stash_bytes() const {
+  std::size_t total = 0;
+  for (const auto& p : paths_) {
+    if (!p.in_use) continue;
+    for (const auto& e : p.stash)
+      if (e.valid) total += e.buf.size();
+  }
+  return total;
 }
 
 std::size_t RecoveryBuffer::count_missing(const PathRecv& p,
@@ -206,9 +259,18 @@ RecoveryBuffer::RepairOutcome RecoveryBuffer::on_repair(
     quic::PathId path, const quic::RepairFrame& f, sim::Time now,
     std::vector<Recovered>& out) {
   RepairOutcome res;
+  now_ = now;
   if (f.k == 0 || f.k > kMaxSources || f.repair_count > kMaxRepairs ||
       f.payload.size() < 2) {
     // Outside this implementation's budget; treat as pure overhead.
+    ++stats_.wasted;
+    res.wasted = 1;
+    return res;
+  }
+  if (f.payload.size() > cfg_.max_symbol_bytes) {
+    // An honest symbol fits the sealed MTU; refusing the copy here keeps a
+    // REPAIR bomb from landing arbitrary-size buffers in pending windows.
+    ++stats_.oversize_rejected;
     ++stats_.wasted;
     res.wasted = 1;
     return res;

@@ -28,6 +28,7 @@
 #include "net/packet_buffer.h"
 #include "quic/frame.h"
 #include "sim/time.h"
+#include "telemetry/trace_sink.h"
 
 namespace xlink::fec {
 
@@ -51,6 +52,15 @@ struct FecConfig {
   /// How long an emitted repair window suppresses re-injection of the
   /// packets it covers (mutual awareness with the ReinjectionEngine).
   sim::Duration cover_linger = sim::millis(300);
+
+  // Receiver-side bounds (hostile-peer hardening).
+  /// Per-path cap on stashed source-symbol bytes. Honest traffic needs at
+  /// most kStash * (2 + kMaxDatagramSize) ~= 91 KB; oversize datagram bombs
+  /// hit this cap and evict drop-oldest (traced as fec:stash_evicted).
+  std::size_t stash_bytes_cap = 160 * 1024;
+  /// Largest REPAIR symbol the RecoveryBuffer will copy; a real symbol is
+  /// bounded by the sealed MTU plus its 2-byte length prefix.
+  std::size_t max_symbol_bytes = 2048;
 };
 
 /// Static scheme instance for a config kind.
@@ -151,9 +161,23 @@ class RecoveryBuffer {
     std::uint64_t wasted = 0;
     std::uint64_t erased_seen = 0;
     std::uint64_t windows_observed = 0;
-    std::uint64_t unrecoverable = 0;  // windows past the repair budget
+    std::uint64_t unrecoverable = 0;   // windows past the repair budget
+    std::uint64_t stash_evicted = 0;   // entries dropped by the byte cap
+    std::uint64_t oversize_rejected = 0;  // symbols over max_symbol_bytes
   };
   const Stats& stats() const { return stats_; }
+
+  /// Telemetry plumbing for eviction events (optional; the connection
+  /// forwards its session sink).
+  void set_trace(telemetry::TraceSink* sink, telemetry::Origin origin) {
+    trace_ = sink;
+    origin_ = origin;
+  }
+
+  /// Incrementally maintained stash byte total across all paths.
+  std::size_t stash_bytes_tracked() const;
+  /// From-scratch recount of the stash rings (invariant auditor).
+  std::size_t audit_recompute_stash_bytes() const;
 
  private:
   static constexpr std::size_t kMaxPaths = 8;
@@ -181,6 +205,7 @@ class RecoveryBuffer {
   struct PathRecv {
     quic::PathId id = 0;
     bool in_use = false;
+    std::size_t stash_bytes = 0;  // sum of valid entry sizes (bounded)
     std::array<StashEntry, kStash> stash;
     std::array<Pending, kPendingWindows> pending;
   };
@@ -189,6 +214,7 @@ class RecoveryBuffer {
   const StashEntry* stash_find(const PathRecv& p, quic::PacketNumber pn) const;
   void stash_store(PathRecv& p, quic::PacketNumber pn,
                    std::span<const std::uint8_t> wire, sim::Time now);
+  void evict_over_cap(PathRecv& p);
   std::size_t count_missing(const PathRecv& p, const Pending& w) const;
   void drop_window(Pending& w);
 
@@ -197,6 +223,9 @@ class RecoveryBuffer {
   std::array<PathRecv, kMaxPaths> paths_;
   std::array<net::PacketBuffer, kMaxRepairs> decode_scratch_;
   Stats stats_;
+  telemetry::TraceSink* trace_ = nullptr;
+  telemetry::Origin origin_ = telemetry::Origin::kServer;
+  sim::Time now_ = 0;  // last event time seen (for eviction traces)
 };
 
 }  // namespace xlink::fec

@@ -1,0 +1,75 @@
+#include "harness/hostile.h"
+
+#include "net/datagram.h"
+
+namespace xlink::harness {
+
+namespace {
+/// High enough that forged packets never collide with (= get deduplicated
+/// against) an honest peer's packet numbers in the same space.
+constexpr quic::PacketNumber kForgedPnBase = 1u << 20;
+}  // namespace
+
+std::vector<std::uint8_t> HostilePeer::seal(
+    quic::PathId path, quic::PacketNumber pn,
+    const std::vector<quic::Frame>& frames) const {
+  quic::PacketHeader header;
+  header.type = quic::PacketType::kOneRtt;
+  header.cid_sequence = static_cast<std::uint32_t>(path);
+  header.packet_number = pn;
+  return quic::seal_packet(aead_, header, frames);
+}
+
+std::vector<std::uint8_t> HostilePeer::seal_initial(
+    quic::PathId path, quic::PacketNumber pn,
+    const std::vector<quic::Frame>& frames) const {
+  quic::PacketHeader header;
+  header.type = quic::PacketType::kInitial;
+  header.cid_sequence = static_cast<std::uint32_t>(path);
+  header.packet_number = pn;
+  return quic::seal_packet(aead_, header, frames);
+}
+
+quic::PacketNumber HostilePeer::next_pn(quic::PathId path) const {
+  auto it = pns_.find(path);
+  return it == pns_.end() ? kForgedPnBase : it->second;
+}
+
+void HostilePeer::inject(quic::PathId path,
+                         const std::vector<quic::Frame>& frames) {
+  const quic::PacketNumber pn = next_pn(path);
+  pns_[path] = pn + 1;
+  inject_at(path, pn, frames);
+}
+
+void HostilePeer::inject_at(quic::PathId path, quic::PacketNumber pn,
+                            const std::vector<quic::Frame>& frames) {
+  inject_wire(path, seal(path, pn, frames));
+}
+
+void HostilePeer::inject_wire(quic::PathId path,
+                              std::span<const std::uint8_t> wire) {
+  ++injected_;
+  victim_.on_datagram(path, net::PacketBuffer::copy_of(wire));
+}
+
+std::optional<std::vector<quic::Frame>> HostilePeer::open(
+    std::span<const std::uint8_t> wire) const {
+  const auto pkt = quic::parse_packet(wire);
+  if (!pkt) return std::nullopt;
+  return quic::open_packet(aead_, *pkt);
+}
+
+std::optional<quic::ConnectionCloseFrame> HostilePeer::find_close(
+    const std::vector<std::vector<std::uint8_t>>& wires) const {
+  for (const auto& wire : wires) {
+    const auto frames = open(wire);
+    if (!frames) continue;
+    for (const quic::Frame& f : *frames)
+      if (const auto* close = std::get_if<quic::ConnectionCloseFrame>(&f))
+        return *close;
+  }
+  return std::nullopt;
+}
+
+}  // namespace xlink::harness

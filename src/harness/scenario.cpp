@@ -49,6 +49,8 @@ Session::Session(SessionConfig config) : config_(std::move(config)) {
                                              config_.options);
   client_cfg.trace = trace_.get();
   client_cfg.health.enabled = config_.path_health;
+  client_cfg.budgets.enforce = config_.guard;
+  client_cfg.audit.enabled = config_.audit;
   client_conn_ = std::make_unique<quic::Connection>(loop_,
                                                     std::move(client_cfg));
   auto server_cfg = core::make_scheme_config(config_.scheme,
@@ -58,6 +60,8 @@ Session::Session(SessionConfig config) : config_(std::move(config)) {
     server_cfg.scheduler = config_.server_scheduler_override;
   server_cfg.trace = trace_.get();
   server_cfg.health.enabled = config_.path_health;
+  server_cfg.budgets.enforce = config_.guard;
+  server_cfg.audit.enabled = config_.audit;
   server_conn_ = std::make_unique<quic::Connection>(loop_,
                                                     std::move(server_cfg));
 

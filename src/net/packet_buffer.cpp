@@ -58,10 +58,15 @@ detail::PacketSlot* PacketBufferPool::acquire(std::size_t capacity) {
 void PacketBufferPool::release(detail::PacketSlot* slot) noexcept {
   if (!slot) return;
   if (!slot->owner) {
+    // Oversize blocks have no owning pool; charge the release to the
+    // calling thread's pool, which is where the acquire was counted
+    // (buffers are thread-confined by design).
+    ++local().counters_.releases;
     free_slot(slot);
     return;
   }
   PacketBufferPool& pool = *slot->owner;
+  ++pool.counters_.releases;
   slot->next_free = pool.free_head_;
   pool.free_head_ = slot;
 }

@@ -53,6 +53,12 @@ class PacketBufferPool {
     std::uint64_t pool_hits = 0;        // served from the free list
     std::uint64_t slab_allocs = 0;      // new slots minted (cold pool)
     std::uint64_t oversize_allocs = 0;  // > kSlotCapacity, standalone block
+    std::uint64_t releases = 0;         // buffers returned (pooled + oversize)
+
+    /// Buffers currently held by live handles. Buffers are thread-confined
+    /// (DESIGN.md §8), so at any quiescent point acquires == releases and
+    /// this is zero; the invariant auditor bounds it while traffic flows.
+    std::uint64_t outstanding() const { return acquires - releases; }
   };
 
   PacketBufferPool() = default;

@@ -69,10 +69,15 @@ Connection::Connection(sim::EventLoop& loop, Config config)
   peer_max_data_ = config_.params.initial_max_data;
   if (config_.fec.enabled) {
     fec_recovery_ = std::make_unique<fec::RecoveryBuffer>(config_.fec);
+    fec_recovery_->set_trace(config_.trace, trace_origin());
     if (config_.fec.protect)
       fec_framer_ = std::make_unique<fec::FecFramer>(config_.fec);
     fec_recovered_scratch_.reserve(fec::kMaxRepairs);
   }
+  // The auditor's config gate ANDs with the environment so XLINK_AUDIT=0
+  // silences an audit-enabled build without recompiling.
+  config_.audit.enabled = config_.audit.enabled && audit_enabled_by_env();
+  auditor_ = InvariantAuditor(config_.audit);
 }
 
 Connection::~Connection() {
@@ -98,17 +103,54 @@ void Connection::send_handshake_initial() {
 
 void Connection::close(std::uint64_t error_code, const std::string& reason) {
   if (closed_) return;
-  if (!paths_.empty() && send_fn_) {
-    const PathId carrier = fastest_active_path();
-    send_control_packet(carrier,
-                        {Frame{ConnectionCloseFrame{error_code, reason}}},
-                        /*count_inflight=*/false);
-  }
+  close_state_ = CloseState::kClosing;
   closed_ = true;
+  close_info_.closed = true;
+  close_info_.peer_initiated = false;
+  close_info_.error_code = error_code;
+  close_info_.reason = reason;
+  close_recv_since_send_ = 0;
+  close_resend_threshold_ = 1;
+  if (!paths_.empty() && send_fn_) send_close_frame(fastest_active_path());
   if (timer_id_) {
     loop_.cancel(timer_id_);
     timer_id_ = 0;
   }
+}
+
+void Connection::send_close_frame(PathId path) {
+  send_control_packet(
+      path,
+      {Frame{ConnectionCloseFrame{close_info_.error_code, close_info_.reason}}},
+      /*count_inflight=*/false);
+}
+
+void Connection::close_with_error(TransportError code, ViolationKind kind,
+                                  std::uint64_t observed, PathId path) {
+  if (!config_.budgets.enforce || closed_) return;
+  ++guard_.violations;
+  XLINK_TRACE(config_.trace,
+              telemetry::Event::guard_violation(
+                  loop_.now(), trace_origin(), static_cast<std::uint8_t>(path),
+                  static_cast<std::uint64_t>(code),
+                  static_cast<std::uint64_t>(kind), observed));
+  close(static_cast<std::uint64_t>(code),
+        std::string("guard: ") + violation_kind_name(kind));
+}
+
+bool Connection::frame_legal_in_state(const Frame& frame) const {
+  if (established_) return true;
+  // Pre-handshake only the frames that complete it may appear. The check is
+  // sequential per frame, so CRYPTO in the same packet legalizes what
+  // follows it (e.g. the server's HANDSHAKE_DONE).
+  return std::holds_alternative<CryptoFrame>(frame) ||
+         std::holds_alternative<PingFrame>(frame) ||
+         std::holds_alternative<PaddingFrame>(frame) ||
+         std::holds_alternative<AckFrame>(frame) ||
+         std::holds_alternative<AckMpFrame>(frame) ||
+         std::holds_alternative<PathChallengeFrame>(frame) ||
+         std::holds_alternative<PathResponseFrame>(frame) ||
+         std::holds_alternative<ConnectionCloseFrame>(frame);
 }
 
 // ------------------------------------------------------------------- paths
@@ -444,6 +486,13 @@ void Connection::pump() { pump_send(); }
 void Connection::pump_send() {
   if (in_pump_ || closed_ || !send_fn_) return;
   in_pump_ = true;
+#if !defined(XLINK_AUDIT_DISABLED)
+  // Subsampled: a full invariant walk every pump would dominate the hot
+  // path; every 64th call keeps drift detection tight enough while staying
+  // inside the <5% overhead budget (timer fires land here too -- on_timer
+  // ends in pump_send).
+  if ((++audit_pump_calls_ & 63) == 0) XLINK_AUDIT_TICK(auditor_, *this);
+#endif
 
   send_pending_acks();
 
@@ -459,10 +508,16 @@ void Connection::pump_send() {
     }
     std::vector<Frame> frames;
     std::size_t used = 0;
+    bool suppressed = false;
     while (!queue.empty()) {
       const std::size_t sz = frame_wire_size(queue.front());
       if (used + sz > kMaxPacketPayload && !frames.empty()) {
-        send_control_packet(path_id, std::move(frames), true);
+        // A suppressed send (anti-amplification) re-queued the batch at the
+        // head of this queue; stop flushing the path until budget returns.
+        if (!send_control_packet(path_id, std::move(frames), true)) {
+          suppressed = true;
+          break;
+        }
         frames = {};
         used = 0;
       }
@@ -470,7 +525,7 @@ void Connection::pump_send() {
       queue.pop_front();
       used += sz;
     }
-    if (!frames.empty())
+    if (!suppressed && !frames.empty())
       send_control_packet(path_id, std::move(frames), true);
   }
 
@@ -484,6 +539,7 @@ void Connection::pump_send() {
     std::optional<PathId> path;
     if (config_.scheduler) {
       path = config_.scheduler->select_path(*this);
+      if (path) XLINK_AUDIT_SCHED(auditor_, *this, *path);
     } else {
       // Single-path: the unique usable path, cwnd permitting.
       for (const auto& [id, p] : paths_) {
@@ -615,27 +671,28 @@ bool Connection::send_one_packet(PathId path_id, bool ignore_cwnd) {
     send_frames_scratch_ = std::move(frames);
     return false;
   }
-  build_and_send(path_id, frames, std::move(taken),
-                 /*ack_eliciting=*/true, /*is_probe=*/false);
+  const bool sent = build_and_send(path_id, frames, std::move(taken),
+                                   /*ack_eliciting=*/true, /*is_probe=*/false);
   frames.clear();
   send_frames_scratch_ = std::move(frames);
-  return true;
+  return sent;
 }
 
-void Connection::send_control_packet(PathId path_id, std::vector<Frame> frames,
+bool Connection::send_control_packet(PathId path_id, std::vector<Frame> frames,
                                      bool count_inflight) {
-  build_and_send(path_id, frames, {}, count_inflight,
-                 /*is_probe=*/!count_inflight);
+  return build_and_send(path_id, frames, {}, count_inflight,
+                        /*is_probe=*/!count_inflight);
 }
 
-void Connection::build_and_send(PathId path_id, std::vector<Frame>& frames,
+bool Connection::build_and_send(PathId path_id, std::vector<Frame>& frames,
                                 std::vector<SendItem> items,
                                 bool ack_eliciting, bool /*is_probe*/) {
   auto pit = paths_.find(path_id);
-  if (pit == paths_.end() || !send_fn_) return;
+  if (pit == paths_.end() || !send_fn_) return false;
   PathState& path = *pit->second;
 
   // Opportunistically piggyback this path's pending ack.
+  bool prepended_ack = false;
   if (path.ack_pending && !path.recv_ranges.empty()) {
     AckMpFrame ack;
     ack.path_id = path_id;
@@ -649,6 +706,7 @@ void Connection::build_and_send(PathId path_id, std::vector<Frame>& frames,
     path.ack_pending = false;
     path.ack_eliciting_unacked = 0;
     ++stats_.acks_sent;
+    prepended_ack = true;
   }
 
   PacketHeader header;
@@ -658,9 +716,52 @@ void Connection::build_and_send(PathId path_id, std::vector<Frame>& frames,
   const auto scid_it = local_cids_.find(path_id);
   if (scid_it != local_cids_.end()) header.scid = scid_it->second.bytes;
   header.cid_sequence = path_id;
-  header.packet_number = path.next_pn++;
+  header.packet_number = path.next_pn;
 
   net::PacketBuffer wire = seal_packet_buffer(aead_, header, frames);
+
+  // RFC 9000 §8.1 anti-amplification: until the peer's address on this
+  // path is validated, a server may send at most `amplification_factor`
+  // times the bytes it received there -- otherwise a spoofed-source probe
+  // turns this endpoint into a traffic amplifier. The packet number is not
+  // consumed for a suppressed send.
+  if (config_.budgets.enforce && config_.role == Role::kServer &&
+      path.state == PathState::State::kValidating &&
+      path.bytes_sent + wire.size() >
+          config_.budgets.amplification_factor * path.bytes_received) {
+    ++guard_.amplification_blocked;
+    // Suppression must be lossless: nothing here has a SentRecord yet, so
+    // anything silently dropped would never be retransmitted. Stream pieces
+    // go back to the head of the send queue (first transmissions already
+    // charged flow control, so they resend as retransmissions) and
+    // retransmittable control frames back to the head of this path's
+    // control queue; acks, probes and repair symbols regenerate on their
+    // own and are simply dropped.
+    for (auto it = items.rbegin(); it != items.rend(); ++it) {
+      if (!it->is_reinjection) it->is_retransmission = true;
+      pkt_send_q_.push_front(std::move(*it));
+    }
+    auto& ctrl = pending_control_[path_id];
+    for (std::size_t i = frames.size(); i-- > (prepended_ack ? 1u : 0u);) {
+      Frame& f = frames[i];
+      if (std::holds_alternative<CryptoFrame>(f) ||
+          std::holds_alternative<NewConnectionIdFrame>(f) ||
+          std::holds_alternative<PathChallengeFrame>(f) ||
+          std::holds_alternative<PathResponseFrame>(f) ||
+          std::holds_alternative<PathStatusFrame>(f) ||
+          std::holds_alternative<MaxDataFrame>(f) ||
+          std::holds_alternative<MaxStreamDataFrame>(f) ||
+          std::holds_alternative<HandshakeDoneFrame>(f)) {
+        ctrl.push_front(std::move(f));
+      }
+    }
+    if (prepended_ack) {
+      path.ack_pending = true;
+      --stats_.acks_sent;
+    }
+    return false;
+  }
+  ++path.next_pn;
   const bool has_ack_eliciting_frame =
       std::any_of(frames.begin(), frames.end(),
                   [](const Frame& f) { return is_ack_eliciting(f); });
@@ -751,6 +852,7 @@ void Connection::build_and_send(PathId path_id, std::vector<Frame>& frames,
     }
     fec_frames_scratch_.clear();
   }
+  return true;
 }
 
 void Connection::send_pending_acks() {
@@ -798,7 +900,20 @@ std::optional<PathId> Connection::ack_carrier_path(PathId acked_path) const {
 // ------------------------------------------------------------ receive side
 
 void Connection::on_datagram(PathId arrival_path, net::Datagram dgram) {
-  if (closed_) return;
+  if (close_state_ == CloseState::kDraining) return;
+  if (close_state_ == CloseState::kClosing) {
+    // RFC 9000 §10.2.1: keep answering a peer that missed our close, but
+    // rate-limited -- one CONNECTION_CLOSE per exponentially growing count
+    // of incoming packets, so a flood cannot make us flood back.
+    if (++close_recv_since_send_ >= close_resend_threshold_ && send_fn_ &&
+        !paths_.empty()) {
+      close_recv_since_send_ = 0;
+      close_resend_threshold_ *= 2;
+      ++guard_.close_resends;
+      send_close_frame(fastest_active_path());
+    }
+    return;
+  }
   stats_.bytes_received += dgram.size();
   const auto pkt = parse_packet_view(dgram.span());
   if (!pkt) return;
@@ -815,8 +930,14 @@ void Connection::on_datagram(PathId arrival_path, net::Datagram dgram) {
     // multipath extension, or plain QUIC connection migration.
     const bool new_subpath = established_ && local_cids_.contains(path_id);
     if (!handshake && !new_subpath) return;
-    create_path(path_id, handshake ? PathState::State::kActive
-                                   : PathState::State::kValidating);
+    PathState& np = create_path(path_id, handshake
+                                             ? PathState::State::kActive
+                                             : PathState::State::kValidating);
+    // Validate the initiator's address ourselves: the path stays
+    // kValidating (amplification-capped on the server) until our challenge
+    // comes back.
+    if (new_subpath)
+      queue_control(path_id, Frame{PathChallengeFrame{np.challenge_data}});
     pit = paths_.find(path_id);
   }
   PathState& path = *pit->second;
@@ -854,8 +975,17 @@ void Connection::on_datagram(PathId arrival_path, net::Datagram dgram) {
       std::any_of(frames.begin(), frames.end(),
                   [](const Frame& f) { return is_ack_eliciting(f); });
   const bool duplicate = already_received(path, pkt->header.packet_number);
+  if (duplicate) {
+    ++guard_.replayed_packets;
+    if (config_.budgets.enforce &&
+        guard_.replayed_packets > config_.budgets.max_replayed_packets) {
+      close_with_error(TransportError::kProtocolViolation,
+                       ViolationKind::kReplayFlood, guard_.replayed_packets,
+                       path_id);
+    }
+  }
   note_received(path, pkt->header.packet_number, eliciting);
-  if (!duplicate)
+  if (!duplicate && !closed_)
     handle_frames(path_id, pkt->header.packet_number, frames);
 
   frames.clear();
@@ -915,6 +1045,12 @@ void Connection::handle_frames(PathId path_id, PacketNumber /*pn*/,
                                const std::vector<Frame>& frames) {
   for (const Frame& frame : frames) {
     if (closed_) return;
+    if (config_.budgets.enforce && !frame_legal_in_state(frame)) {
+      close_with_error(TransportError::kProtocolViolation,
+                       ViolationKind::kFrameIllegalInState,
+                       static_cast<std::uint64_t>(frame.index()), path_id);
+      return;
+    }
     if (const auto* f = std::get_if<AckFrame>(&frame)) {
       handle_ack_info(path_id, f->info);
     } else if (const auto* f = std::get_if<AckMpFrame>(&frame)) {
@@ -943,12 +1079,11 @@ void Connection::handle_frames(PathId path_id, PacketNumber /*pn*/,
     } else if (const auto* f = std::get_if<CryptoFrame>(&frame)) {
       handle_crypto(path_id, *f);
     } else if (const auto* f = std::get_if<PathChallengeFrame>(&frame)) {
+      // Answering proves nothing about the sender: only OUR challenge being
+      // echoed back validates the peer's address (RFC 9000 §8.2.1), so a
+      // spoofed-source probe cannot promote the path out of kValidating --
+      // where the anti-amplification cap applies.
       queue_control(path_id, Frame{PathResponseFrame{f->data}});
-      auto& p = *paths_.at(path_id);
-      if (p.state == PathState::State::kValidating) {
-        p.state = PathState::State::kActive;
-        trace_path_state(p);
-      }
     } else if (const auto* f = std::get_if<PathResponseFrame>(&frame)) {
       auto& p = *paths_.at(path_id);
       if (p.state == PathState::State::kValidating &&
@@ -986,17 +1121,40 @@ void Connection::handle_frames(PathId path_id, PacketNumber /*pn*/,
         }
       }
     } else if (const auto* f = std::get_if<NewConnectionIdFrame>(&frame)) {
+      // An honest peer never issues beyond our advertised CID limit
+      // (RFC 9000 §5.1.1); unbounded acceptance is a memory hole.
+      if (config_.budgets.enforce &&
+          f->sequence >= config_.params.active_connection_id_limit) {
+        close_with_error(TransportError::kConnectionIdLimitError,
+                         ViolationKind::kCidLimit, f->sequence, path_id);
+        return;
+      }
       ConnectionId cid;
       cid.bytes = f->cid;
       cid.sequence = static_cast<std::uint32_t>(f->sequence);
       peer_cids_[cid.sequence] = cid;
+    } else if (std::get_if<HandshakeDoneFrame>(&frame)) {
+      // Only a server sends HANDSHAKE_DONE (RFC 9000 §19.20).
+      if (config_.budgets.enforce && config_.role == Role::kServer) {
+        close_with_error(TransportError::kProtocolViolation,
+                         ViolationKind::kFrameIllegalInState,
+                         static_cast<std::uint64_t>(frame.index()), path_id);
+        return;
+      }
     } else if (const auto* f = std::get_if<MaxDataFrame>(&frame)) {
       peer_max_data_ = std::max(peer_max_data_, f->maximum);
     } else if (const auto* f = std::get_if<MaxStreamDataFrame>(&frame)) {
       auto& limit = peer_max_stream_data_[f->stream_id];
       limit = std::max(limit, f->maximum);
-    } else if (std::get_if<ConnectionCloseFrame>(&frame)) {
+    } else if (const auto* f = std::get_if<ConnectionCloseFrame>(&frame)) {
+      // Peer-initiated termination: enter draining (RFC 9000 §10.2.2) --
+      // nothing is ever sent again, incoming datagrams are dropped.
+      close_state_ = CloseState::kDraining;
       closed_ = true;
+      close_info_.closed = true;
+      close_info_.peer_initiated = true;
+      close_info_.error_code = f->error_code;
+      close_info_.reason = f->reason;
       if (timer_id_) {
         loop_.cancel(timer_id_);
         timer_id_ = 0;
@@ -1030,16 +1188,74 @@ void Connection::handle_crypto(PathId /*path_id*/, const CryptoFrame& f) {
 }
 
 void Connection::handle_stream_frame(const StreamFrame& f) {
+  const std::uint64_t new_high = f.offset + f.data.size();
+  if (config_.budgets.enforce) {
+    // Only client-initiated bidirectional ids exist in this transport
+    // (open_stream hands out 4n); any other shape is fabricated.
+    if ((f.stream_id & 0x3) != 0) {
+      close_with_error(TransportError::kStreamStateError,
+                       ViolationKind::kStreamIdInvalid, f.stream_id, 0);
+      return;
+    }
+    if (!recv_streams_.contains(f.stream_id) &&
+        recv_streams_.size() >= config_.budgets.max_open_recv_streams) {
+      close_with_error(TransportError::kStreamLimitError,
+                       ViolationKind::kStreamLimit, recv_streams_.size() + 1,
+                       0);
+      return;
+    }
+  }
   auto it = recv_streams_.find(f.stream_id);
-  if (it == recv_streams_.end())
+  if (it == recv_streams_.end()) {
     it = recv_streams_.emplace(f.stream_id, RecvStream(f.stream_id)).first;
+    it->second.set_max_gaps(config_.budgets.max_recv_gaps_per_stream);
+    guard_.peak_open_recv_streams = std::max<std::uint64_t>(
+        guard_.peak_open_recv_streams, recv_streams_.size());
+  }
   RecvStream& stream = it->second;
 
   const std::uint64_t before = stream.contiguous_received();
   const std::uint64_t prev_high =
       std::max(stream.read_offset(), received_high_[f.stream_id]);
+  if (config_.budgets.enforce) {
+    // Final-size integrity (RFC 9000 §4.5): the FIN offset may not move and
+    // no data may lie beyond it.
+    if (stream.final_size()) {
+      const std::uint64_t fs = *stream.final_size();
+      if (new_high > fs || (f.fin && new_high != fs)) {
+        close_with_error(TransportError::kFinalSizeError,
+                         ViolationKind::kFinalSizeChanged, new_high, 0);
+        return;
+      }
+    }
+    // Flow control BEFORE the copy: an offset bomb must not be able to
+    // force a giant reassembly-buffer resize.
+    const auto grant_it = local_max_stream_data_.find(f.stream_id);
+    const std::uint64_t stream_grant =
+        grant_it != local_max_stream_data_.end() && grant_it->second > 0
+            ? grant_it->second
+            : config_.params.initial_max_stream_data;
+    if (new_high > stream_grant) {
+      close_with_error(TransportError::kFlowControlError,
+                       ViolationKind::kStreamFlowControl, new_high, 0);
+      return;
+    }
+    if (new_high > prev_high &&
+        data_received_ + (new_high - prev_high) > local_max_data_) {
+      close_with_error(TransportError::kFlowControlError,
+                       ViolationKind::kConnectionFlowControl,
+                       data_received_ + (new_high - prev_high), 0);
+      return;
+    }
+  }
+
+  const std::uint64_t collapses_before = stream.gap_collapses();
+  const std::uint64_t phantom_before = stream.phantom_bytes();
   stream.on_data(f.offset, f.data, f.fin);
-  const std::uint64_t new_high = f.offset + f.data.size();
+  guard_.gap_collapses += stream.gap_collapses() - collapses_before;
+  guard_.phantom_bytes += stream.phantom_bytes() - phantom_before;
+  guard_.peak_stream_gaps = std::max<std::uint64_t>(
+      guard_.peak_stream_gaps, stream.tracked_intervals());
   if (new_high > prev_high) {
     data_received_ += new_high - prev_high;
     received_high_[f.stream_id] = new_high;
@@ -1069,6 +1285,27 @@ double Connection::path_loss_estimate(const PathState& p) const {
 }
 
 void Connection::handle_repair_frame(PathId path_id, const RepairFrame& f) {
+  ++guard_.repair_frames;
+  if (config_.budgets.enforce) {
+    // A REPAIR bomb: an honest symbol is bounded by the sealed MTU plus its
+    // 2-byte length prefix, and each symbol travels in its own packet.
+    if (f.payload.size() > config_.budgets.max_repair_symbol_bytes) {
+      close_with_error(TransportError::kProtocolViolation,
+                       ViolationKind::kRepairOversized, f.payload.size(),
+                       path_id);
+      return;
+    }
+    const std::uint64_t allowance =
+        config_.budgets.repair_flood_base +
+        config_.budgets.repair_flood_per_packet_received *
+            stats_.packets_received;
+    if (guard_.repair_frames > allowance) {
+      close_with_error(TransportError::kProtocolViolation,
+                       ViolationKind::kRepairFlood, guard_.repair_frames,
+                       path_id);
+      return;
+    }
+  }
   if (!fec_recovery_) return;
   fec_recovered_scratch_.clear();
   const auto outcome =
@@ -1104,6 +1341,28 @@ void Connection::handle_ack_info(PathId acked_path, const AckInfo& info) {
   auto pit = paths_.find(acked_path);
   if (pit == paths_.end()) return;
   PathState& p = *pit->second;
+
+  ++guard_.ack_frames;
+  if (config_.budgets.enforce) {
+    // Lying ACK: acknowledging a packet number this path never sent.
+    if (!info.ranges.empty() && info.largest_acked() >= p.next_pn) {
+      close_with_error(TransportError::kProtocolViolation,
+                       ViolationKind::kLyingAck, info.largest_acked(),
+                       acked_path);
+      return;
+    }
+    // Ack flood: honest peers generate well under one ack frame per packet
+    // we send; a flood is pure CPU/state pressure.
+    const std::uint64_t allowance =
+        config_.budgets.ack_flood_base +
+        config_.budgets.ack_flood_per_packet_sent * stats_.packets_sent;
+    if (guard_.ack_frames > allowance) {
+      close_with_error(TransportError::kProtocolViolation,
+                       ViolationKind::kAckFlood, guard_.ack_frames,
+                       acked_path);
+      return;
+    }
+  }
 
   auto outcome = p.loss.on_ack_received(info, loop_.now(), p.rtt);
   if (outcome.rtt_sample) {

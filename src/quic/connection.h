@@ -36,6 +36,7 @@
 #include "quic/cc_coupled.h"
 #include "quic/crypto.h"
 #include "quic/frame.h"
+#include "quic/guard.h"
 #include "quic/loss_detection.h"
 #include "quic/packet.h"
 #include "quic/rtt.h"
@@ -172,6 +173,16 @@ class Connection {
     /// instantiates the RecoveryBuffer; `fec.protect` additionally runs
     /// the FecFramer on this endpoint's outgoing packets.
     fec::FecConfig fec;
+
+    /// Hostile-peer hardening: per-connection resource budgets consulted
+    /// at every peer-driven allocation point (guard.h). `budgets.enforce =
+    /// false` reproduces the pre-guard permissive transport.
+    ResourceBudgets budgets;
+
+    /// Invariant auditor; `audit.enabled` is additionally ANDed with
+    /// audit_enabled_by_env() at construction, so XLINK_AUDIT=0 silences
+    /// it without a rebuild.
+    InvariantAuditor::Config audit;
   };
 
   struct Stats {
@@ -234,6 +245,22 @@ class Connection {
   bool multipath_enabled() const { return multipath_enabled_; }
   bool is_closed() const { return closed_; }
   void close(std::uint64_t error_code, const std::string& reason);
+
+  /// RFC 9000 §10.2 termination states: kClosing after this endpoint sends
+  /// CONNECTION_CLOSE (the close is re-sent, rate-limited, while peer
+  /// packets keep arriving); kDraining after receiving one (nothing more
+  /// is ever sent).
+  enum class CloseState : std::uint8_t { kOpen, kClosing, kDraining };
+  CloseState close_state() const { return close_state_; }
+  /// How and why the connection ended (valid once is_closed()).
+  const CloseInfo& close_info() const { return close_info_; }
+
+  /// Violation and budget-pressure accounting (guard.h).
+  const GuardCounters& guard_counters() const { return guard_; }
+  /// The connection's invariant auditor (tests install capture handlers).
+  InvariantAuditor& auditor() { return auditor_; }
+  /// Forces one audit walk now regardless of sampling; returns checks run.
+  std::size_t audit_now() { return auditor_.tick(*this); }
 
   std::function<void()> on_established;
 
@@ -356,15 +383,32 @@ class Connection {
   std::uint64_t connection_send_window() const;
 
  private:
+  friend class InvariantAuditor;  // re-derives private cross-layer state
+
+  // Guard machinery.
+  /// Records the violation (trace + counters) and escalates to a graceful
+  /// CONNECTION_CLOSE with the given transport error code. No-op when
+  /// budgets.enforce is off or the connection is already terminating.
+  void close_with_error(TransportError code, ViolationKind kind,
+                        std::uint64_t observed, PathId path);
+  /// True if `frame` may legally arrive in the current connection state
+  /// (pre-handshake only CRYPTO/PING/PADDING/ACK/CLOSE are accepted).
+  bool frame_legal_in_state(const Frame& frame) const;
+  /// Emits the recorded CONNECTION_CLOSE on the given path.
+  void send_close_frame(PathId path);
+
   // Send-side machinery.
   void pump_send();
   bool send_one_packet(PathId path, bool ignore_cwnd = false);
-  void send_control_packet(PathId path, std::vector<Frame> frames,
+  bool send_control_packet(PathId path, std::vector<Frame> frames,
                            bool count_inflight);
   void send_pending_acks();
   /// Seals `frames` into a pooled buffer and hands it to send_fn_. The
   /// frame list is an lvalue ref so callers can reuse scratch storage.
-  void build_and_send(PathId path, std::vector<Frame>& frames,
+  /// Returns false when nothing went on the wire (unknown path, or the
+  /// send was suppressed by the anti-amplification cap -- suppressed
+  /// stream/control content is re-queued, never dropped).
+  bool build_and_send(PathId path, std::vector<Frame>& frames,
                       std::vector<SendItem> items, bool ack_eliciting,
                       bool is_probe);
   std::optional<PathId> ack_carrier_path(PathId acked_path) const;
@@ -414,8 +458,16 @@ class Connection {
 
   bool established_ = false;
   bool multipath_enabled_ = false;
-  bool closed_ = false;
+  bool closed_ = false;  // true whenever close_state_ != kOpen
   bool handshake_sent_ = false;
+
+  CloseState close_state_ = CloseState::kOpen;
+  CloseInfo close_info_;
+  GuardCounters guard_;
+  InvariantAuditor auditor_;
+  std::uint64_t audit_pump_calls_ = 0;       // subsampled tick counter
+  std::uint64_t close_recv_since_send_ = 0;  // packets since last close sent
+  std::uint64_t close_resend_threshold_ = 1; // doubles per re-send
 
   std::map<PathId, std::unique_ptr<PathState>> paths_;
   std::deque<SendItem> pkt_send_q_;

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <map>
 
 namespace xlink::quic {
@@ -24,6 +25,12 @@ class IntervalSet {
 
   /// Total covered bytes.
   std::uint64_t covered_bytes() const;
+
+  /// Merges adjacent intervals -- smallest separating gap first -- until at
+  /// most `max_intervals` remain; each swallowed gap becomes covered.
+  /// Returns the phantom bytes synthesized. Bounds the memory an adversary
+  /// can pin with a fragmentation spray (every interval is a map node).
+  std::uint64_t collapse_to(std::size_t max_intervals);
 
   bool empty() const { return intervals_.empty(); }
   std::size_t interval_count() const { return intervals_.size(); }
@@ -85,6 +92,28 @@ inline std::uint64_t IntervalSet::covered_bytes() const {
   std::uint64_t total = 0;
   for (const auto& [b, e] : intervals_) total += e - b;
   return total;
+}
+
+inline std::uint64_t IntervalSet::collapse_to(std::size_t max_intervals) {
+  if (max_intervals == 0) max_intervals = 1;
+  std::uint64_t phantom = 0;
+  while (intervals_.size() > max_intervals) {
+    auto best = intervals_.begin();
+    std::uint64_t best_gap = ~std::uint64_t{0};
+    for (auto it = intervals_.begin(); std::next(it) != intervals_.end();
+         ++it) {
+      const std::uint64_t gap = std::next(it)->first - it->second;
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = it;
+      }
+    }
+    auto nx = std::next(best);
+    phantom += nx->first - best->second;
+    best->second = nx->second;
+    intervals_.erase(nx);
+  }
+  return phantom;
 }
 
 }  // namespace xlink::quic

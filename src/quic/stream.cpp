@@ -81,6 +81,13 @@ void RecvStream::on_data(std::uint64_t offset,
     std::copy(data.begin(), data.end(),
               buffer_.begin() + static_cast<long>(offset));
     received_.add(offset, offset + data.size());
+    if (max_gaps_ && received_.interval_count() > max_gaps_) {
+      const std::uint64_t phantom = received_.collapse_to(max_gaps_);
+      if (phantom > 0) {
+        ++gap_collapses_;
+        phantom_bytes_ += phantom;
+      }
+    }
   }
 }
 

@@ -127,6 +127,16 @@ class RecvStream {
   /// Bytes received more than once (redundancy accounting).
   std::uint64_t duplicate_bytes() const { return duplicate_bytes_; }
 
+  /// Caps reassembly fragmentation (hostile-peer hardening): whenever the
+  /// tracked interval count exceeds `n`, the smallest gap is collapsed and
+  /// its bytes read as phantom zeros until -- if ever -- the real data
+  /// arrives and overwrites them (on_data copies unconditionally). Only an
+  /// adversarial spray reaches the cap; 0 = unlimited.
+  void set_max_gaps(std::size_t n) { max_gaps_ = n; }
+  std::uint64_t gap_collapses() const { return gap_collapses_; }
+  std::uint64_t phantom_bytes() const { return phantom_bytes_; }
+  std::size_t tracked_intervals() const { return received_.interval_count(); }
+
  private:
   StreamId id_;
   std::vector<std::uint8_t> buffer_;
@@ -134,6 +144,9 @@ class RecvStream {
   std::uint64_t read_offset_ = 0;
   std::optional<std::uint64_t> final_size_;
   std::uint64_t duplicate_bytes_ = 0;
+  std::size_t max_gaps_ = 0;
+  std::uint64_t gap_collapses_ = 0;
+  std::uint64_t phantom_bytes_ = 0;
 };
 
 }  // namespace xlink::quic

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "quic/guard.h"
 #include "stats/table.h"
 
 namespace xlink::telemetry {
@@ -308,6 +309,41 @@ AnalysisReport analyze(const ParsedTrace& trace,
         rep.fec.wasted_symbols += e.b;
         break;
       }
+      case EventType::kGuardViolation: {
+        ++rep.security.total_violations;
+        auto it = std::find_if(
+            rep.security.violations.begin(), rep.security.violations.end(),
+            [&](const ViolationCount& v) {
+              return v.error_code == e.a && v.kind == e.b;
+            });
+        if (it == rep.security.violations.end()) {
+          ViolationCount v;
+          v.error_code = e.a;
+          v.kind = e.b;
+          v.count = 1;
+          v.first = e.t;
+          v.path = e.path;
+          rep.security.violations.push_back(v);
+        } else {
+          ++it->count;
+        }
+        break;
+      }
+      case EventType::kAuditCheck: {
+        SecurityReport& s = rep.security;
+        ++s.audit_events;
+        s.audit_checks = std::max(s.audit_checks, e.a);
+        s.audit_failures = std::max(s.audit_failures, e.b);
+        s.pool_outstanding_peak = std::max(s.pool_outstanding_peak, e.c);
+        break;
+      }
+      case EventType::kFecStashEvicted: {
+        SecurityReport& s = rep.security;
+        ++s.stash_evictions;
+        s.stash_evicted_bytes += e.b;
+        s.stash_bytes_peak = std::max(s.stash_bytes_peak, e.c);
+        break;
+      }
       case EventType::kPathHealth: {
         FailoverEvent f;
         f.t = e.t;
@@ -475,6 +511,36 @@ std::string render_report(const AnalysisReport& rep) {
            << " (pto_count " << f.pto_count << ")";
       }
       os << "\n";
+    }
+  }
+
+  if (rep.security.present()) {
+    const SecurityReport& s = rep.security;
+    os << "\n=== security report ===\n";
+    if (s.total_violations > 0) {
+      os << s.total_violations << " guard violation(s):\n";
+      stats::Table vt({"error", "violation", "count", "first", "path"});
+      for (const ViolationCount& v : s.violations) {
+        vt.add_row({quic::transport_error_name(v.error_code),
+                    quic::violation_kind_name(
+                        static_cast<quic::ViolationKind>(v.kind)),
+                    std::to_string(v.count), sec_str(v.first),
+                    std::to_string(int(v.path))});
+      }
+      os << vt.render();
+    } else {
+      os << "no guard violations\n";
+    }
+    if (s.audit_events > 0) {
+      os << "invariant auditor: " << s.audit_checks << " tick(s), "
+         << s.audit_failures << " failure(s), pool outstanding peak "
+         << s.pool_outstanding_peak << " buffer(s)\n";
+    }
+    if (s.stash_evictions > 0) {
+      os << "fec stash: " << s.stash_evictions << " eviction(s), "
+         << stats::Table::fmt(double(s.stash_evicted_bytes) / 1e3, 1)
+         << " KB dropped, post-eviction occupancy peak "
+         << stats::Table::fmt(double(s.stash_bytes_peak) / 1e3, 1) << " KB\n";
     }
   }
 

@@ -107,6 +107,33 @@ struct FailoverEvent {
   std::uint64_t pto_count = 0;     // at the health transition
 };
 
+/// One (transport error, violation kind) bucket of guard:violation events.
+struct ViolationCount {
+  std::uint64_t error_code = 0;  // quic::TransportError value
+  std::uint64_t kind = 0;        // quic::ViolationKind value
+  std::uint64_t count = 0;
+  sim::Time first = 0;
+  std::uint8_t path = 0;  // path of the first occurrence
+};
+
+/// Hostile-peer hardening summary: guard violations, invariant-auditor
+/// activity and FEC stash evictions observed in the trace.
+struct SecurityReport {
+  std::vector<ViolationCount> violations;  // grouped by (error_code, kind)
+  std::uint64_t total_violations = 0;
+  std::uint64_t audit_events = 0;          // audit:check events in trace
+  std::uint64_t audit_checks = 0;          // high-water auditor tick count
+  std::uint64_t audit_failures = 0;        // high-water failure count
+  std::uint64_t pool_outstanding_peak = 0; // pooled buffers in flight
+  std::uint64_t stash_evictions = 0;
+  std::uint64_t stash_evicted_bytes = 0;
+  std::uint64_t stash_bytes_peak = 0;      // post-eviction stash occupancy
+
+  bool present() const {
+    return total_violations > 0 || audit_events > 0 || stash_evictions > 0;
+  }
+};
+
 struct AnalysisReport {
   QlogMeta meta;
   std::uint64_t events = 0;
@@ -116,6 +143,7 @@ struct AnalysisReport {
   ReinjectionEfficiency reinjection;
   FecReport fec;
   std::vector<StallReport> stalls;
+  SecurityReport security;
   /// Interleaved fault windows and health transitions, trace order.
   std::vector<FailoverEvent> failover_timeline;
   std::uint64_t faults_fired = 0;        // fault windows that opened

@@ -61,6 +61,12 @@ enum class EventType : std::uint8_t {
                           // c=recovery latency vs the loss (us)
   kFecWasted,             // path; a=window id, b=wasted repair symbols
                           // (window completed without needing them)
+  kGuardViolation,        // path; a=transport error code, b=ViolationKind
+                          // as integer, c=observed value (count/bytes)
+  kAuditCheck,            // a=checks run this tick, b=total failures so
+                          // far, c=outstanding pooled buffers
+  kFecStashEvicted,       // path; a=evicted pn, b=evicted bytes,
+                          // c=stash bytes after eviction
 };
 
 /// Sentinel for "value not available" in `a`/`b`/`c`.
@@ -223,6 +229,24 @@ struct Event {
   static Event fec_wasted(sim::Time t, Origin o, std::uint8_t path,
                           std::uint64_t window, std::uint64_t symbols) {
     return {t, EventType::kFecWasted, o, path, 0, 0, window, symbols, 0};
+  }
+  static Event guard_violation(sim::Time t, Origin o, std::uint8_t path,
+                               std::uint64_t error_code, std::uint64_t kind,
+                               std::uint64_t observed) {
+    return {t, EventType::kGuardViolation, o, path, 0, 0, error_code, kind,
+            observed};
+  }
+  static Event audit_check(sim::Time t, Origin o, std::uint64_t checks,
+                           std::uint64_t failures,
+                           std::uint64_t pool_outstanding) {
+    return {t, EventType::kAuditCheck, o, 0, 0, 0, checks, failures,
+            pool_outstanding};
+  }
+  static Event fec_stash_evicted(sim::Time t, Origin o, std::uint8_t path,
+                                 std::uint64_t pn, std::uint64_t bytes,
+                                 std::uint64_t stash_bytes_after) {
+    return {t, EventType::kFecStashEvicted, o, path, 0, 0, pn, bytes,
+            stash_bytes_after};
   }
 };
 

@@ -36,6 +36,9 @@ constexpr NameEntry kNames[] = {
     {EventType::kFecRepairSent, "fec:repair_sent"},
     {EventType::kFecRecovered, "fec:recovered"},
     {EventType::kFecWasted, "fec:wasted"},
+    {EventType::kGuardViolation, "guard:violation"},
+    {EventType::kAuditCheck, "audit:check"},
+    {EventType::kFecStashEvicted, "fec:stash_evicted"},
 };
 
 const char* origin_name(Origin o) {
@@ -167,6 +170,23 @@ void write_event_data(JsonWriter& w, const Event& e) {
       w.kv("window", e.a);
       w.kv("symbols", e.b);
       break;
+    case EventType::kGuardViolation:
+      w.kv("path", std::uint64_t{e.path});
+      w.kv("error_code", e.a);
+      w.kv("kind", e.b);
+      w.kv("observed", e.c);
+      break;
+    case EventType::kAuditCheck:
+      w.kv("checks", e.a);
+      w.kv("failures", e.b);
+      w.kv("pool_outstanding", e.c);
+      break;
+    case EventType::kFecStashEvicted:
+      w.kv("path", std::uint64_t{e.path});
+      w.kv("pn", e.a);
+      w.kv("bytes", e.b);
+      w.kv("stash_bytes", e.c);
+      break;
   }
 }
 
@@ -287,6 +307,22 @@ std::optional<Event> event_from_json(const JsonValue& entry) {
     case EventType::kFecWasted:
       e = Event::fec_wasted(e.t, e.origin, path, data->get_u64("window"),
                             data->get_u64("symbols"));
+      break;
+    case EventType::kGuardViolation:
+      e = Event::guard_violation(e.t, e.origin, path,
+                                 data->get_u64("error_code"),
+                                 data->get_u64("kind"),
+                                 data->get_u64("observed"));
+      break;
+    case EventType::kAuditCheck:
+      e = Event::audit_check(e.t, e.origin, data->get_u64("checks"),
+                             data->get_u64("failures"),
+                             data->get_u64("pool_outstanding"));
+      break;
+    case EventType::kFecStashEvicted:
+      e = Event::fec_stash_evicted(e.t, e.origin, path, data->get_u64("pn"),
+                                   data->get_u64("bytes"),
+                                   data->get_u64("stash_bytes"));
       break;
   }
   return e;

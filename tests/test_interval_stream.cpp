@@ -194,5 +194,84 @@ TEST(RecvStream, FinArrivesBeforeGapFilled) {
   EXPECT_TRUE(s.fully_received());
 }
 
+// --------------------------- adversarial fragmentation (hostile peer)
+
+TEST(IntervalSet, CollapseToMergesSmallestGapFirst) {
+  IntervalSet s;
+  s.add(0, 10);
+  s.add(12, 20);   // gap of 2 (smallest)
+  s.add(120, 130); // gap of 100
+  const std::uint64_t phantom = s.collapse_to(2);
+  EXPECT_EQ(phantom, 2u);  // only the 2-byte gap was swallowed
+  EXPECT_EQ(s.interval_count(), 2u);
+  EXPECT_TRUE(s.contains(0, 20));
+  EXPECT_FALSE(s.contains(20, 120));
+  EXPECT_TRUE(s.contains(120, 130));
+}
+
+TEST(IntervalSet, CollapseToZeroTreatedAsOne) {
+  IntervalSet s;
+  s.add(0, 1);
+  s.add(10, 11);
+  s.add(20, 21);
+  const std::uint64_t phantom = s.collapse_to(0);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(phantom, 9u + 9u);
+  EXPECT_TRUE(s.contains(0, 21));
+}
+
+TEST(IntervalSet, FragmentationSprayStaysBounded) {
+  // The attack: single-byte ranges with a hole between each, forcing a new
+  // map node per frame. With the cap, the node count never exceeds the
+  // budget no matter how long the spray runs.
+  IntervalSet s;
+  std::uint64_t phantom = 0;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    s.add(2 * i, 2 * i + 1);
+    if (s.interval_count() > 64) phantom += s.collapse_to(64);
+  }
+  EXPECT_LE(s.interval_count(), 64u);
+  // Bytes accounting stays exact: real bytes + phantom == covered.
+  EXPECT_EQ(s.covered_bytes(), 10000u + phantom);
+}
+
+TEST(RecvStream, GapCapCollapsesAndCountsPhantoms) {
+  RecvStream s(4);
+  s.set_max_gaps(8);
+  for (std::uint64_t i = 0; i < 1000; ++i) s.on_data(2 * i, {0xaa}, false);
+  EXPECT_LE(s.tracked_intervals(), 8u);
+  EXPECT_GT(s.gap_collapses(), 0u);
+  EXPECT_GT(s.phantom_bytes(), 0u);
+}
+
+TEST(RecvStream, LateRealDataOverwritesPhantomZeros) {
+  // Soft-defense contract: a collapsed gap reads as zeros until the real
+  // bytes arrive; on_data copies unconditionally, so late data heals it.
+  RecvStream s(4);
+  s.set_max_gaps(1);
+  s.on_data(0, {1}, false);
+  s.on_data(4, {5}, false);  // gap [1,4) collapses to phantom zeros
+  EXPECT_EQ(s.tracked_intervals(), 1u);
+  auto first = s.read(5);
+  ASSERT_EQ(first.size(), 5u);
+  EXPECT_EQ(first[1], 0u);  // phantom
+
+  RecvStream healed(8);
+  healed.set_max_gaps(1);
+  healed.on_data(0, {1}, false);
+  healed.on_data(4, {5}, false);
+  healed.on_data(1, {2, 3, 4}, false);  // the real bytes arrive late
+  auto bytes = healed.read(5);
+  ASSERT_EQ(bytes.size(), 5u);
+  EXPECT_EQ(bytes, (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(RecvStream, UnlimitedGapsByDefault) {
+  RecvStream s(4);
+  for (std::uint64_t i = 0; i < 500; ++i) s.on_data(2 * i, {0xbb}, false);
+  EXPECT_EQ(s.tracked_intervals(), 500u);
+  EXPECT_EQ(s.gap_collapses(), 0u);
+}
+
 }  // namespace
 }  // namespace xlink::quic
