@@ -56,6 +56,8 @@
 #include "harness/shard.h"
 #include "net/link.h"
 #include "net/packet_buffer.h"
+#include "quic/delivery_rate.h"
+#include "quic/pacer.h"
 #include "quic/packet.h"
 #include "sim/event_loop.h"
 #include "sim/thread_pool.h"
@@ -358,6 +360,56 @@ TraceHookRates bench_trace_hook(std::uint64_t iters) {
   return r;
 }
 
+/// The delivery-rate sampler's per-packet cost: stamp at send, produce a
+/// rate sample at ack, fold into the btlbw/min-RTT filters. This runs once
+/// per ack-eliciting packet on every path, so it must stay in the tens of
+/// nanoseconds.
+double bench_rate_sampler(std::uint64_t ops) {
+  quic::DeliveryRateSampler sampler;
+  quic::RateStamp stamp;
+  sim::Time now = 0;
+  const std::size_t kBytes = quic::kDefaultMss;
+  double sink = 0.0;
+  const double s = wall_seconds([&] {
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      const sim::Time sent = now;
+      sampler.on_packet_sent(stamp, sent, kBytes * (i % 16));
+      now += 500;  // 0.5 ms between departures
+      const auto rs =
+          sampler.on_ack(stamp, kBytes, sent, now + sim::millis(20),
+                         sim::millis(20), kBytes * (i % 16));
+      sink += rs.delivery_rate;
+    }
+  });
+  if (sink < 0.0) std::fprintf(stderr, "bench_rate_sampler: negative rate\n");
+  return s;
+}
+
+/// The pacer's per-packet warm path: one can_send gate, one on_sent debit,
+/// one next_release_time projection -- the exact calls the connection's
+/// send pump and timer wheel make per departure.
+double bench_pacer(std::uint64_t ops, std::uint64_t& sent_out) {
+  quic::PacerConfig cfg;
+  cfg.enabled = true;
+  quic::Pacer pacer(cfg);
+  pacer.set_rate(125'000'000);  // 1 Gb/s: ~11 us per MSS
+  sim::Time now = 0;
+  std::uint64_t sent = 0;
+  const double s = wall_seconds([&] {
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      now += 12;
+      if (pacer.can_send(now)) {
+        pacer.on_sent(now, quic::kDefaultMss);
+        ++sent;
+      }
+      sim::Time t = pacer.next_release_time(now);
+      asm volatile("" : "+r"(t));
+    }
+  });
+  sent_out = sent;
+  return s;
+}
+
 /// Fig. 10-shaped workload: per threshold setting, a fading-cellular
 /// population of sessions. Scaled down from the real bench so the sweep
 /// finishes quickly at jobs=1 too.
@@ -530,6 +582,24 @@ int main(int argc, char** argv) {
       "  telemetry_trace_hook:       compiled-out %.2fns, disabled %.2fns, "
       "enabled %.2fns per hook\n",
       1e9 / hook.compiled_out, 1e9 / hook.disabled, 1e9 / hook.enabled);
+
+  const std::uint64_t cc_ops = smoke ? 500'000 : 10'000'000;
+  const double rs_s = bench_rate_sampler(cc_ops);
+  records.push_back(
+      {"rate_sampler", rs_s, "ops_per_sec", static_cast<double>(cc_ops) / rs_s});
+  std::printf("  rate_sampler:               %.3fs  (%.1fns per stamp+ack)\n",
+              rs_s, rs_s / static_cast<double>(cc_ops) * 1e9);
+
+  std::uint64_t pacer_sent = 0;
+  const double pc_s = bench_pacer(cc_ops, pacer_sent);
+  records.push_back({"pacer_overhead", pc_s, "ops_per_sec",
+                     static_cast<double>(cc_ops) / pc_s});
+  std::printf(
+      "  pacer_overhead:             %.3fs  (%.1fns per gate+debit, "
+      "%llu/%llu sends admitted)\n",
+      pc_s, pc_s / static_cast<double>(cc_ops) * 1e9,
+      static_cast<unsigned long long>(pacer_sent),
+      static_cast<unsigned long long>(cc_ops));
 
   // Serial and parallel sweeps are separate records: the parallel leg runs
   // at hardware_concurrency explicitly, so speedup_vs_serial measures the

@@ -27,6 +27,7 @@ quic::Connection::Config make_scheme_config(Scheme scheme, quic::Role role,
   config.role = role;
   config.cc = opts.cc;
   config.aead_key = opts.aead_key;
+  config.pacing.enabled = opts.pacing;
   config.params.enable_multipath = is_multipath(scheme);
 
   // Schedulers act on the data sender; in the video workload that is the

@@ -36,6 +36,9 @@ struct SchemeOptions {
   /// `protect` are derived from `xlink_redundancy` and the role.
   fec::FecConfig fec;
   std::uint64_t aead_key = 0x5eed;
+  /// Token-bucket pacing of data sends (off by default so existing arms
+  /// stay byte-identical; the BBR ablation arms switch it on).
+  bool pacing = false;
 };
 
 /// Builds the connection config for one side of a connection running the

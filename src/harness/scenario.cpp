@@ -222,9 +222,12 @@ SessionResult Session::run() {
   result.fec_recovered_packets = client_stats.fec_recovered_packets;
   result.fec_wasted_symbols = client_stats.fec_wasted_symbols;
   result.fec_erased_seen = client_stats.fec_erased_seen;
-  for (std::size_t i = 0; i < network_->path_count(); ++i)
+  for (std::size_t i = 0; i < network_->path_count(); ++i) {
     result.path_down_bytes.push_back(
         network_->path(i).down_stats().bytes_delivered);
+    result.path_peak_queue_bytes.push_back(
+        network_->path(i).down_stats().peak_queued_bytes);
+  }
 
   fill_metrics(result);
 

@@ -107,6 +107,9 @@ struct SessionResult {
   std::uint64_t fec_erased_seen = 0;        // erasures FEC windows observed
   /// Per network path: bytes the server pushed down it.
   std::vector<std::uint64_t> path_down_bytes;
+  /// Per network path: droptail high-water mark of the downlink queue --
+  /// the congestion a paced sender avoids building (CC ablation bench).
+  std::vector<std::uint64_t> path_peak_queue_bytes;
   /// Structured per-session metrics (counters/gauges/histograms); derived
   /// purely from the fields above plus connection stats, so it is
   /// deterministic for a fixed seed. Day-level aggregation merges these in

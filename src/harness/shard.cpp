@@ -63,6 +63,7 @@ std::string cc_key(quic::CcAlgorithm cc) {
     case quic::CcAlgorithm::kNewReno: return "newreno";
     case quic::CcAlgorithm::kCubic: return "cubic";
     case quic::CcAlgorithm::kCoupledLia: return "coupled_lia";
+    case quic::CcAlgorithm::kBbr: return "bbr";
   }
   fail("unknown cc enum value");
 }
@@ -71,6 +72,7 @@ quic::CcAlgorithm cc_from_key(const std::string& key) {
   if (key == "newreno") return quic::CcAlgorithm::kNewReno;
   if (key == "cubic") return quic::CcAlgorithm::kCubic;
   if (key == "coupled_lia") return quic::CcAlgorithm::kCoupledLia;
+  if (key == "bbr") return quic::CcAlgorithm::kBbr;
   fail("unknown cc key '" + key + "'");
 }
 
@@ -246,6 +248,7 @@ void write_options(JsonWriter& w, const core::SchemeOptions& o) {
   kv_u64(w, "fec_payload_cap", o.fec.payload_cap);
   kv_u64(w, "fec_cover_linger_us", o.fec.cover_linger);
   kv_u64(w, "aead_key", o.aead_key);
+  w.kv("pacing", o.pacing);
   w.end_object();
 }
 
@@ -266,6 +269,7 @@ core::SchemeOptions parse_options(const JsonValue& v) {
   o.fec.payload_cap = parse_u64(v, "fec_payload_cap");
   o.fec.cover_linger = parse_u64(v, "fec_cover_linger_us");
   o.aead_key = parse_u64(v, "aead_key");
+  o.pacing = parse_bool(v, "pacing");
   return o;
 }
 

@@ -48,11 +48,18 @@ class BlestScheduler final : public quic::Scheduler {
     // the slow path (one packet round) risks arriving after all of that,
     // the receiver buffers the difference; BLEST sends on the slow path
     // only when that in-order gap stays under a budget.
+    // The fast path's shipping rate comes from its delivery-rate sampler
+    // (windowed-max btlbw) once samples exist; before that the estimate
+    // falls back to cwnd/srtt, which over one slow-path RTT reduces to the
+    // original cwnd * rtt_s/rtt_f formulation.
     const double rtt_ratio =
         static_cast<double>(s.rtt.smoothed()) /
         std::max<double>(static_cast<double>(fast.rtt.smoothed()), 1.0);
+    const double fast_rate = fast.bandwidth_estimate_bytes_per_sec();
     const double fast_bytes_meanwhile =
-        static_cast<double>(fast.cc->cwnd_bytes()) * rtt_ratio;
+        fast_rate > 0.0
+            ? fast_rate * sim::to_seconds(s.rtt.smoothed())
+            : static_cast<double>(fast.cc->cwnd_bytes()) * rtt_ratio;
     const double gap_budget =
         kLambda * static_cast<double>(fast.cc->cwnd_bytes() +
                                       s.cc->cwnd_bytes());

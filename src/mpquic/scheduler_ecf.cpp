@@ -6,7 +6,9 @@
 // fast path's window to reopen. If waiting wins, send nothing this round.
 // This is the prediction-based school of scheduling the paper contrasts
 // XLINK with: effective when estimates hold, brittle when wireless links
-// swing (the estimates here are cwnd/srtt rates).
+// swing. Rates come from the path's delivery-rate sampler (windowed-max
+// btlbw) once it has samples, falling back to the crude cwnd/srtt
+// inference before then.
 #include "mpquic/scheduler_util.h"
 #include "mpquic/schedulers.h"
 
@@ -63,9 +65,7 @@ class EcfScheduler final : public quic::Scheduler {
 
  private:
   static double rate_bytes_per_sec(const quic::PathState& p) {
-    const double rtt = sim::to_seconds(p.rtt.smoothed());
-    if (rtt <= 0) return 0;
-    return static_cast<double>(p.cc->cwnd_bytes()) / rtt;
+    return p.bandwidth_estimate_bytes_per_sec();
   }
 
   static constexpr double kDelta = 0.25;  // hysteresis against flapping

@@ -18,6 +18,8 @@ void TraceLink::send(Datagram dgram) {
     return;
   }
   queued_bytes_ += dgram.size();
+  stats_.peak_queued_bytes =
+      std::max<std::uint64_t>(stats_.peak_queued_bytes, queued_bytes_);
   queue_.push_back(std::move(dgram));
   arm_next_departure();
 }
@@ -67,6 +69,8 @@ void FixedRateLink::send(Datagram dgram) {
     return;
   }
   queued_bytes_ += dgram.size();
+  stats_.peak_queued_bytes =
+      std::max<std::uint64_t>(stats_.peak_queued_bytes, queued_bytes_);
   queue_.push_back(std::move(dgram));
   arm_next_departure();
 }

@@ -24,6 +24,7 @@ struct LinkStats {
   std::uint64_t packets_dropped_queue = 0;  // droptail overflow
   std::uint64_t packets_dropped_loss = 0;   // loss model
   std::uint64_t bytes_delivered = 0;
+  std::uint64_t peak_queued_bytes = 0;  // droptail high-water mark
 };
 
 class Link {

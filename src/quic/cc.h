@@ -15,17 +15,43 @@ constexpr std::size_t kDefaultMss = 1400;
 constexpr std::size_t kInitialWindowPackets = 10;
 constexpr std::size_t kMinWindowPackets = 2;
 
+/// One delivery-rate sample, produced by the per-path DeliveryRateSampler
+/// on every acked ack-eliciting packet
+/// (draft-cheng-iccrg-delivery-rate-estimation). Rate-based controllers
+/// consume these through on_rate_sample; loss-based controllers ignore them.
+struct RateSample {
+  double delivery_rate = 0.0;        ///< bytes/sec measured by this sample
+  double btlbw = 0.0;                ///< windowed-max delivery rate (bytes/s)
+  sim::Duration min_rtt = 0;         ///< windowed-min RTT (0 = no sample yet)
+  sim::Time min_rtt_at = 0;          ///< when the current min was recorded
+  std::uint64_t delivered = 0;       ///< total delivered after this ack
+  std::uint64_t prior_delivered = 0; ///< total delivered when pkt was sent
+  sim::Duration interval = 0;        ///< max(send elapsed, ack elapsed)
+  sim::Duration rtt = 0;             ///< this ack's RTT sample (0 = none)
+  std::size_t bytes_in_flight = 0;   ///< inflight after this ack landed
+  bool is_app_limited = false;       ///< pkt sent while not cwnd-limited
+};
+
 class CongestionController {
  public:
   virtual ~CongestionController() = default;
 
   virtual void on_packet_sent(std::size_t bytes, sim::Time now) = 0;
+  /// `app_limited` is true when the acked packet was sent while the path
+  /// was not cwnd-limited; RFC 9002 §7.8 forbids growing cwnd on such acks.
   virtual void on_ack(std::size_t bytes, sim::Time sent_time, sim::Time now,
-                      sim::Duration srtt) = 0;
+                      sim::Duration srtt, bool app_limited = false) = 0;
   /// One congestion event per loss burst: `sent_time` of the newest lost pkt.
   virtual void on_loss_event(sim::Time sent_time, sim::Time now) = 0;
   /// Persistent congestion (RFC 9002 §7.6): collapse to minimum window.
   virtual void on_persistent_congestion(sim::Time now) = 0;
+
+  /// Delivery-rate sample for an acked packet; called right after on_ack.
+  /// Default: loss-based controllers don't model bandwidth.
+  virtual void on_rate_sample(const RateSample& sample, sim::Time now) {
+    (void)sample;
+    (void)now;
+  }
 
   virtual std::size_t cwnd_bytes() const = 0;
   virtual bool in_slow_start() const = 0;
@@ -37,6 +63,10 @@ class CongestionController {
     return static_cast<std::size_t>(-1);
   }
 
+  /// Bytes/sec the pacer should release at, or 0 when the controller has
+  /// no opinion (the pacer then derives ~1.25 * cwnd / srtt itself).
+  virtual std::uint64_t pacing_rate_bytes_per_sec() const { return 0; }
+
   /// Resets to the initial window (used by connection migration, which must
   /// restart congestion control on the new path -- the cost Fig. 13 shows).
   virtual void reset() = 0;
@@ -45,7 +75,7 @@ class CongestionController {
 /// kCoupledLia needs per-connection shared state, so the Connection builds
 /// it through make_lia_controller (quic/cc_coupled.h) rather than this
 /// factory; the factory falls back to NewReno if asked directly.
-enum class CcAlgorithm { kNewReno, kCubic, kCoupledLia };
+enum class CcAlgorithm { kNewReno, kCubic, kCoupledLia, kBbr };
 
 std::unique_ptr<CongestionController> make_congestion_controller(
     CcAlgorithm algo, std::size_t mss = kDefaultMss);

@@ -1,0 +1,285 @@
+// BBR congestion control (Cardwell et al., "BBR: Congestion-Based
+// Congestion Control", v1 state machine). Model-based: instead of reacting
+// to loss, BBR estimates the bottleneck bandwidth (btlbw, windowed max of
+// delivery-rate samples) and the round-trip propagation delay (min RTT) and
+// paces at pacing_gain * btlbw with inflight capped at cwnd_gain * BDP.
+//
+//   STARTUP   -> gain 2.885 (2/ln 2): doubles the rate per RTT until btlbw
+//                stops growing >= 25% across three rounds ("pipe full").
+//   DRAIN     -> inverse gain until inflight <= 1 BDP drains the queue the
+//                startup overshoot built.
+//   PROBE_BW  -> 8-phase pacing-gain cycle [1.25, 0.75, 1 x6], one phase
+//                per min-RTT, probing for more bandwidth then draining.
+//   PROBE_RTT -> when the min-RTT sample is >10s old: cwnd to 4 MSS for
+//                max(200ms, 1 round) to re-measure the floor.
+//
+// Model state (btlbw / min_rtt filters) comes from the per-path
+// DeliveryRateSampler via on_rate_sample; this class holds only the state
+// machine. Loss events deliberately do NOT cut cwnd (the sampler still sees
+// them); persistent congestion collapses per RFC 9002 like everyone else.
+#include <algorithm>
+#include <cmath>
+
+#include "quic/cc.h"
+
+namespace xlink::quic {
+
+namespace {
+
+constexpr double kHighGain = 2.885;        // 2 / ln(2), STARTUP
+constexpr double kDrainGain = 1.0 / kHighGain;
+constexpr double kCwndGain = 2.0;          // PROBE_BW inflight cap
+constexpr int kGainCycleLen = 8;
+constexpr double kGainCycle[kGainCycleLen] = {1.25, 0.75, 1.0, 1.0,
+                                              1.0,  1.0,  1.0, 1.0};
+constexpr int kFullBwRounds = 3;           // STARTUP exit patience
+constexpr double kFullBwThresh = 1.25;     // growth that resets patience
+constexpr sim::Duration kProbeRttDuration = sim::millis(200);
+constexpr sim::Duration kMinRttExpiry = sim::seconds(10);
+constexpr std::size_t kProbeRttCwndPackets = 4;
+
+class Bbr final : public CongestionController {
+ public:
+  explicit Bbr(std::size_t mss)
+      : mss_(mss), cwnd_(kInitialWindowPackets * mss) {}
+
+  void on_packet_sent(std::size_t, sim::Time) override {}
+
+  void on_ack(std::size_t bytes, sim::Time /*sent_time*/, sim::Time /*now*/,
+              sim::Duration /*srtt*/, bool /*app_limited*/) override {
+    // cwnd growth toward the BDP target happens here; the model update and
+    // the state machine run in on_rate_sample, which follows immediately.
+    acked_since_sample_ += bytes;
+  }
+
+  void on_rate_sample(const RateSample& rs, sim::Time now) override {
+    const std::size_t acked = acked_since_sample_;
+    acked_since_sample_ = 0;
+
+    // Round edge: the acked packet was sent at or after the delivered mark
+    // that opened the current round.
+    round_start_ = rs.prior_delivered >= next_round_delivered_;
+    if (round_start_) next_round_delivered_ = rs.delivered;
+
+    btlbw_ = rs.btlbw;
+    min_rtt_ = rs.min_rtt;
+
+    check_full_pipe(rs);
+    advance_state(rs, now);
+    update_pacing_rate();
+    update_cwnd(rs, acked);
+  }
+
+  void on_loss_event(sim::Time /*sent_time*/, sim::Time /*now*/) override {
+    // BBR v1: losses inform the sampler (delivered bytes stop growing) but
+    // do not cut cwnd; only persistent congestion collapses the window.
+  }
+
+  void on_persistent_congestion(sim::Time /*now*/) override {
+    cwnd_ = kMinWindowPackets * mss_;
+    // The network changed under us badly enough to blow every PTO; restart
+    // discovery rather than trusting the stale model.
+    mode_ = Mode::kStartup;
+    full_bw_ = 0.0;
+    full_bw_rounds_ = 0;
+    filled_pipe_ = false;
+  }
+
+  std::size_t cwnd_bytes() const override { return cwnd_; }
+  bool in_slow_start() const override { return mode_ == Mode::kStartup; }
+  std::size_t ssthresh_bytes() const override {
+    return static_cast<std::size_t>(-1);  // BBR has no ssthresh
+  }
+  std::string name() const override { return "bbr"; }
+
+  std::uint64_t pacing_rate_bytes_per_sec() const override {
+    return pacing_rate_;
+  }
+
+  void reset() override {
+    cwnd_ = kInitialWindowPackets * mss_;
+    mode_ = Mode::kStartup;
+    pacing_gain_ = kHighGain;
+    cwnd_gain_ = kHighGain;
+    btlbw_ = 0.0;
+    min_rtt_ = 0;
+    pacing_rate_ = 0;
+    full_bw_ = 0.0;
+    full_bw_rounds_ = 0;
+    filled_pipe_ = false;
+    round_start_ = false;
+    next_round_delivered_ = 0;
+    cycle_index_ = 0;
+    cycle_start_ = 0;
+    probe_rtt_done_at_ = 0;
+    probe_rtt_started_ = false;
+    cwnd_before_probe_rtt_ = 0;
+    acked_since_sample_ = 0;
+  }
+
+ private:
+  enum class Mode { kStartup, kDrain, kProbeBw, kProbeRtt };
+
+  std::size_t bdp_bytes(double gain) const {
+    if (btlbw_ <= 0.0 || min_rtt_ == 0)
+      return kInitialWindowPackets * mss_;  // no model yet: initial window
+    const double bdp = btlbw_ * sim::to_seconds(min_rtt_);
+    return static_cast<std::size_t>(gain * bdp);
+  }
+
+  void check_full_pipe(const RateSample& rs) {
+    if (filled_pipe_ || !round_start_ || rs.is_app_limited) return;
+    if (btlbw_ >= full_bw_ * kFullBwThresh || full_bw_ == 0.0) {
+      full_bw_ = btlbw_;
+      full_bw_rounds_ = 0;
+      return;
+    }
+    if (++full_bw_rounds_ >= kFullBwRounds) filled_pipe_ = true;
+  }
+
+  void advance_state(const RateSample& rs, sim::Time now) {
+    switch (mode_) {
+      case Mode::kStartup:
+        if (filled_pipe_) {
+          mode_ = Mode::kDrain;
+          pacing_gain_ = kDrainGain;
+          cwnd_gain_ = kHighGain;  // keep headroom while draining
+        }
+        break;
+      case Mode::kDrain:
+        if (rs.bytes_in_flight <= bdp_bytes(1.0)) enter_probe_bw(now);
+        break;
+      case Mode::kProbeBw: {
+        // One gain phase per min-RTT. The 0.75 phase additionally ends as
+        // soon as the probe queue is drained (inflight back to 1 BDP).
+        const sim::Duration phase = min_rtt_ > 0 ? min_rtt_ : sim::millis(10);
+        bool advance = now - cycle_start_ >= phase;
+        if (kGainCycle[cycle_index_] < 1.0 &&
+            rs.bytes_in_flight <= bdp_bytes(1.0))
+          advance = true;
+        if (advance) {
+          cycle_index_ = (cycle_index_ + 1) % kGainCycleLen;
+          cycle_start_ = now;
+          pacing_gain_ = kGainCycle[cycle_index_];
+        }
+        break;
+      }
+      case Mode::kProbeRtt:
+        maybe_exit_probe_rtt(rs, now);
+        break;
+    }
+    // ProbeRTT entry: min-RTT observation expired and we are not already
+    // probing (or fresh out of one -- min_rtt_at advances on re-measure).
+    if (mode_ != Mode::kProbeRtt && min_rtt_ != 0 &&
+        now > rs.min_rtt_at + kMinRttExpiry) {
+      enter_probe_rtt(now);
+    }
+  }
+
+  void enter_probe_bw(sim::Time now) {
+    mode_ = Mode::kProbeBw;
+    cwnd_gain_ = kCwndGain;
+    // Start on a neutral phase (index 2..7) per BBR v1; fixed at 2 here so
+    // identical inputs give identical cycles (determinism contract).
+    cycle_index_ = 2;
+    cycle_start_ = now;
+    pacing_gain_ = kGainCycle[cycle_index_];
+  }
+
+  void enter_probe_rtt(sim::Time now) {
+    mode_ = Mode::kProbeRtt;
+    pacing_gain_ = 1.0;
+    cwnd_gain_ = 1.0;
+    cwnd_before_probe_rtt_ = cwnd_;
+    cwnd_ = kProbeRttCwndPackets * mss_;
+    probe_rtt_started_ = false;
+    probe_rtt_done_at_ = now + kProbeRttDuration;
+  }
+
+  void maybe_exit_probe_rtt(const RateSample& rs, sim::Time now) {
+    // Dwell starts once inflight has actually shrunk to the probe window.
+    if (!probe_rtt_started_) {
+      if (rs.bytes_in_flight <= kProbeRttCwndPackets * mss_) {
+        probe_rtt_started_ = true;
+        probe_rtt_done_at_ = now + kProbeRttDuration;
+      }
+      return;
+    }
+    if (now < probe_rtt_done_at_) return;
+    cwnd_ = std::max(cwnd_before_probe_rtt_, kMinWindowPackets * mss_);
+    if (filled_pipe_) {
+      enter_probe_bw(now);
+    } else {
+      mode_ = Mode::kStartup;
+      pacing_gain_ = kHighGain;
+      cwnd_gain_ = kHighGain;
+    }
+  }
+
+  void update_pacing_rate() {
+    if (btlbw_ > 0.0) {
+      pacing_rate_ = static_cast<std::uint64_t>(pacing_gain_ * btlbw_);
+    } else {
+      // No bandwidth sample yet: pace the initial window over the default
+      // RTT assumption so the very first flight is still spread out.
+      const double init_bw = static_cast<double>(kInitialWindowPackets * mss_) /
+                             sim::to_seconds(sim::millis(333));
+      pacing_rate_ = static_cast<std::uint64_t>(kHighGain * init_bw);
+    }
+    if (pacing_rate_ == 0) pacing_rate_ = 1;
+  }
+
+  void update_cwnd(const RateSample& rs, std::size_t acked) {
+    if (mode_ == Mode::kProbeRtt) {
+      cwnd_ = std::min(cwnd_, kProbeRttCwndPackets * mss_);
+      return;
+    }
+    const std::size_t target = bdp_bytes(cwnd_gain_);
+    if (filled_pipe_) {
+      cwnd_ = std::min(cwnd_ + acked, target);
+    } else {
+      // Startup: grow by acked bytes without the target cap -- the model is
+      // still discovering the pipe, so the cap would be a stale underread.
+      cwnd_ += acked;
+    }
+    cwnd_ = std::max(cwnd_, kMinWindowPackets * mss_);
+    (void)rs;
+  }
+
+  std::size_t mss_;
+  std::size_t cwnd_;
+  Mode mode_ = Mode::kStartup;
+  double pacing_gain_ = kHighGain;
+  double cwnd_gain_ = kHighGain;
+  double btlbw_ = 0.0;               // bytes/sec, from the sampler
+  sim::Duration min_rtt_ = 0;        // from the sampler
+  std::uint64_t pacing_rate_ = 0;    // bytes/sec
+
+  // STARTUP exit.
+  double full_bw_ = 0.0;
+  int full_bw_rounds_ = 0;
+  bool filled_pipe_ = false;
+
+  // Round tracking (mirrors the sampler's, but BBR keys gains off it).
+  bool round_start_ = false;
+  std::uint64_t next_round_delivered_ = 0;
+
+  // PROBE_BW cycle.
+  int cycle_index_ = 0;
+  sim::Time cycle_start_ = 0;
+
+  // PROBE_RTT.
+  sim::Time probe_rtt_done_at_ = 0;
+  bool probe_rtt_started_ = false;
+  std::size_t cwnd_before_probe_rtt_ = 0;
+
+  std::size_t acked_since_sample_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<CongestionController> make_bbr(std::size_t mss) {
+  return std::make_unique<Bbr>(mss);
+}
+
+}  // namespace xlink::quic

@@ -48,14 +48,20 @@ class LiaController final : public CongestionController {
   void on_packet_sent(std::size_t, sim::Time) override {}
 
   void on_ack(std::size_t bytes, sim::Time sent_time, sim::Time /*now*/,
-              sim::Duration srtt) override {
+              sim::Duration srtt, bool app_limited) override {
     member_->srtt_seconds = sim::to_seconds(srtt);
-    if (sent_time <= recovery_start_) {
+    // Sim time 0 is valid, so "no recovery yet" is a flag, not time 0.
+    if (recovery_started_ && sent_time <= recovery_start_) {
+      publish();
+      return;
+    }
+    if (app_limited) {  // RFC 9002 §7.8: not cwnd-limited, no credit
       publish();
       return;
     }
     if (in_slow_start()) {
       cwnd_ += bytes;  // slow start is uncoupled (RFC 6356 §3)
+      if (cwnd_ > ssthresh_) cwnd_ = ssthresh_;  // exit AT ssthresh
       publish();
       return;
     }
@@ -77,7 +83,8 @@ class LiaController final : public CongestionController {
   }
 
   void on_loss_event(sim::Time sent_time, sim::Time now) override {
-    if (sent_time <= recovery_start_) return;
+    if (recovery_started_ && sent_time <= recovery_start_) return;
+    recovery_started_ = true;
     recovery_start_ = now;
     ssthresh_ = std::max(cwnd_ / 2, kMinWindowPackets * mss_);
     cwnd_ = ssthresh_;
@@ -86,6 +93,7 @@ class LiaController final : public CongestionController {
   }
 
   void on_persistent_congestion(sim::Time now) override {
+    recovery_started_ = true;
     recovery_start_ = now;
     cwnd_ = kMinWindowPackets * mss_;
     ssthresh_ = cwnd_;
@@ -103,6 +111,7 @@ class LiaController final : public CongestionController {
     ssthresh_ = SIZE_MAX;
     credit_ = 0;
     recovery_start_ = 0;
+    recovery_started_ = false;
     publish();
   }
 
@@ -116,6 +125,7 @@ class LiaController final : public CongestionController {
   std::size_t ssthresh_ = SIZE_MAX;
   double credit_ = 0.0;
   sim::Time recovery_start_ = 0;
+  bool recovery_started_ = false;
 };
 
 }  // namespace

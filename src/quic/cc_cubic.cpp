@@ -20,13 +20,20 @@ class Cubic final : public CongestionController {
   void on_packet_sent(std::size_t, sim::Time) override {}
 
   void on_ack(std::size_t bytes, sim::Time sent_time, sim::Time now,
-              sim::Duration srtt) override {
-    if (sent_time <= recovery_start_) return;
+              sim::Duration srtt, bool app_limited) override {
+    // Sim time 0 is valid, so "no recovery yet" is a flag, not time 0.
+    if (recovery_started_ && sent_time <= recovery_start_) return;
+    if (app_limited) return;  // RFC 9002 §7.8: not cwnd-limited, no credit
     if (in_slow_start()) {
       cwnd_ += bytes;
+      // Exit slow start AT ssthresh so the first cubic epoch anchors at the
+      // estimated safe point, not past it.
+      if (cwnd_ > ssthresh_) cwnd_ = ssthresh_;
       return;
     }
-    if (epoch_start_ == 0) begin_epoch(now);
+    // Sim time 0 is a valid epoch start; an == 0 sentinel would re-run
+    // begin_epoch on every ack at t=0, resetting reno_credit_ and k_.
+    if (!epoch_started_) begin_epoch(now);
     // Cubic target window (in bytes) at time t + srtt since the epoch.
     const double t = sim::to_seconds(now + srtt - epoch_start_);
     const double target_bytes =
@@ -61,7 +68,8 @@ class Cubic final : public CongestionController {
   }
 
   void on_loss_event(sim::Time sent_time, sim::Time now) override {
-    if (sent_time <= recovery_start_) return;
+    if (recovery_started_ && sent_time <= recovery_start_) return;
+    recovery_started_ = true;
     recovery_start_ = now;
     // Fast convergence (RFC 8312 §4.6).
     const double cwnd_mss = static_cast<double>(cwnd_) / mss_;
@@ -73,15 +81,17 @@ class Cubic final : public CongestionController {
     cwnd_ = std::max(static_cast<std::size_t>(cwnd_ * kCubicBeta),
                      kMinWindowPackets * mss_);
     ssthresh_ = cwnd_;
-    epoch_start_ = 0;
+    epoch_started_ = false;
   }
 
   void on_persistent_congestion(sim::Time now) override {
+    recovery_started_ = true;
     recovery_start_ = now;
+    // RFC 9002 §7.6.2: collapse cwnd to the minimum but keep ssthresh (and
+    // cubic's W_max memory), so the path slow-starts back toward the last
+    // known safe operating point instead of crawling there linearly.
     cwnd_ = kMinWindowPackets * mss_;
-    ssthresh_ = cwnd_;
-    w_max_mss_ = static_cast<double>(cwnd_) / mss_;
-    epoch_start_ = 0;
+    epoch_started_ = false;
   }
 
   std::size_t cwnd_bytes() const override { return cwnd_; }
@@ -94,7 +104,9 @@ class Cubic final : public CongestionController {
     ssthresh_ = SIZE_MAX;
     w_max_mss_ = 0;
     epoch_start_ = 0;
+    epoch_started_ = false;
     recovery_start_ = 0;
+    recovery_started_ = false;
     cwnd_fraction_ = 0;
     reno_credit_ = 0;
   }
@@ -102,6 +114,7 @@ class Cubic final : public CongestionController {
  private:
   void begin_epoch(sim::Time now) {
     epoch_start_ = now;
+    epoch_started_ = true;
     const double cwnd_mss = static_cast<double>(cwnd_) / mss_;
     if (w_max_mss_ < cwnd_mss) w_max_mss_ = cwnd_mss;
     // K = cubic_root(W_max * (1 - beta) / C).
@@ -118,13 +131,16 @@ class Cubic final : public CongestionController {
   double w_est_start_mss_ = 0.0;
   std::uint64_t reno_credit_ = 0;
   sim::Time epoch_start_ = 0;
+  bool epoch_started_ = false;
   sim::Time recovery_start_ = 0;
+  bool recovery_started_ = false;
   double cwnd_fraction_ = 0.0;
 };
 
 }  // namespace
 
 std::unique_ptr<CongestionController> make_newreno(std::size_t mss);
+std::unique_ptr<CongestionController> make_bbr(std::size_t mss);
 
 std::unique_ptr<CongestionController> make_congestion_controller(
     CcAlgorithm algo, std::size_t mss) {
@@ -133,6 +149,8 @@ std::unique_ptr<CongestionController> make_congestion_controller(
       return make_newreno(mss);
     case CcAlgorithm::kCubic:
       return std::make_unique<Cubic>(mss);
+    case CcAlgorithm::kBbr:
+      return make_bbr(mss);
     case CcAlgorithm::kCoupledLia:
       break;  // needs shared state; see quic/cc_coupled.h
   }

@@ -15,10 +15,16 @@ class NewReno final : public CongestionController {
   void on_packet_sent(std::size_t, sim::Time) override {}
 
   void on_ack(std::size_t bytes, sim::Time sent_time, sim::Time /*now*/,
-              sim::Duration /*srtt*/) override {
-    if (sent_time <= recovery_start_) return;  // in recovery: no growth
+              sim::Duration /*srtt*/, bool app_limited) override {
+    // Sim time 0 is valid, so "no recovery yet" is a flag, not time 0.
+    if (recovery_started_ && sent_time <= recovery_start_)
+      return;  // in recovery: no growth
+    if (app_limited) return;  // RFC 9002 §7.8: not cwnd-limited, no credit
     if (in_slow_start()) {
       cwnd_ += bytes;
+      // Exit slow start AT ssthresh: overshooting past it would start the
+      // first congestion-avoidance epoch above the estimated safe point.
+      if (cwnd_ > ssthresh_) cwnd_ = ssthresh_;
     } else {
       // Congestion avoidance: +MSS per cwnd of acked bytes.
       avoidance_credit_ += bytes;
@@ -30,7 +36,9 @@ class NewReno final : public CongestionController {
   }
 
   void on_loss_event(sim::Time sent_time, sim::Time now) override {
-    if (sent_time <= recovery_start_) return;  // already reacted this burst
+    if (recovery_started_ && sent_time <= recovery_start_)
+      return;  // already reacted this burst
+    recovery_started_ = true;
     recovery_start_ = now;
     ssthresh_ = std::max(cwnd_ / 2, kMinWindowPackets * mss_);
     cwnd_ = ssthresh_;
@@ -38,6 +46,7 @@ class NewReno final : public CongestionController {
   }
 
   void on_persistent_congestion(sim::Time now) override {
+    recovery_started_ = true;
     recovery_start_ = now;
     cwnd_ = kMinWindowPackets * mss_;
     avoidance_credit_ = 0;
@@ -53,6 +62,7 @@ class NewReno final : public CongestionController {
     ssthresh_ = SIZE_MAX;
     avoidance_credit_ = 0;
     recovery_start_ = 0;
+    recovery_started_ = false;
   }
 
  private:
@@ -61,6 +71,7 @@ class NewReno final : public CongestionController {
   std::size_t ssthresh_ = SIZE_MAX;
   std::size_t avoidance_credit_ = 0;
   sim::Time recovery_start_ = 0;
+  bool recovery_started_ = false;
 };
 
 }  // namespace

@@ -177,6 +177,7 @@ PathState& Connection::create_path(PathId id, PathState::State state) {
   } else {
     p->cc = make_congestion_controller(config_.cc);
   }
+  p->pacer.configure(config_.pacing);
   p->challenge_data = derive_challenge(id);
   auto [ins, _] = paths_.emplace(id, std::move(p));
   trace_path_state(*ins->second);
@@ -250,6 +251,10 @@ void Connection::migrate_to_path(PathId id) {
       old_ids.push_back(pid);
   PathState& np = create_path(id, PathState::State::kActive);
   np.cc->reset();
+  // The bandwidth model belongs to the old network path; a migrated
+  // connection must rebuild it from scratch (the Fig. 13 restart cost).
+  np.sampler.reset();
+  np.pacer.reset();
   queue_control(id, Frame{PathChallengeFrame{np.challenge_data}});
   for (PathId old : old_ids) abandon_path(old);
   pump();
@@ -550,9 +555,37 @@ void Connection::pump_send() {
       }
     }
     if (!path) break;
+    // Pacing gate: the selected path's token bucket is in debt. Sideline
+    // just this path for the rest of the pump (other paths may still have
+    // tokens); arm_timers schedules a wake at its next release.
+    if (config_.pacing.enabled &&
+        !paths_.at(*path)->pacer.can_send(loop_.now())) {
+      paths_.at(*path)->pacer_deferred = true;
+      continue;
+    }
     if (!send_one_packet(*path)) break;
     if (config_.scheduler) config_.scheduler->maybe_reinject(*this);
   }
+
+  // App-limited marker (draft-cheng / RFC 9002 §7.8): the loop stopped
+  // with nothing left to send while cwnd headroom remains, so packets now
+  // in flight were not cwnd-limited -- their acks must neither inflate
+  // cwnd nor lower the bandwidth estimate.
+  if (pkt_send_q_.empty() && established_) {
+    for (auto& [id, p] : paths_) {
+      if (!p->schedulable()) continue;
+      // A pacer-deferred path is pacer-limited, not app-limited: its
+      // cwnd_available() reads zero, so it is skipped here -- correct,
+      // since its next flight WAS constrained by the controller.
+      if (p->cwnd_available() >= kDefaultMss)
+        p->sampler.on_app_limited(p->loss.bytes_in_flight());
+    }
+  }
+
+  // The deferral is pump-scoped; clear before arm_timers so the pacer
+  // release wake (gated on cwnd headroom) still gets considered.
+  if (config_.pacing.enabled)
+    for (auto& [id, p] : paths_) p->pacer_deferred = false;
 
   arm_timers();
   in_pump_ = false;
@@ -794,6 +827,12 @@ bool Connection::build_and_send(PathId path_id, std::vector<Frame>& frames,
         rec.control.push_back(f);
       }
     }
+    if (eliciting) {
+      // Delivery-rate stamp before loss detection sees the packet: the
+      // sampler re-anchors its clocks when bytes_in_flight is still zero.
+      path.sampler.on_packet_sent(rec.rate_stamp, rec.sent_time,
+                                  path.loss.bytes_in_flight());
+    }
     path.loss.on_packet_sent(rec.pn, rec.sent_time, rec.bytes, eliciting);
     if (eliciting) {
       path.last_ack_eliciting_sent = rec.sent_time;
@@ -801,6 +840,11 @@ bool Connection::build_and_send(PathId path_id, std::vector<Frame>& frames,
     }
     path.unacked.emplace(rec.pn, std::move(rec));
   }
+
+  // Pacing: every wire departure debits the token bucket (control and acks
+  // included, so their bytes count toward the release rate); only the
+  // scheduler-driven data loop in pump_send is gated on the balance.
+  path.pacer.on_sent(loop_.now(), wire.size());
 
   ++path.packets_sent;
   path.bytes_sent += wire.size();
@@ -1393,11 +1437,47 @@ void Connection::handle_ack_info(PathId acked_path, const AckInfo& info) {
       if (stream)
         stream->on_range_acked(item.offset, item.offset + item.length);
     }
-    if (rec.ack_eliciting)
-      p.cc->on_ack(rec.bytes, rec.sent_time, loop_.now(), p.rtt.smoothed());
+    if (rec.ack_eliciting) {
+      p.cc->on_ack(rec.bytes, rec.sent_time, loop_.now(), p.rtt.smoothed(),
+                   rec.rate_stamp.is_app_limited);
+      // Delivery-rate sample for this packet's flight (draft-cheng); the
+      // rate-based controllers rebuild their model from these.
+      const RateSample sample = p.sampler.on_ack(
+          rec.rate_stamp, rec.bytes, rec.sent_time, loop_.now(),
+          pn == info.largest_acked() && outcome.rtt_sample
+              ? *outcome.rtt_sample
+              : 0,
+          p.loss.bytes_in_flight());
+      p.cc->on_rate_sample(sample, loop_.now());
+      XLINK_TRACE(config_.trace,
+                  telemetry::Event::cc_rate_sample(
+                      loop_.now(), trace_origin(),
+                      static_cast<std::uint8_t>(p.id),
+                      static_cast<std::uint64_t>(sample.delivery_rate),
+                      static_cast<std::uint64_t>(sample.btlbw),
+                      sample.min_rtt, sample.is_app_limited));
+    }
   }
-  if (!outcome.newly_acked.empty()) trace_cc_state(p);
+  if (!outcome.newly_acked.empty()) {
+    update_pacing(p);
+    trace_cc_state(p);
+  }
   if (!outcome.lost.empty()) on_packets_lost(p, outcome.lost);
+}
+
+void Connection::update_pacing(PathState& p) {
+  p.pacer.configure(config_.pacing);
+  if (!config_.pacing.enabled) return;
+  std::uint64_t rate = p.cc->pacing_rate_bytes_per_sec();
+  if (rate == 0) {
+    // Loss-based controllers have no rate opinion: pace a cwnd per srtt
+    // with 25% headroom so pacing shapes bursts without throttling growth.
+    const double srtt = sim::to_seconds(p.rtt.smoothed());
+    if (srtt > 0.0)
+      rate = static_cast<std::uint64_t>(
+          1.25 * static_cast<double>(p.cc->cwnd_bytes()) / srtt);
+  }
+  p.pacer.set_rate(rate);
 }
 
 void Connection::trace_cc_state(const PathState& p) {
@@ -1408,7 +1488,8 @@ void Connection::trace_cc_state(const PathState& p) {
       loop_.now(), trace_origin(), static_cast<std::uint8_t>(p.id),
       p.cc->cwnd_bytes(), p.loss.bytes_in_flight(),
       ss == static_cast<std::size_t>(-1) ? telemetry::kNoValue : ss,
-      p.rtt.smoothed(), p.cc->in_slow_start()));
+      p.rtt.smoothed(), p.cc->in_slow_start(),
+      p.pacer.enabled() ? p.pacer.rate_bytes_per_sec() : telemetry::kNoValue));
 #else
   (void)p;
 #endif
@@ -1435,7 +1516,13 @@ void Connection::on_packets_lost(PathState& p,
   if (lost_records.empty()) return;
   p.packets_lost += lost_records.size();
   stats_.packets_lost += lost_records.size();
+  // The sampler never counts lost bytes as delivered, but it must see them
+  // so app-limited markers drain when a flight's tail dies instead of
+  // being acked (BBR keeps cwnd; the model just stops growing).
+  for (const SentRecord& rec : lost_records)
+    if (rec.ack_eliciting) p.sampler.on_loss(rec.bytes);
   p.cc->on_loss_event(latest_sent, loop_.now());
+  update_pacing(p);
   trace_cc_state(p);
   for (auto& rec : lost_records) requeue_record(std::move(rec));
   if (config_.scheduler) config_.scheduler->on_loss(*this, p.id);
@@ -1634,6 +1721,12 @@ void Connection::arm_timers() {
     consider(p->loss.loss_time(p->rtt));
     if (p->loss.has_ack_eliciting_in_flight())
       consider(p->last_ack_eliciting_sent + path_pto_interval(*p));
+    // Pacer release: data is queued, the window has room, only the token
+    // bucket is holding the path back -- wake when credit matures.
+    if (config_.pacing.enabled && !pkt_send_q_.empty() &&
+        p->schedulable() && p->cwnd_available() >= kDefaultMss / 2 &&
+        !p->pacer.can_send(loop_.now()))
+      consider(p->pacer.next_release_time(loop_.now()));
   }
   if (timer_id_) {
     loop_.cancel(timer_id_);
@@ -1642,8 +1735,13 @@ void Connection::arm_timers() {
   if (!earliest || closed_) return;
   // Floor 1ms ahead: a deadline that is already due is handled by the
   // pump/timer pass that follows, and scheduling at `now` could otherwise
-  // re-fire within the same instant indefinitely.
-  const sim::Time at = std::max(*earliest, loop_.now() + sim::kMillisecond);
+  // re-fire within the same instant indefinitely. Pacer releases need
+  // sub-millisecond wakes, so with pacing on a strictly-future deadline
+  // keeps its exact time (still floored one tick ahead of now).
+  sim::Time floor = loop_.now() + sim::kMillisecond;
+  if (config_.pacing.enabled && *earliest > loop_.now())
+    floor = loop_.now() + 1;
+  const sim::Time at = std::max(*earliest, floor);
   timer_id_ = loop_.schedule_at(at, [this] {
     timer_id_ = 0;
     on_timer();

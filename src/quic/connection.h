@@ -35,6 +35,8 @@
 #include "quic/cc.h"
 #include "quic/cc_coupled.h"
 #include "quic/crypto.h"
+#include "quic/delivery_rate.h"
+#include "quic/pacer.h"
 #include "quic/frame.h"
 #include "quic/guard.h"
 #include "quic/loss_detection.h"
@@ -63,6 +65,9 @@ struct SentRecord {
   bool is_reinjection = false;   // this packet was itself a re-injection
   bool reinjected = false;       // a duplicate of this packet was queued
   sim::Time reinjected_at = 0;   // when that duplicate was queued
+  /// Delivery-rate stamp (draft-cheng): the path's delivered totals frozen
+  /// at send time, so the ack can reconstruct the rate over this flight.
+  RateStamp rate_stamp;
 };
 
 /// Per-path transport state (public so schedulers can inspect and, for
@@ -84,6 +89,13 @@ struct PathState {
   Health health = Health::kGood;
   RttEstimator rtt;
   std::unique_ptr<CongestionController> cc;
+  /// Shared per-path delivery-rate estimation: stamps outgoing packets,
+  /// extracts rate samples on ack. BBR consumes the samples; ECF/BLEST
+  /// read the windowed-max bandwidth; loss-based CC uses the app-limited
+  /// marker (RFC 9002 §7.8).
+  DeliveryRateSampler sampler;
+  /// Token-bucket pacer (inactive unless Config::pacing.enabled).
+  Pacer pacer;
   LossDetection loss;
   std::map<PacketNumber, SentRecord> unacked;
   PacketNumber next_pn = 0;
@@ -124,9 +136,27 @@ struct PathState {
     return state == State::kActive && health != Health::kProbing;
   }
   std::size_t cwnd_available() const {
+    if (pacer_deferred) return 0;  // no budget until the next token release
     const std::size_t cwnd = cc->cwnd_bytes();
     const std::size_t inflight = loss.bytes_in_flight();
     return inflight >= cwnd ? 0 : cwnd - inflight;
+  }
+  /// Transient, pump-scoped: the pacer refused this path mid-pump, so it
+  /// reports no cwnd headroom and the scheduler falls through to the other
+  /// paths instead of the whole pump stalling behind one token bucket.
+  /// Cleared before arm_timers so the pacer wake still gets scheduled.
+  bool pacer_deferred = false;
+  /// Bytes/sec estimate for schedulers. Both the sampler's windowed-max
+  /// btlbw and cwnd/srtt are lower bounds on path capacity -- btlbw lags
+  /// when recent flights were app-limited (e.g. right after the
+  /// handshake), cwnd/srtt lags when the window has not opened yet -- so
+  /// take whichever currently bounds tighter.
+  double bandwidth_estimate_bytes_per_sec() const {
+    const double btlbw = sampler.btlbw_bytes_per_sec();
+    const double srtt = sim::to_seconds(rtt.smoothed());
+    const double from_cwnd =
+        srtt > 0.0 ? static_cast<double>(cc->cwnd_bytes()) / srtt : 0.0;
+    return btlbw > from_cwnd ? btlbw : from_cwnd;
   }
 };
 
@@ -183,6 +213,11 @@ class Connection {
     /// audit_enabled_by_env() at construction, so XLINK_AUDIT=0 silences
     /// it without a rebuild.
     InvariantAuditor::Config audit;
+
+    /// Token-bucket pacing of scheduler-driven data sends. Off by default:
+    /// enabling it changes packet departure times, so existing experiment
+    /// arms stay byte-identical unless they opt in.
+    PacerConfig pacing;
   };
 
   struct Stats {
@@ -426,6 +461,9 @@ class Connection {
   bool already_received(const PathState& p, PacketNumber pn) const;
 
   // Loss/timer machinery.
+  /// Re-derives the path's pacing rate from its controller (or cwnd/srtt
+  /// for controllers with no opinion) after CC state changes.
+  void update_pacing(PathState& p);
   void trace_cc_state(const PathState& p);
   void on_packets_lost(PathState& p, const std::vector<LostPacket>& pns);
   void requeue_record(SentRecord record);

@@ -1,0 +1,154 @@
+#include "quic/delivery_rate.h"
+
+#include <algorithm>
+
+namespace xlink::quic {
+
+void DeliveryRateSampler::on_packet_sent(RateStamp& stamp, sim::Time now,
+                                         std::size_t inflight_before) {
+  if (!anchored_ || inflight_before == 0) {
+    // Flight restart: nothing in the network, so the delivery clock and
+    // the first-sent clock both re-anchor here. Without this an idle gap
+    // would be counted as transmission time and crater the next sample.
+    first_sent_time_ = now;
+    delivered_time_ = now;
+    anchored_ = true;
+  }
+  stamp.delivered = delivered_;
+  stamp.delivered_time = delivered_time_;
+  stamp.first_sent_time = first_sent_time_;
+  stamp.is_app_limited = app_limited_until_ != 0;
+  stamp.valid = true;
+}
+
+void DeliveryRateSampler::on_app_limited(std::size_t inflight_bytes) {
+  // Everything currently in flight was sent while there was more cwnd than
+  // data; samples from those packets must not lower the bandwidth estimate.
+  // The marker is at least 1 so "app-limited from the very first byte"
+  // (delivered_ == 0, nothing in flight) still registers.
+  app_limited_until_ = std::max<std::uint64_t>(
+      delivered_ + static_cast<std::uint64_t>(inflight_bytes), 1);
+}
+
+RateSample DeliveryRateSampler::on_ack(const RateStamp& stamp,
+                                       std::size_t bytes, sim::Time sent_time,
+                                       sim::Time now, sim::Duration rtt,
+                                       std::size_t inflight_after) {
+  RateSample sample;
+  sample.prior_delivered = stamp.valid ? stamp.delivered : delivered_;
+
+  delivered_ += static_cast<std::uint64_t>(bytes);
+  delivered_time_ = now;
+  // First-sent clock advances to this packet's send time: the next sample's
+  // send interval starts where this packet's transmission ended.
+  first_sent_time_ = std::max(first_sent_time_, sent_time);
+
+  // Drain the app-limited marker once every packet sent during the limited
+  // phase has left the network.
+  if (app_limited_until_ != 0 && delivered_ > app_limited_until_)
+    app_limited_until_ = 0;
+
+  // Round accounting: this ack closes a round if the packet was sent at or
+  // after the previous round's delivered mark.
+  if (stamp.valid && stamp.delivered >= next_round_delivered_) {
+    next_round_delivered_ = delivered_;
+    ++round_count_;
+  }
+
+  sample.delivered = delivered_;
+  sample.rtt = rtt;
+  sample.bytes_in_flight = inflight_after;
+  sample.is_app_limited = stamp.valid ? stamp.is_app_limited : true;
+
+  if (stamp.valid) {
+    const sim::Duration send_elapsed =
+        sent_time > stamp.first_sent_time ? sent_time - stamp.first_sent_time
+                                          : 0;
+    const sim::Duration ack_elapsed =
+        now > stamp.delivered_time ? now - stamp.delivered_time : 0;
+    sample.interval = std::max(send_elapsed, ack_elapsed);
+    if (sample.interval > 0) {
+      sample.delivery_rate =
+          static_cast<double>(delivered_ - stamp.delivered) /
+          sim::to_seconds(sample.interval);
+      update_btlbw(sample.delivery_rate, sample.is_app_limited);
+    }
+  }
+  if (rtt > 0) update_min_rtt(rtt, now);
+
+  sample.btlbw = btlbw_bytes_per_sec();
+  sample.min_rtt = min_rtt_;
+  sample.min_rtt_at = min_rtt_at_;
+  return sample;
+}
+
+void DeliveryRateSampler::on_loss(std::size_t bytes) {
+  // Lost bytes never count as delivered, but a flight whose tail is lost
+  // must still drain the app-limited marker: shrink it by the lost bytes
+  // so the phase ends once the surviving packets are acked.
+  if (app_limited_until_ > 1) {
+    const auto lost = static_cast<std::uint64_t>(bytes);
+    app_limited_until_ =
+        app_limited_until_ > lost + 1 ? app_limited_until_ - lost : 1;
+  }
+}
+
+double DeliveryRateSampler::btlbw_bytes_per_sec() const {
+  return bw_[0].rate;
+}
+
+void DeliveryRateSampler::update_btlbw(double rate, bool app_limited) {
+  // App-limited samples underestimate the path; only let them through when
+  // they still beat the current maximum.
+  if (app_limited && rate <= bw_[0].rate) return;
+
+  const std::uint64_t round = round_count_;
+  if (rate >= bw_[0].rate) {
+    bw_[2] = bw_[1];
+    bw_[1] = bw_[0];
+    bw_[0] = {rate, round};
+  } else if (rate >= bw_[1].rate) {
+    bw_[2] = bw_[1];
+    bw_[1] = {rate, round};
+  } else if (rate >= bw_[2].rate) {
+    bw_[2] = {rate, round};
+  }
+
+  // Age out the maximum once it is older than the filter window, promoting
+  // the runners-up (and re-seeding them with the newest sample so the
+  // filter never empties while samples keep arriving).
+  if (bw_[0].round + kBwFilterRounds < round) {
+    bw_[0] = bw_[1];
+    bw_[1] = bw_[2];
+    bw_[2] = {rate, round};
+    if (bw_[0].round + kBwFilterRounds < round) {
+      bw_[0] = bw_[1];
+      bw_[1] = bw_[2];
+      bw_[2] = {rate, round};
+    }
+    if (bw_[0].round + kBwFilterRounds < round) bw_[0] = {rate, round};
+  }
+}
+
+void DeliveryRateSampler::update_min_rtt(sim::Duration rtt, sim::Time now) {
+  const bool expired = min_rtt_at_ + kMinRttWindow < now;
+  if (min_rtt_ == 0 || rtt <= min_rtt_ || expired) {
+    min_rtt_ = rtt;
+    min_rtt_at_ = now;
+  }
+}
+
+void DeliveryRateSampler::reset() {
+  delivered_ = 0;
+  delivered_time_ = 0;
+  first_sent_time_ = 0;
+  anchored_ = false;
+  app_limited_until_ = 0;
+  round_count_ = 0;
+  next_round_delivered_ = 0;
+  bw_[0] = bw_[1] = bw_[2] = {};
+  min_rtt_ = 0;
+  min_rtt_at_ = 0;
+}
+
+}  // namespace xlink::quic

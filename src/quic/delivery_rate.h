@@ -1,0 +1,110 @@
+// Per-path delivery-rate estimation
+// (draft-cheng-iccrg-delivery-rate-estimation, the algorithm Linux TCP and
+// BBR use). Every ack-eliciting packet is stamped at send time with the
+// path's delivery totals; when the packet is acked the sampler reconstructs
+// the rate the network actually sustained over that packet's flight:
+//
+//     rate = (delivered_now - delivered_at_send) / max(send_gap, ack_gap)
+//
+// Samples taken while the sender was application-limited (it had cwnd
+// headroom but nothing to send) underestimate the path and are marked so
+// downstream filters only let them raise -- never lower -- the bandwidth
+// estimate. The sampler also owns the two windowed filters every consumer
+// shares: a windowed-max bottleneck bandwidth (btlbw, ~10 delivery rounds)
+// read by BBR and the ECF/BLEST schedulers, and a windowed-min RTT (10 s)
+// read by BBR's ProbeRTT logic.
+#pragma once
+
+#include <cstdint>
+
+#include "quic/cc.h"
+#include "sim/time.h"
+
+namespace xlink::quic {
+
+/// Send-time stamp carried in the connection's SentRecord ledger. POD so
+/// the zero-allocation datapath stays allocation-free.
+struct RateStamp {
+  std::uint64_t delivered = 0;      ///< path delivered total at send time
+  sim::Time delivered_time = 0;     ///< when `delivered` was last advanced
+  sim::Time first_sent_time = 0;    ///< send time of the flight's first pkt
+  bool is_app_limited = false;      ///< sent during an app-limited phase
+  bool valid = false;               ///< stamped at all (ack-eliciting sends)
+};
+
+class DeliveryRateSampler {
+ public:
+  /// Number of delivery rounds the btlbw max-filter remembers.
+  static constexpr std::uint64_t kBwFilterRounds = 10;
+  /// How long a min-RTT observation stays valid.
+  static constexpr sim::Duration kMinRttWindow = sim::seconds(10);
+
+  /// Stamps an outgoing ack-eliciting packet. `inflight_before` is the
+  /// path's bytes in flight BEFORE this packet is added: when it is zero
+  /// the flight restarts and the send/delivered clocks re-anchor at `now`.
+  void on_packet_sent(RateStamp& stamp, sim::Time now,
+                      std::size_t inflight_before);
+
+  /// Marks the path application-limited: the send loop drained with cwnd
+  /// headroom left. Packets stamped until the marker drains (everything
+  /// currently in flight is delivered) carry is_app_limited.
+  void on_app_limited(std::size_t inflight_bytes);
+
+  /// Produces the rate sample for an acked packet and folds it into the
+  /// btlbw / min-RTT filters. `rtt` is this ack's RTT sample (0 = none);
+  /// `inflight_after` is bytes in flight after the ack was processed.
+  RateSample on_ack(const RateStamp& stamp, std::size_t bytes,
+                    sim::Time sent_time, sim::Time now, sim::Duration rtt,
+                    std::size_t inflight_after);
+
+  /// Losses advance nothing but must be visible so app-limited markers
+  /// drain even when the tail of a flight is lost instead of acked.
+  void on_loss(std::size_t bytes);
+
+  std::uint64_t delivered_bytes() const { return delivered_; }
+  bool is_app_limited() const { return app_limited_until_ != 0; }
+  std::uint64_t round_count() const { return round_count_; }
+
+  /// Windowed-max delivery rate in bytes/sec; 0 until the first sample.
+  double btlbw_bytes_per_sec() const;
+  /// Windowed-min RTT; 0 until the first RTT-bearing sample.
+  sim::Duration min_rtt() const { return min_rtt_; }
+  sim::Time min_rtt_timestamp() const { return min_rtt_at_; }
+
+  void reset();
+
+ private:
+  void update_btlbw(double rate, bool app_limited);
+  void update_min_rtt(sim::Duration rtt, sim::Time now);
+
+  // Delivery ledger.
+  std::uint64_t delivered_ = 0;
+  sim::Time delivered_time_ = 0;
+  sim::Time first_sent_time_ = 0;
+  bool anchored_ = false;  ///< clocks re-anchor on the next send when false
+
+  // App-limited marker: delivered total at which the limited phase drains
+  // (delivered + inflight at the moment the sender went idle); 0 = not
+  // limited. Mirrors tp->app_limited in the Linux implementation.
+  std::uint64_t app_limited_until_ = 0;
+
+  // Round counting: a round ends when a packet sent after the previous
+  // round's `delivered_` mark is acked.
+  std::uint64_t round_count_ = 0;
+  std::uint64_t next_round_delivered_ = 0;
+
+  // Windowed-max btlbw filter (Kathleen Nichols' 3-estimate scheme keyed
+  // by round count): best, second-best, third-best with the rounds they
+  // were taken in.
+  struct BwEstimate {
+    double rate = 0.0;
+    std::uint64_t round = 0;
+  };
+  BwEstimate bw_[3];
+
+  // Windowed-min RTT.
+  sim::Duration min_rtt_ = 0;
+  sim::Time min_rtt_at_ = 0;
+};
+
+}  // namespace xlink::quic

@@ -93,6 +93,12 @@ AnalysisReport analyze(const ParsedTrace& trace,
     if (inserted) it->second.path = id;
     return it->second;
   };
+  std::map<std::uint8_t, CcPathReport> cc_paths;
+  auto cc_path_of = [&](std::uint8_t id) -> CcPathReport& {
+    auto [it, inserted] = cc_paths.try_emplace(id);
+    if (inserted) it->second.path = id;
+    return it->second;
+  };
   auto touch = [](PathTimeline& p, sim::Time t) {
     if (p.first_activity == 0 && p.last_activity == 0) p.first_activity = t;
     p.last_activity = std::max(p.last_activity, t);
@@ -167,6 +173,21 @@ AnalysisReport analyze(const ParsedTrace& trace,
           p.min_srtt_us = std::min<std::uint64_t>(p.min_srtt_us, e.extra);
           p.max_srtt_us = std::max<std::uint64_t>(p.max_srtt_us, e.extra);
         }
+        if (e.d != kNoValue) {
+          cc_path_of(e.path).pacing_rate_last = e.d;
+          rep.cc.pacing_seen = true;
+        }
+        break;
+      }
+      case EventType::kCcRateSample: {
+        CcPathReport& c = cc_path_of(e.path);
+        ++c.rate_samples;
+        ++rep.cc.rate_samples;
+        if (e.flag & 1) ++c.app_limited_samples;
+        c.btlbw_last = e.b;
+        c.btlbw_peak = std::max(c.btlbw_peak, e.b);
+        if (e.c > 0) c.min_rtt_us = std::min<std::uint64_t>(c.min_rtt_us, e.c);
+        touch(path_of(e.path), e.t);
         break;
       }
       case EventType::kPathStatus: {
@@ -377,6 +398,8 @@ AnalysisReport analyze(const ParsedTrace& trace,
   for (auto& [id, p] : paths) rep.paths.push_back(std::move(p));
   rep.fec.paths.reserve(fec_paths.size());
   for (auto& [id, f] : fec_paths) rep.fec.paths.push_back(std::move(f));
+  rep.cc.paths.reserve(cc_paths.size());
+  for (auto& [id, c] : cc_paths) rep.cc.paths.push_back(std::move(c));
   return rep;
 }
 
@@ -494,6 +517,27 @@ std::string render_report(const AnalysisReport& rep) {
          << stats::Table::fmt(reinj_pct + fec_pct, 2)
          << "% of first-tx bytes\n";
     }
+  }
+
+  if (rep.cc.present()) {
+    const CcReport& c = rep.cc;
+    os << "\n=== congestion control ===\n";
+    stats::Table ct({"path", "samples", "app-ltd", "btlbw peak MB/s",
+                     "btlbw last MB/s", "min rtt", "pacing MB/s"});
+    for (const CcPathReport& p : c.paths) {
+      ct.add_row(
+          {std::to_string(int(p.path)), std::to_string(p.rate_samples),
+           std::to_string(p.app_limited_samples),
+           stats::Table::fmt(double(p.btlbw_peak) / 1e6, 2),
+           stats::Table::fmt(double(p.btlbw_last) / 1e6, 2),
+           p.min_rtt_us == kNoValue ? "-" : ms_str(p.min_rtt_us),
+           p.pacing_rate_last == 0
+               ? "-"
+               : stats::Table::fmt(double(p.pacing_rate_last) / 1e6, 2)});
+    }
+    os << ct.render();
+    os << "rate samples: " << c.rate_samples
+       << (c.pacing_seen ? " (pacing engaged)\n" : " (pacing off)\n");
   }
 
   if (!rep.failover_timeline.empty()) {

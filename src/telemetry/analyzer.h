@@ -93,6 +93,28 @@ struct FecReport {
   bool present() const { return repair_packets > 0 || recovered > 0; }
 };
 
+/// Per-path congestion-control rate estimation (cc:rate_sample events plus
+/// the pacing field of cc:state). Summarises what the delivery-rate
+/// sampler fed the controller: how often, how much of it was app-limited,
+/// and where the btlbw / min-RTT filters ended up.
+struct CcPathReport {
+  std::uint8_t path = 0;
+  std::uint64_t rate_samples = 0;
+  std::uint64_t app_limited_samples = 0;
+  std::uint64_t btlbw_peak = 0;         // bytes/sec, max over the trace
+  std::uint64_t btlbw_last = 0;         // bytes/sec, final filter value
+  std::uint64_t min_rtt_us = kNoValue;  // min over the trace
+  std::uint64_t pacing_rate_last = 0;   // bytes/sec, 0 = pacing off
+};
+
+struct CcReport {
+  std::vector<CcPathReport> paths;
+  std::uint64_t rate_samples = 0;
+  bool pacing_seen = false;  // any cc:state carried a pacing rate
+
+  bool present() const { return rate_samples > 0 || pacing_seen; }
+};
+
 /// One entry of the failover timeline: either an injected fault window
 /// opening/closing (is_fault) or a path-health transition at an endpoint.
 struct FailoverEvent {
@@ -142,6 +164,7 @@ struct AnalysisReport {
   std::vector<PathTimeline> paths;
   ReinjectionEfficiency reinjection;
   FecReport fec;
+  CcReport cc;
   std::vector<StallReport> stalls;
   SecurityReport security;
   /// Interleaved fault windows and health transitions, trace order.

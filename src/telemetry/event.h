@@ -35,7 +35,8 @@ enum class EventType : std::uint8_t {
   kPto,                   // path; a=pto_count after this timeout
   kCcState,               // path; a=cwnd bytes, b=bytes in flight,
                           // c=ssthresh bytes (kNoValue -> omitted on export);
-                          // extra=srtt (us, saturated); flag=in_slow_start
+                          // extra=srtt (us, saturated); flag=in_slow_start;
+                          // d=pacing rate (bytes/s, kNoValue -> omitted)
   kPathStatus,            // path; a=PathState::State as integer
   kPathBound,             // path; a=net::Wireless as integer (harness wiring)
   kReinjection,           // path=origin path; a=bytes duplicated, b=pn of
@@ -67,6 +68,9 @@ enum class EventType : std::uint8_t {
                           // far, c=outstanding pooled buffers
   kFecStashEvicted,       // path; a=evicted pn, b=evicted bytes,
                           // c=stash bytes after eviction
+  kCcRateSample,          // path; a=delivery rate (bytes/s), b=windowed-max
+                          // btlbw (bytes/s), c=windowed-min rtt (us);
+                          // flag bit0=sample is app-limited
 };
 
 /// Sentinel for "value not available" in `a`/`b`/`c`.
@@ -88,6 +92,9 @@ struct Event {
   std::uint64_t a = 0;
   std::uint64_t b = 0;
   std::uint64_t c = 0;
+  /// Fourth generic slot (brace-init factories that predate it leave it
+  /// zero). Only kCcState uses it so far: pacing rate in bytes/sec.
+  std::uint64_t d = 0;
 
   bool operator==(const Event&) const = default;
 
@@ -129,7 +136,8 @@ struct Event {
   static Event cc_state(sim::Time t, Origin o, std::uint8_t path,
                         std::uint64_t cwnd, std::uint64_t inflight,
                         std::uint64_t ssthresh, std::uint64_t srtt_us,
-                        bool slow_start) {
+                        bool slow_start,
+                        std::uint64_t pacing_rate = kNoValue) {
     return {t,
             EventType::kCcState,
             o,
@@ -139,7 +147,8 @@ struct Event {
                 srtt_us > 0xffffffffull ? 0xffffffffull : srtt_us),
             cwnd,
             inflight,
-            ssthresh};
+            ssthresh,
+            pacing_rate};
   }
   static Event path_status(sim::Time t, Origin o, std::uint8_t path,
                            std::uint64_t state) {
@@ -247,6 +256,20 @@ struct Event {
                                  std::uint64_t stash_bytes_after) {
     return {t, EventType::kFecStashEvicted, o, path, 0, 0, pn, bytes,
             stash_bytes_after};
+  }
+  static Event cc_rate_sample(sim::Time t, Origin o, std::uint8_t path,
+                              std::uint64_t rate_bytes_per_sec,
+                              std::uint64_t btlbw_bytes_per_sec,
+                              std::uint64_t min_rtt_us, bool app_limited) {
+    return {t,
+            EventType::kCcRateSample,
+            o,
+            path,
+            static_cast<std::uint8_t>(app_limited ? 1 : 0),
+            0,
+            rate_bytes_per_sec,
+            btlbw_bytes_per_sec,
+            min_rtt_us};
   }
 };
 

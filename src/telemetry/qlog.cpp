@@ -39,6 +39,7 @@ constexpr NameEntry kNames[] = {
     {EventType::kGuardViolation, "guard:violation"},
     {EventType::kAuditCheck, "audit:check"},
     {EventType::kFecStashEvicted, "fec:stash_evicted"},
+    {EventType::kCcRateSample, "cc:rate_sample"},
 };
 
 const char* origin_name(Origin o) {
@@ -101,6 +102,7 @@ void write_event_data(JsonWriter& w, const Event& e) {
       if (e.c != kNoValue) w.kv("ssthresh", e.c);
       w.kv("srtt_us", std::uint64_t{e.extra});
       w.kv("slow_start", (e.flag & 1) != 0);
+      if (e.d != kNoValue) w.kv("pacing_rate", e.d);
       break;
     case EventType::kPathStatus:
       w.kv("path", std::uint64_t{e.path});
@@ -187,6 +189,13 @@ void write_event_data(JsonWriter& w, const Event& e) {
       w.kv("bytes", e.b);
       w.kv("stash_bytes", e.c);
       break;
+    case EventType::kCcRateSample:
+      w.kv("path", std::uint64_t{e.path});
+      w.kv("rate", e.a);
+      w.kv("btlbw", e.b);
+      w.kv("min_rtt_us", e.c);
+      w.kv("app_limited", (e.flag & 1) != 0);
+      break;
   }
 }
 
@@ -240,7 +249,10 @@ std::optional<Event> event_from_json(const JsonValue& entry) {
                           data->get("ssthresh") ? data->get_u64("ssthresh")
                                                 : kNoValue,
                           data->get_u64("srtt_us"),
-                          read_bool(*data, "slow_start"));
+                          read_bool(*data, "slow_start"),
+                          data->get("pacing_rate")
+                              ? data->get_u64("pacing_rate")
+                              : kNoValue);
       break;
     case EventType::kPathStatus:
       e = Event::path_status(e.t, e.origin, path, data->get_u64("state"));
@@ -323,6 +335,12 @@ std::optional<Event> event_from_json(const JsonValue& entry) {
       e = Event::fec_stash_evicted(e.t, e.origin, path, data->get_u64("pn"),
                                    data->get_u64("bytes"),
                                    data->get_u64("stash_bytes"));
+      break;
+    case EventType::kCcRateSample:
+      e = Event::cc_rate_sample(e.t, e.origin, path, data->get_u64("rate"),
+                                data->get_u64("btlbw"),
+                                data->get_u64("min_rtt_us"),
+                                read_bool(*data, "app_limited"));
       break;
   }
   return e;

@@ -24,7 +24,9 @@
 #include "harness/scenario.h"
 #include "net/link.h"
 #include "net/packet_buffer.h"
+#include "quic/delivery_rate.h"
 #include "quic/frame.h"
+#include "quic/pacer.h"
 #include "quic/packet.h"
 #include "sim/event_loop.h"
 #include "sim/rng.h"
@@ -273,6 +275,69 @@ TEST(AllocGuard, FullSessionAllocationsPerPacketAreBounded) {
   EXPECT_LT(per_packet, 32.0)
       << "session made " << (after - before) << " allocations for " << packets
       << " packets (" << per_packet << "/packet)";
+}
+
+/// Warm pacer + delivery-rate sampler: the per-packet stamp/ack/refill
+/// arithmetic is pure integer state on POD members, so once constructed it
+/// must never touch the heap.
+TEST(AllocGuard, WarmPacerAndSamplerAreAllocationFree) {
+  quic::DeliveryRateSampler sampler;
+  quic::PacerConfig pc;
+  pc.enabled = true;
+  quic::Pacer pacer(pc);
+  pacer.set_rate(10'000'000);
+
+  quic::RateStamp stamp;
+  sim::Time now = sim::millis(1);
+  const std::uint64_t before = alloc_count();
+  for (int i = 0; i < 10000; ++i) {
+    now += sim::micros(120);
+    sampler.on_packet_sent(stamp, now, i % 7 == 0 ? 0 : 1400);
+    if (i % 5 == 0) sampler.on_app_limited(1400);
+    if (i % 11 == 0) sampler.on_loss(1400);
+    const quic::RateSample rs = sampler.on_ack(
+        stamp, 1400, now, now + sim::millis(20), sim::millis(20), 1400);
+    (void)rs;
+    if (pacer.can_send(now)) pacer.on_sent(now, 1400);
+    (void)pacer.next_release_time(now);
+  }
+  const std::uint64_t after = alloc_count();
+  EXPECT_EQ(after - before, 0u)
+      << "warm pacer/sampler loop allocated " << (after - before) << " times";
+}
+
+/// The bounded-allocations contract must also hold with the pacer engaged
+/// and BBR consuming rate samples: pacing gates and re-arms timers on the
+/// warm path, none of which may allocate per packet.
+TEST(AllocGuard, PacedBbrSessionAllocationsPerPacketAreBounded) {
+  harness::SessionConfig cfg;
+  cfg.scheme = core::Scheme::kXlink;
+  cfg.video.duration = sim::seconds(3);
+  cfg.video.bitrate_bps = 2'000'000;
+  cfg.seed = 11;
+  cfg.options.cc = quic::CcAlgorithm::kBbr;
+  cfg.options.pacing = true;
+  cfg.paths.push_back(harness::make_path_spec(
+      net::Wireless::kWifi, trace::stable_lte(3, sim::seconds(10)),
+      sim::millis(30)));
+  cfg.paths.push_back(harness::make_path_spec(
+      net::Wireless::kLte, trace::stable_lte(4, sim::seconds(10)),
+      sim::millis(80)));
+
+  harness::Session session(std::move(cfg));
+  const std::uint64_t before = alloc_count();
+  const auto result = session.run();
+  const std::uint64_t after = alloc_count();
+  ASSERT_TRUE(result.download_finished);
+
+  const std::uint64_t packets = session.client_conn().stats().packets_sent +
+                                session.server_conn().stats().packets_sent;
+  ASSERT_GT(packets, 100u);
+  const double per_packet =
+      static_cast<double>(after - before) / static_cast<double>(packets);
+  EXPECT_LT(per_packet, 32.0)
+      << "paced BBR session made " << (after - before) << " allocations for "
+      << packets << " packets (" << per_packet << "/packet)";
 }
 
 }  // namespace

@@ -1,0 +1,566 @@
+// Congestion-control conformance: identical scripted ack/loss traces driven
+// through all four controllers (NewReno, Cubic, coupled LIA, BBR), the three
+// regression bugs this family fixed (t=0 sentinel aliasing, app-limited cwnd
+// inflation, slow-start exit overshoot), and unit coverage for the
+// delivery-rate sampler, the BBR state machine, and the token-bucket pacer.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "quic/cc.h"
+#include "quic/cc_coupled.h"
+#include "quic/delivery_rate.h"
+#include "quic/pacer.h"
+
+namespace xlink::quic {
+namespace {
+
+constexpr std::size_t kMss = kDefaultMss;
+constexpr std::size_t kInitWnd = kInitialWindowPackets * kMss;
+constexpr std::size_t kMinWnd = kMinWindowPackets * kMss;
+
+std::unique_ptr<CongestionController> make_cc(CcAlgorithm algo) {
+  if (algo == CcAlgorithm::kCoupledLia)
+    return make_lia_controller(std::make_shared<LiaGroup>(), kMss);
+  return make_congestion_controller(algo, kMss);
+}
+
+// ------------------------------------------------------------ conformance
+//
+// One scripted trace, four controllers. The assertions are the invariants
+// every controller must share; algorithm-specific window shapes are tested
+// separately below.
+
+class CcConformance : public ::testing::TestWithParam<CcAlgorithm> {};
+
+const char* cc_param_name(const ::testing::TestParamInfo<CcAlgorithm>& info) {
+  switch (info.param) {
+    case CcAlgorithm::kNewReno: return "NewReno";
+    case CcAlgorithm::kCubic: return "Cubic";
+    case CcAlgorithm::kCoupledLia: return "CoupledLia";
+    case CcAlgorithm::kBbr: return "Bbr";
+  }
+  return "?";
+}
+
+// Drives `acks` back-to-back acks of one MSS each, 5ms apart, 40ms RTT.
+// Each ack is followed by a synthetic rate sample (500KB/s path) the way
+// the connection's ack path emits them: loss-based controllers ignore it,
+// BBR applies its cwnd growth there.
+sim::Time drive_acks(CongestionController& cc, sim::Time start, int acks) {
+  sim::Time now = start;
+  std::uint64_t delivered = 0;
+  for (int i = 0; i < acks; ++i) {
+    now += sim::millis(5);
+    cc.on_ack(kMss, now - sim::millis(40), now, sim::millis(40));
+    RateSample rs;
+    rs.delivery_rate = rs.btlbw = 500000.0;
+    rs.min_rtt = sim::millis(40);
+    rs.min_rtt_at = now;
+    rs.prior_delivered = delivered;
+    delivered += kMss;
+    rs.delivered = delivered;
+    rs.interval = sim::millis(40);
+    rs.rtt = sim::millis(40);
+    rs.bytes_in_flight = 20000;
+    cc.on_rate_sample(rs, now);
+  }
+  return now;
+}
+
+TEST_P(CcConformance, ScriptedTraceKeepsInvariants) {
+  auto cc = make_cc(GetParam());
+  EXPECT_EQ(cc->cwnd_bytes(), kInitWnd);
+
+  // Phase 1: growth. Every controller must open the window on clean acks.
+  sim::Time now = drive_acks(*cc, sim::millis(100), 60);
+  EXPECT_GT(cc->cwnd_bytes(), kInitWnd);
+
+  // Phase 2: a loss burst. Loss-based controllers shrink; BBR by design
+  // does not, but nobody may ever drop below the minimum window.
+  cc->on_loss_event(now - sim::millis(10), now);
+  EXPECT_GE(cc->cwnd_bytes(), kMinWnd);
+
+  // Phase 3: persistent congestion collapses everyone to the minimum.
+  now = drive_acks(*cc, now, 20);
+  cc->on_persistent_congestion(now);
+  EXPECT_EQ(cc->cwnd_bytes(), kMinWnd);
+
+  // Phase 4: recovery from the collapse (acks of packets sent after it).
+  now = drive_acks(*cc, now + sim::millis(50), 40);
+  EXPECT_GT(cc->cwnd_bytes(), kMinWnd);
+
+  // Phase 5: reset on migration restores the initial state exactly.
+  cc->reset();
+  EXPECT_EQ(cc->cwnd_bytes(), kInitWnd);
+  EXPECT_TRUE(cc->in_slow_start());
+}
+
+TEST_P(CcConformance, FastConvergenceOneReactionPerBurst) {
+  auto cc = make_cc(GetParam());
+  sim::Time now = drive_acks(*cc, sim::millis(100), 40);
+  cc->on_loss_event(now - sim::millis(10), now);
+  const std::size_t after_first = cc->cwnd_bytes();
+  // Losses of packets sent before the recovery point: no second reaction.
+  cc->on_loss_event(now - sim::millis(5), now + sim::millis(1));
+  EXPECT_EQ(cc->cwnd_bytes(), after_first);
+}
+
+// Regression (t=0 sentinel aliasing): sim time 0 is a valid timestamp, but
+// the controllers used `recovery_start_ == 0` / `epoch_start_ == 0` as "not
+// started yet" sentinels. An ack of a packet sent at t=0 then matched
+// `sent_time <= recovery_start_` and never grew the window, and a loss of a
+// t=0 packet was swallowed entirely (no recovery, no cwnd cut). Cubic's
+// epoch bookkeeping (reno_credit_, k_) keyed off the same aliased zero.
+TEST_P(CcConformance, AckOfPacketSentAtTimeZeroGrowsWindow) {
+  auto cc = make_cc(GetParam());
+  const std::size_t before = cc->cwnd_bytes();
+  cc->on_ack(kMss, 0, sim::millis(40), sim::millis(40));
+  // BBR applies growth on the rate sample that follows each ack.
+  cc->on_rate_sample(RateSample{}, sim::millis(40));
+  EXPECT_EQ(cc->cwnd_bytes(), before + kMss);
+}
+
+TEST_P(CcConformance, LossOfPacketSentAtTimeZeroReacts) {
+  if (GetParam() == CcAlgorithm::kBbr)
+    GTEST_SKIP() << "BBR does not react to single loss events";
+  auto cc = make_cc(GetParam());
+  const std::size_t before = cc->cwnd_bytes();
+  cc->on_loss_event(0, 0);
+  EXPECT_LT(cc->cwnd_bytes(), before);
+  // And the reaction registered: the same burst must not react twice.
+  const std::size_t after = cc->cwnd_bytes();
+  cc->on_loss_event(0, 0);
+  EXPECT_EQ(cc->cwnd_bytes(), after);
+}
+
+// Regression: the whole trajectory must be invariant under a time shift.
+// With the zero sentinels, a trace anchored at t=0 diverged from the same
+// trace shifted by +10s (the t=0 loss was swallowed, Cubic's first epoch
+// re-anchored on every ack, resetting reno_credit_ and k_).
+TEST_P(CcConformance, TrajectoryInvariantUnderTimeShift) {
+  auto run = [&](sim::Time offset) {
+    auto cc = make_cc(GetParam());
+    std::vector<std::size_t> cwnds;
+    // Slow-start acks of the very first flight (sent at the offset).
+    for (int i = 0; i < 10; ++i)
+      cc->on_ack(kMss, offset, offset + sim::millis(40), sim::millis(40));
+    // Loss of a packet from that flight, detected one RTT in.
+    cc->on_loss_event(offset, offset + sim::millis(40));
+    cwnds.push_back(cc->cwnd_bytes());
+    // Congestion avoidance for a few hundred ms.
+    sim::Time now = offset + sim::millis(40);
+    for (int i = 0; i < 100; ++i) {
+      now += sim::millis(5);
+      cc->on_ack(kMss, now - sim::millis(39), now, sim::millis(40));
+      cwnds.push_back(cc->cwnd_bytes());
+    }
+    return cwnds;
+  };
+  EXPECT_EQ(run(0), run(sim::seconds(10)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllControllers, CcConformance,
+                         ::testing::Values(CcAlgorithm::kNewReno,
+                                           CcAlgorithm::kCubic,
+                                           CcAlgorithm::kCoupledLia,
+                                           CcAlgorithm::kBbr),
+                         cc_param_name);
+
+// --------------------------------------------- app-limited (RFC 9002 §7.8)
+//
+// Regression: a sender that lies idle below its cwnd used to keep inflating
+// the window on every ack ("lying-idle inflation"); when traffic resumed,
+// the burst was sized by a window no network had ever validated.
+
+class CcAppLimited : public ::testing::TestWithParam<CcAlgorithm> {};
+
+TEST_P(CcAppLimited, AppLimitedAcksDoNotGrowCwndInSlowStart) {
+  auto cc = make_cc(GetParam());
+  const std::size_t before = cc->cwnd_bytes();
+  for (int i = 0; i < 50; ++i)
+    cc->on_ack(kMss, sim::millis(10), sim::millis(50), sim::millis(40),
+               /*app_limited=*/true);
+  EXPECT_EQ(cc->cwnd_bytes(), before);
+}
+
+TEST_P(CcAppLimited, AppLimitedAcksDoNotGrowCwndInAvoidance) {
+  auto cc = make_cc(GetParam());
+  sim::Time now = drive_acks(*cc, sim::millis(100), 40);
+  cc->on_loss_event(now - sim::millis(10), now);  // enter avoidance
+  now += sim::millis(100);
+  const std::size_t before = cc->cwnd_bytes();
+  for (int i = 0; i < 200; ++i) {
+    now += sim::millis(5);
+    cc->on_ack(kMss, now - sim::millis(40), now, sim::millis(40),
+               /*app_limited=*/true);
+  }
+  EXPECT_EQ(cc->cwnd_bytes(), before);
+  // Non-app-limited acks resume growth from the same point.
+  drive_acks(*cc, now, 100);
+  EXPECT_GT(cc->cwnd_bytes(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossBased, CcAppLimited,
+                         ::testing::Values(CcAlgorithm::kNewReno,
+                                           CcAlgorithm::kCubic,
+                                           CcAlgorithm::kCoupledLia),
+                         cc_param_name);
+
+// ------------------------------------------------- slow-start exit clamp
+//
+// Regression: slow start grew by raw acked bytes with no ssthresh clamp, so
+// the exit overshot the estimated safe point by up to one ack's worth and
+// the first avoidance epoch anchored above it.
+
+class CcSlowStartClamp : public ::testing::TestWithParam<CcAlgorithm> {};
+
+TEST_P(CcSlowStartClamp, SlowStartExitsExactlyAtSsthresh) {
+  auto cc = make_cc(GetParam());
+  // Build a finite ssthresh, then collapse so slow start restarts under it.
+  sim::Time now = drive_acks(*cc, sim::millis(100), 60);
+  cc->on_loss_event(now - sim::millis(10), now);
+  const std::size_t ssthresh = cc->ssthresh_bytes();
+  ASSERT_LT(ssthresh, static_cast<std::size_t>(-1));
+  cc->on_persistent_congestion(now + sim::millis(10));
+  if (!cc->in_slow_start())
+    GTEST_SKIP() << "controller re-enters avoidance, not slow start";
+  // Ack big chunks so an unclamped exit would overshoot by almost 8 MSS.
+  now += sim::millis(100);
+  while (cc->in_slow_start()) {
+    now += sim::millis(5);
+    cc->on_ack(8 * kMss, now - sim::millis(4), now, sim::millis(40));
+    ASSERT_LE(cc->cwnd_bytes(), cc->ssthresh_bytes());
+  }
+  EXPECT_EQ(cc->cwnd_bytes(), cc->ssthresh_bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(LossBased, CcSlowStartClamp,
+                         ::testing::Values(CcAlgorithm::kNewReno,
+                                           CcAlgorithm::kCubic),
+                         cc_param_name);
+
+// Cubic-specific: persistent congestion keeps ssthresh and W_max (RFC 9002
+// §7.6.2 collapses cwnd only), so the path slow-starts back toward the last
+// validated operating point instead of crawling from the minimum window.
+TEST(CubicPersistentCongestion, KeepsSsthreshMemory) {
+  auto cc = make_cc(CcAlgorithm::kCubic);
+  sim::Time now = drive_acks(*cc, sim::millis(100), 60);
+  cc->on_loss_event(now - sim::millis(10), now);
+  const std::size_t ssthresh = cc->ssthresh_bytes();
+  cc->on_persistent_congestion(now + sim::millis(10));
+  EXPECT_EQ(cc->cwnd_bytes(), kMinWnd);
+  EXPECT_EQ(cc->ssthresh_bytes(), ssthresh);
+  EXPECT_TRUE(cc->in_slow_start());
+}
+
+// ------------------------------------------------- delivery-rate sampler
+
+TEST(DeliveryRateSampler, ComputesRateOverAckInterval) {
+  DeliveryRateSampler s;
+  RateStamp stamp;
+  // Two packets, 10KB each, acked 100ms apart: ~100KB/s.
+  s.on_packet_sent(stamp, sim::millis(0), 0);
+  RateStamp stamp2;
+  s.on_packet_sent(stamp2, sim::millis(1), 10000);
+  RateSample r1 = s.on_ack(stamp, 10000, sim::millis(0), sim::millis(100),
+                           sim::millis(100), 10000);
+  EXPECT_NEAR(r1.delivery_rate, 100000.0, 1.0);
+  RateSample r2 = s.on_ack(stamp2, 10000, sim::millis(1), sim::millis(200),
+                           sim::millis(199), 0);
+  // Second sample: 10KB over max(send 1ms, ack 100ms) = 100ms.
+  EXPECT_NEAR(r2.delivery_rate, 100000.0, 1.0);
+  EXPECT_NEAR(r2.btlbw, 100000.0, 1.0);
+  EXPECT_EQ(s.delivered_bytes(), 20000u);
+}
+
+TEST(DeliveryRateSampler, IdleGapReAnchorsClocks) {
+  DeliveryRateSampler s;
+  RateStamp a;
+  s.on_packet_sent(a, sim::millis(0), 0);
+  s.on_ack(a, 10000, sim::millis(0), sim::millis(100), sim::millis(100), 0);
+  // 10 seconds idle, then a new flight. Without re-anchoring, the idle gap
+  // would be counted as transmission time and crater the sample.
+  RateStamp b;
+  s.on_packet_sent(b, sim::seconds(10), 0);
+  RateSample r = s.on_ack(b, 10000, sim::seconds(10),
+                          sim::seconds(10) + sim::millis(100),
+                          sim::millis(100), 0);
+  EXPECT_NEAR(r.delivery_rate, 100000.0, 1.0);
+}
+
+TEST(DeliveryRateSampler, AppLimitedSamplesNeverLowerBtlbw) {
+  DeliveryRateSampler s;
+  RateStamp a;
+  s.on_packet_sent(a, sim::millis(0), 0);
+  s.on_ack(a, 100000, sim::millis(0), sim::millis(100), sim::millis(100), 0);
+  const double peak = s.btlbw_bytes_per_sec();
+  EXPECT_NEAR(peak, 1e6, 1.0);
+  // Sender goes idle with headroom: subsequent packets are app-limited.
+  s.on_app_limited(0);
+  EXPECT_TRUE(s.is_app_limited());
+  RateStamp b;
+  s.on_packet_sent(b, sim::millis(200), 0);
+  EXPECT_TRUE(b.is_app_limited);
+  // A slow app-limited sample (10KB over 100ms = 100KB/s) must not lower
+  // the 1MB/s estimate.
+  RateSample r = s.on_ack(b, 10000, sim::millis(200), sim::millis(300),
+                          sim::millis(100), 0);
+  EXPECT_TRUE(r.is_app_limited);
+  EXPECT_NEAR(s.btlbw_bytes_per_sec(), peak, 1.0);
+  // ...but a FASTER app-limited sample may raise it.
+  s.on_app_limited(0);
+  RateStamp c;
+  s.on_packet_sent(c, sim::millis(400), 0);
+  s.on_ack(c, 400000, sim::millis(400), sim::millis(500), sim::millis(100), 0);
+  EXPECT_GT(s.btlbw_bytes_per_sec(), peak);
+}
+
+TEST(DeliveryRateSampler, AppLimitedMarkerDrainsOnDelivery) {
+  DeliveryRateSampler s;
+  RateStamp a;
+  s.on_packet_sent(a, sim::millis(0), 0);
+  s.on_app_limited(10000);  // 10KB still in flight when the app went idle
+  EXPECT_TRUE(s.is_app_limited());
+  // Once more than the marker has been delivered, the phase ends and new
+  // packets are stamped clean.
+  s.on_ack(a, 10001, sim::millis(0), sim::millis(50), sim::millis(50), 0);
+  EXPECT_FALSE(s.is_app_limited());
+  RateStamp b;
+  s.on_packet_sent(b, sim::millis(60), 0);
+  EXPECT_FALSE(b.is_app_limited);
+}
+
+TEST(DeliveryRateSampler, LostBytesDrainAppLimitedMarker) {
+  DeliveryRateSampler s;
+  RateStamp a;
+  s.on_packet_sent(a, sim::millis(0), 0);
+  s.on_app_limited(20000);  // 20KB in flight
+  // Half the flight is lost: the marker shrinks so the surviving half's
+  // delivery still ends the phase.
+  s.on_loss(10000);
+  s.on_ack(a, 10001, sim::millis(0), sim::millis(50), sim::millis(50), 0);
+  EXPECT_FALSE(s.is_app_limited());
+}
+
+TEST(DeliveryRateSampler, BtlbwFilterAgesOutOldMaximum) {
+  DeliveryRateSampler s;
+  // One spike, then steadily slower samples. Each ack of a full flight
+  // closes a round; after kBwFilterRounds rounds the spike must age out.
+  double spike_seen = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    RateStamp st;
+    const sim::Time sent = sim::millis(100 * i);
+    s.on_packet_sent(st, sent, 0);
+    const std::size_t bytes = i == 0 ? 200000 : 10000;  // spike on round 0
+    s.on_ack(st, bytes, sent, sent + sim::millis(100), sim::millis(100), 0);
+    if (i == 0) spike_seen = s.btlbw_bytes_per_sec();
+  }
+  EXPECT_NEAR(spike_seen, 2e6, 1.0);
+  EXPECT_GT(s.round_count(), DeliveryRateSampler::kBwFilterRounds);
+  // The 2MB/s spike is gone; the filter tracks the recent 100KB/s regime.
+  EXPECT_NEAR(s.btlbw_bytes_per_sec(), 100000.0, 1000.0);
+}
+
+TEST(DeliveryRateSampler, MinRttExpiresAfterWindow) {
+  DeliveryRateSampler s;
+  auto ack_with_rtt = [&](sim::Time now, sim::Duration rtt) {
+    RateStamp st;
+    s.on_packet_sent(st, now - rtt, 0);
+    s.on_ack(st, 1000, now - rtt, now, rtt, 0);
+  };
+  ack_with_rtt(sim::millis(100), sim::millis(20));
+  EXPECT_EQ(s.min_rtt(), sim::millis(20));
+  // Higher samples inside the window do not displace the min...
+  ack_with_rtt(sim::seconds(5), sim::millis(80));
+  EXPECT_EQ(s.min_rtt(), sim::millis(20));
+  // ...but once the observation is older than the window, they do.
+  ack_with_rtt(sim::seconds(11), sim::millis(80));
+  EXPECT_EQ(s.min_rtt(), sim::millis(80));
+  EXPECT_EQ(s.min_rtt_timestamp(), sim::seconds(11));
+}
+
+// ------------------------------------------------------------------- BBR
+
+// Feeds BBR synthetic rate samples emulating a path with the given btlbw
+// and min RTT, advancing one ack per 5ms.
+struct BbrHarness {
+  std::unique_ptr<CongestionController> cc = make_cc(CcAlgorithm::kBbr);
+  std::uint64_t delivered = 0;
+  sim::Time now = sim::millis(100);
+
+  void ack(double btlbw, sim::Duration min_rtt, sim::Time min_rtt_at,
+           std::size_t inflight, std::size_t bytes = kMss) {
+    now += sim::millis(5);
+    cc->on_ack(bytes, now - min_rtt, now, min_rtt);
+    RateSample rs;
+    rs.delivery_rate = btlbw;
+    rs.btlbw = btlbw;
+    rs.min_rtt = min_rtt;
+    rs.min_rtt_at = min_rtt_at;
+    rs.prior_delivered = delivered;
+    delivered += bytes;
+    rs.delivered = delivered;
+    rs.interval = min_rtt;
+    rs.rtt = min_rtt;
+    rs.bytes_in_flight = inflight;
+    cc->on_rate_sample(rs, now);
+  }
+};
+
+TEST(Bbr, StartupExitsWhenBandwidthPlateaus) {
+  BbrHarness h;
+  EXPECT_TRUE(h.cc->in_slow_start());
+  // Growing btlbw: stays in startup.
+  double bw = 1e5;
+  for (int i = 0; i < 6; ++i) {
+    h.ack(bw, sim::millis(40), h.now, 20000);
+    bw *= 1.5;
+  }
+  EXPECT_TRUE(h.cc->in_slow_start());
+  // Plateau for > kFullBwRounds rounds: pipe full, startup ends.
+  for (int i = 0; i < 8; ++i) h.ack(bw, sim::millis(40), h.now, 20000);
+  EXPECT_FALSE(h.cc->in_slow_start());
+}
+
+TEST(Bbr, CwndConvergesToGainTimesBdp) {
+  BbrHarness h;
+  const double bw = 1e6;                      // 1 MB/s
+  const sim::Duration rtt = sim::millis(40);  // BDP = 40KB
+  for (int i = 0; i < 200; ++i) h.ack(bw, rtt, h.now, 30000);
+  // cwnd_gain * BDP = 2.0 * 40000 = 80KB once the pipe is declared full.
+  EXPECT_FALSE(h.cc->in_slow_start());
+  EXPECT_NEAR(static_cast<double>(h.cc->cwnd_bytes()), 80000.0,
+              2.0 * kMss);
+  // Pacing rate tracks pacing_gain * btlbw (gain cycles 0.75..1.25).
+  const double pr = static_cast<double>(h.cc->pacing_rate_bytes_per_sec());
+  EXPECT_GE(pr, 0.7 * bw);
+  EXPECT_LE(pr, 1.3 * bw);
+}
+
+TEST(Bbr, LossEventsDoNotCutCwnd) {
+  BbrHarness h;
+  for (int i = 0; i < 100; ++i) h.ack(1e6, sim::millis(40), h.now, 30000);
+  const std::size_t before = h.cc->cwnd_bytes();
+  h.cc->on_loss_event(h.now - sim::millis(10), h.now);
+  EXPECT_EQ(h.cc->cwnd_bytes(), before);
+}
+
+TEST(Bbr, PersistentCongestionCollapsesAndRestartsDiscovery) {
+  BbrHarness h;
+  for (int i = 0; i < 100; ++i) h.ack(1e6, sim::millis(40), h.now, 30000);
+  h.cc->on_persistent_congestion(h.now);
+  EXPECT_EQ(h.cc->cwnd_bytes(), kMinWnd);
+  EXPECT_TRUE(h.cc->in_slow_start());  // back to STARTUP
+}
+
+TEST(Bbr, ProbeRttEntryAndExit) {
+  BbrHarness h;
+  const sim::Time min_at = sim::millis(100);
+  for (int i = 0; i < 100; ++i) h.ack(1e6, sim::millis(40), min_at, 30000);
+  const std::size_t cruising = h.cc->cwnd_bytes();
+  ASSERT_GT(cruising, 4 * kMss);
+  // Jump past the 10s min-RTT expiry without refreshing the observation:
+  // BBR must drop into ProbeRTT and pin cwnd to 4 MSS.
+  h.now = min_at + sim::seconds(10) + sim::millis(100);
+  h.ack(1e6, sim::millis(40), min_at, 30000);
+  EXPECT_EQ(h.cc->cwnd_bytes(), 4 * kMss);
+  // Inflight drains to the probe window; after the 200ms dwell (with a
+  // fresh min-RTT timestamp, as re-measuring advances it) cwnd restores.
+  h.ack(1e6, sim::millis(40), h.now, 4 * kMss);
+  for (int i = 0; i < 50; ++i) h.ack(1e6, sim::millis(40), h.now, 4 * kMss);
+  EXPECT_GE(h.cc->cwnd_bytes(), cruising);
+  EXPECT_FALSE(h.cc->in_slow_start());
+}
+
+TEST(Bbr, PacingRatePositiveBeforeFirstSample) {
+  auto cc = make_cc(CcAlgorithm::kBbr);
+  // The very first flight must still be paceable: a startup-gain estimate
+  // derived from the initial window, not zero.
+  RateSample rs;
+  cc->on_ack(kMss, 0, sim::millis(40), sim::millis(40));
+  cc->on_rate_sample(rs, sim::millis(40));
+  EXPECT_GT(cc->pacing_rate_bytes_per_sec(), 0u);
+  EXPECT_EQ(cc->name(), "bbr");
+}
+
+// ------------------------------------------------------------------ pacer
+
+PacerConfig paced_config() {
+  PacerConfig cfg;
+  cfg.enabled = true;
+  return cfg;
+}
+
+TEST(Pacer, DisabledAlwaysClears) {
+  Pacer p;  // default config: disabled
+  p.set_rate(1000);
+  EXPECT_TRUE(p.can_send(0));
+  p.on_sent(0, 1 << 20);
+  EXPECT_TRUE(p.can_send(1));
+  EXPECT_EQ(p.next_release_time(5), 5u);
+}
+
+TEST(Pacer, FirstUseStartsWithFullBurst) {
+  Pacer p(paced_config());
+  p.set_rate(1'000'000);  // 1 MB/s
+  EXPECT_TRUE(p.can_send(sim::millis(10)));
+  EXPECT_EQ(p.tokens_bytes(),
+            static_cast<std::int64_t>(kInitialWindowPackets * kMss));
+}
+
+TEST(Pacer, DebitsAndReleasesAtRate) {
+  Pacer p(paced_config());
+  p.set_rate(1'000'000);  // 1 byte/us
+  sim::Time now = sim::millis(10);
+  ASSERT_TRUE(p.can_send(now));
+  // Spend the whole burst allowance plus one packet of debt.
+  p.on_sent(now, kInitialWindowPackets * kMss + 1400);
+  EXPECT_FALSE(p.can_send(now));
+  EXPECT_EQ(p.tokens_bytes(), -1400);
+  // At 1 byte/us the debt clears in 1400us, but the quantum floor (2 MSS)
+  // matures 2800 bytes per release: next release = now + 2800us.
+  EXPECT_EQ(p.next_release_time(now), now + 2800);
+  EXPECT_FALSE(p.can_send(now + 1000));
+  EXPECT_TRUE(p.can_send(now + 1400));  // debt actually cleared here
+}
+
+TEST(Pacer, RefillNeverLosesFractionalCredit) {
+  Pacer p(paced_config());
+  p.set_rate(333'333);  // awkward rate: 1us earns 0.333 bytes
+  sim::Time now = sim::millis(10);
+  ASSERT_TRUE(p.can_send(now));
+  p.on_sent(now, kInitialWindowPackets * kMss);  // balance to exactly 0
+  // Poll every 1us for 30ms: fractional earnings must accumulate, not
+  // round away -- after 30ms the balance is ~10000 bytes.
+  for (int i = 1; i <= 30000; ++i) p.can_send(now + i);
+  EXPECT_NEAR(static_cast<double>(p.tokens_bytes()), 10000.0, 10.0);
+}
+
+TEST(Pacer, BurstCeilingCapsIdleAccumulation) {
+  Pacer p(paced_config());
+  p.set_rate(10'000'000);
+  sim::Time now = sim::millis(10);
+  ASSERT_TRUE(p.can_send(now));
+  p.on_sent(now, 1000);
+  // An hour idle: tokens cap at the burst ceiling, not rate * 3600s.
+  EXPECT_TRUE(p.can_send(now + sim::seconds(3600)));
+  EXPECT_EQ(p.tokens_bytes(),
+            static_cast<std::int64_t>(kInitialWindowPackets * kMss));
+}
+
+TEST(Pacer, ResetForgetsEverything) {
+  Pacer p(paced_config());
+  p.set_rate(1'000'000);
+  p.can_send(sim::millis(10));
+  p.on_sent(sim::millis(10), 1 << 20);
+  p.reset();
+  EXPECT_EQ(p.rate_bytes_per_sec(), 0u);
+  EXPECT_EQ(p.tokens_bytes(), 0);
+  // Rate 0 = unlimited: a reset pacer never blocks until reconfigured.
+  EXPECT_TRUE(p.can_send(sim::millis(20)));
+}
+
+}  // namespace
+}  // namespace xlink::quic

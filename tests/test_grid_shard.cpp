@@ -62,6 +62,18 @@ GridSpec mixed_grid(std::size_t extra_day_cells = 2) {
     sampled.sample_playtime = true;
     spec.cells.push_back(sampled);
   }
+  {
+    // BBR + pacing exercises the rate-based CC path and the pacer's timer
+    // arithmetic under the same byte-identical merge contract.
+    GridCell bbr;
+    bbr.label = "bbr-paced";
+    bbr.scheme_a = core::Scheme::kXlink;
+    bbr.options_a.cc = quic::CcAlgorithm::kBbr;
+    bbr.options_a.pacing = true;
+    bbr.pop = tiny_pop();
+    bbr.day_seed = 7103;
+    spec.cells.push_back(bbr);
+  }
   for (std::size_t d = 0; d < extra_day_cells; ++d) {
     GridCell day;
     day.label = "day" + std::to_string(d);
@@ -126,6 +138,8 @@ TEST(GridManifest, RoundTripsEveryCellField) {
   spec.cells[0].options_b.fec.loss_multiplier = 1.0 / 3.0;  // bit-exact codec
   spec.cells[0].options_b.fec.payload_cap = 1100;
   spec.cells[0].options_b.fec.cover_linger = sim::millis(123);
+  spec.cells[0].options_b.pacing = true;
+  spec.cells[1].options_a.cc = quic::CcAlgorithm::kBbr;
   spec.cells[1].pop.p_5g = 1.0 / 3.0;        // non-terminating binary fraction
   spec.cells[1].day_seed = (1ULL << 62) + 3; // above 2^53: needs string codec
 
@@ -142,7 +156,10 @@ TEST(GridManifest, RoundTripsEveryCellField) {
     EXPECT_EQ(a.ab, b.ab);
     EXPECT_EQ(a.scheme_a, b.scheme_a);
     EXPECT_EQ(a.scheme_b, b.scheme_b);
+    EXPECT_EQ(a.options_a.cc, b.options_a.cc);
+    EXPECT_EQ(a.options_a.pacing, b.options_a.pacing);
     EXPECT_EQ(a.options_b.cc, b.options_b.cc);
+    EXPECT_EQ(a.options_b.pacing, b.options_b.pacing);
     EXPECT_EQ(a.options_b.control.tth1, b.options_b.control.tth1);
     EXPECT_EQ(a.options_b.control.tth2, b.options_b.control.tth2);
     EXPECT_EQ(a.options_b.control.mode, b.options_b.control.mode);
@@ -404,14 +421,15 @@ TEST(GridShard, ReclaimAllClaimsForceRespools) {
   const std::string dir = fresh_spool_dir("reclaim");
   Spool::plan(spec, dir);
   Spool spool(dir);
-  ASSERT_TRUE(spool.claim_next().has_value());
-  ASSERT_TRUE(spool.claim_next().has_value());
-  // Both cells are claimed by THIS (live) process, so a fresh worker
+  std::size_t claimed = 0;
+  while (spool.claim_next().has_value()) ++claimed;
+  ASSERT_EQ(claimed, spec.cells.size());
+  // Every cell is claimed by THIS (live) process, so a fresh worker
   // cannot steal them...
   Spool other(dir);
   EXPECT_FALSE(other.claim_next().has_value());
   // ...until the cross-machine escape hatch force-respools them.
-  EXPECT_EQ(other.reclaim_all_claims(), 2u);
+  EXPECT_EQ(other.reclaim_all_claims(), claimed);
   EXPECT_TRUE(other.claim_next().has_value());
   fs::remove_all(dir);
 }
