@@ -33,15 +33,28 @@ struct PopulationConfig {
   double p_cross_isp = 0.4;
   double max_loss = 0.002;
   sim::Duration time_limit = sim::seconds(90);
+  /// ABR controller every session of the population runs (kFixed = the
+  /// legacy fixed-bitrate workload). The ladder is derived per session
+  /// from the drawn video bitrate (BitrateLadder::scaled).
+  video::AbrAlgorithm abr = video::AbrAlgorithm::kFixed;
+  /// Frames per ABR chunk (adaptation granularity).
+  std::uint32_t abr_chunk_frames = 30;
 };
 
 struct DayMetrics {
   stats::Summary rct;          // per-chunk request completion time (s)
   stats::Summary first_frame;  // first-video-frame latency (s)
+  stats::Summary startup_delay;  // time to playback start (s)
   double rebuffer_rate = 0.0;  // sum(rebuffer)/sum(play) over the day
   double redundancy_pct = 0.0; // extra egress from re-injection + FEC (%)
   int sessions = 0;
   int unfinished_downloads = 0;
+  // ABR aggregates (all zero for fixed-bitrate populations).
+  stats::Summary abr_utility;  // per-session bitrate utility, [0,1]
+  std::uint64_t abr_decisions = 0;
+  std::uint64_t abr_switches = 0;
+  std::uint64_t abr_switch_magnitude = 0;
+  int abr_sessions = 0;
   /// Per-session registries merged in session-index order (bit-identical
   /// for every job count, like every other field here).
   telemetry::MetricsRegistry metrics;

@@ -85,6 +85,32 @@ shard::GridSpec fig10_grid(const stats::Summary& calib_playtime_ms,
   return spec;
 }
 
+shard::GridSpec abr_grid(int sessions_per_day, sim::Duration time_limit) {
+  shard::GridSpec spec;
+  spec.name = "abr";
+  const video::AbrAlgorithm controllers[] = {
+      video::AbrAlgorithm::kRateBased, video::AbrAlgorithm::kBufferBased,
+      video::AbrAlgorithm::kHybrid};
+  const struct {
+    const char* label;
+    core::Scheme scheme;
+  } schedulers[] = {{"minrtt", core::Scheme::kVanillaMp},
+                    {"xlink", core::Scheme::kXlink}};
+  for (const auto& sched : schedulers) {
+    for (video::AbrAlgorithm abr : controllers) {
+      shard::GridCell cell;
+      cell.label = std::string(sched.label) + "/" + video::to_string(abr);
+      cell.scheme_a = sched.scheme;
+      cell.pop.sessions_per_day = sessions_per_day;
+      cell.pop.time_limit = time_limit;
+      cell.pop.abr = abr;
+      cell.day_seed = 7100;  // same drawn conditions across all six arms
+      spec.cells.push_back(cell);
+    }
+  }
+  return spec;
+}
+
 shard::GridSpec fig11_grid(int days, int sessions_per_day) {
   PopulationConfig pop;
   pop.sessions_per_day = sessions_per_day;
@@ -123,12 +149,15 @@ PlannedGrid build_grid(const std::string& name, unsigned jobs) {
   if (name == "fig10-smoke") return build_fig10(4);
   if (name == "fig11") return {fig11_grid(14, 45), {}};
   if (name == "fig11-smoke") return {fig11_grid(2, 6), {}};
-  throw std::runtime_error("unknown grid '" + name +
-                           "' (try: fig10, fig10-smoke, fig11, fig11-smoke)");
+  if (name == "abr") return {abr_grid(18, sim::seconds(90)), {}};
+  if (name == "abr-smoke") return {abr_grid(2, sim::seconds(45)), {}};
+  throw std::runtime_error(
+      "unknown grid '" + name +
+      "' (try: fig10, fig10-smoke, fig11, fig11-smoke, abr, abr-smoke)");
 }
 
 std::vector<std::string> grid_names() {
-  return {"fig10", "fig10-smoke", "fig11", "fig11-smoke"};
+  return {"fig10", "fig10-smoke", "fig11", "fig11-smoke", "abr", "abr-smoke"};
 }
 
 }  // namespace xlink::harness::grids

@@ -36,6 +36,12 @@ shard::GridSpec fig10_grid(const stats::Summary& calib_playtime_ms,
 /// default thresholds), day d seeded 2000 + d, matching the bench.
 shard::GridSpec fig11_grid(int days = 14, int sessions_per_day = 45);
 
+/// The ABR ablation grid: {min-RTT, XLINK} x {rate, buffer, hybrid}
+/// controllers, every cell replaying the same drawn day (seed 7100) so
+/// only the scheduler and the ABR policy differ between arms.
+shard::GridSpec abr_grid(int sessions_per_day = 18,
+                         sim::Duration time_limit = sim::seconds(90));
+
 /// A grid plus plan-time prerequisite results (cells that had to run to
 /// enumerate the rest of the grid, e.g. fig10's calibration population).
 struct PlannedGrid {
@@ -43,10 +49,10 @@ struct PlannedGrid {
   std::vector<std::pair<std::size_t, shard::CellResult>> precomputed;
 };
 
-/// Builds a named grid: "fig10", "fig11", or the scaled-down CI presets
-/// "fig10-smoke" / "fig11-smoke". May run calibration cells in-process on
-/// `jobs` workers (0 = XLINK_JOBS default). Throws std::runtime_error for
-/// unknown names.
+/// Builds a named grid: "fig10", "fig11", "abr", or the scaled-down CI
+/// presets "fig10-smoke" / "fig11-smoke" / "abr-smoke". May run
+/// calibration cells in-process on `jobs` workers (0 = XLINK_JOBS
+/// default). Throws std::runtime_error for unknown names.
 PlannedGrid build_grid(const std::string& name, unsigned jobs = 0);
 
 /// Names accepted by build_grid, for CLI help text.

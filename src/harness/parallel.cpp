@@ -29,6 +29,15 @@ DayMetrics fold_day(const std::vector<SessionResult>& results) {
   for (const SessionResult& r : results) {
     day.rct.add_all(r.chunk_rct_seconds);
     if (r.first_frame_seconds) day.first_frame.add(*r.first_frame_seconds);
+    if (r.startup_delay_seconds)
+      day.startup_delay.add(*r.startup_delay_seconds);
+    if (r.abr_enabled) {
+      day.abr_utility.add(r.abr_bitrate_utility);
+      day.abr_decisions += r.abr_decisions;
+      day.abr_switches += r.abr_switches;
+      day.abr_switch_magnitude += r.abr_switch_magnitude;
+      ++day.abr_sessions;
+    }
     rebuffer_sum += r.rebuffer_seconds;
     play_sum += r.play_seconds;
     payload_sum += r.stream_payload_bytes;

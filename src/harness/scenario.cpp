@@ -88,8 +88,41 @@ Session::Session(SessionConfig config) : config_(std::move(config)) {
                                                       config_.server);
   media_server_->add_video(config_.client.resource, video_model_);
 
+  if (config_.client.abr.algorithm != video::AbrAlgorithm::kFixed) {
+    // One RenditionSet shared by client (chunk decisions) and server
+    // (serving every rung). The top rung is the drawn video spec, already
+    // registered under the base resource above.
+    video::BitrateLadder ladder = config_.client.abr.ladder;
+    if (ladder.bitrates_bps.empty())
+      ladder = video::BitrateLadder::scaled(config_.video.bitrate_bps);
+    renditions_ = std::make_shared<const video::RenditionSet>(
+        config_.video, std::move(ladder));
+    for (std::size_t r = 0; r < renditions_->top_rung(); ++r) {
+      media_server_->add_video(
+          video::rendition_resource(config_.client.resource, r,
+                                    renditions_->top_rung()),
+          renditions_->model(r));
+    }
+  }
+
   media_client_ = std::make_unique<http::MediaClient>(
-      *client_conn_, *video_model_, config_.client);
+      *client_conn_, *video_model_, config_.client, renditions_);
+  media_client_->set_trace(trace_.get());
+  if (renditions_) {
+    // The hybrid controller's transport rate signal: the data sender's
+    // delivery-rate btlbw summed over active paths (in deployment the
+    // transport SDK surfaces this to the app; here we read the sender
+    // estimate directly -- deterministic, simulator state only).
+    media_client_->set_btlbw_source([this]() {
+      std::uint64_t bps = 0;
+      for (quic::PathId id : server_conn_->active_path_ids()) {
+        bps += static_cast<std::uint64_t>(
+            server_conn_->path_state(id).bandwidth_estimate_bytes_per_sec() *
+            8.0);
+      }
+      return bps;
+    });
+  }
 
   if (config_.with_player) {
     player_ = std::make_unique<video::VideoPlayer>(
@@ -99,6 +132,10 @@ Session::Session(SessionConfig config) : config_(std::move(config)) {
     qoe_capture_ = std::make_unique<video::QoeCapture>(loop_, *player_,
                                                        config_.qoe_period);
     client_conn_->set_qoe_provider(
+        [this]() { return qoe_capture_->latest(); });
+    // The hybrid ABR controller reads the same (staleness-included)
+    // conduit the scheduler's feedback loop does, not the live player.
+    media_client_->set_qoe_source(
         [this]() { return qoe_capture_->latest(); });
     if (config_.standalone_qoe_feedback) {
       qoe_sender_ = std::make_unique<core::QoeFeedbackSender>(
@@ -201,11 +238,22 @@ SessionResult Session::run() {
   if (player_) {
     if (auto ff = player_->first_frame_latency())
       result.first_frame_seconds = sim::to_seconds(*ff);
+    if (auto sd = player_->startup_delay())
+      result.startup_delay_seconds = sim::to_seconds(*sd);
     result.rebuffer_rate = player_->rebuffer_rate();
     result.rebuffer_seconds = sim::to_seconds(player_->total_rebuffer_time());
     result.play_seconds = sim::to_seconds(player_->total_play_time());
     result.rebuffer_count = player_->rebuffer_count();
     result.video_finished = player_->finished();
+  }
+
+  if (media_client_->abr_enabled()) {
+    const auto abr = media_client_->abr_summary();
+    result.abr_enabled = true;
+    result.abr_decisions = abr.decisions;
+    result.abr_switches = abr.switches;
+    result.abr_switch_magnitude = abr.switch_magnitude;
+    result.abr_bitrate_utility = abr.bitrate_utility;
   }
 
   const auto& server_stats = server_conn_->stats();
@@ -279,8 +327,18 @@ void Session::fill_metrics(SessionResult& result) const {
     m.observe("session.chunk_rct_seconds", rct);
   if (result.first_frame_seconds)
     m.observe("session.first_frame_seconds", *result.first_frame_seconds);
+  if (result.startup_delay_seconds)
+    m.observe("session.startup_delay_seconds", *result.startup_delay_seconds);
   if (result.play_seconds > 0.0)
     m.observe("session.rebuffer_rate", result.rebuffer_rate);
+
+  if (result.abr_enabled) {
+    m.add_counter("session.abr.decisions", result.abr_decisions);
+    m.add_counter("session.abr.switches", result.abr_switches);
+    m.add_counter("session.abr.switch_magnitude",
+                  result.abr_switch_magnitude);
+    m.observe("session.abr_bitrate_utility", result.abr_bitrate_utility);
+  }
 
   if (trace_) {
     m.add_counter("telemetry.events_recorded", trace_->recorded());

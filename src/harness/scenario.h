@@ -85,6 +85,9 @@ struct SessionResult {
   std::size_t chunks_total = 0;
   std::size_t chunks_completed = 0;
   std::optional<double> first_frame_seconds;
+  /// Time until playback started (startup buffer filled). Startup waiting
+  /// is not a stall: it is excluded from rebuffer and play time.
+  std::optional<double> startup_delay_seconds;
   double rebuffer_rate = 0.0;
   double rebuffer_seconds = 0.0;
   double play_seconds = 0.0;
@@ -105,6 +108,12 @@ struct SessionResult {
   std::uint64_t fec_recovered_packets = 0;  // erasures rebuilt client-side
   std::uint64_t fec_wasted_symbols = 0;
   std::uint64_t fec_erased_seen = 0;        // erasures FEC windows observed
+  // ABR (http/media_client + video/abr): zeros when ABR is off.
+  bool abr_enabled = false;
+  std::uint64_t abr_decisions = 0;
+  std::uint64_t abr_switches = 0;
+  std::uint64_t abr_switch_magnitude = 0;
+  double abr_bitrate_utility = 0.0;  // frame-weighted chosen/top, [0,1]
   /// Per network path: bytes the server pushed down it.
   std::vector<std::uint64_t> path_down_bytes;
   /// Per network path: droptail high-water mark of the downlink queue --
@@ -159,6 +168,7 @@ class Session {
   std::unique_ptr<telemetry::TraceSink> trace_;
   std::unique_ptr<net::Network> network_;
   std::shared_ptr<video::VideoModel> video_model_;
+  std::shared_ptr<const video::RenditionSet> renditions_;  // ABR only
   std::unique_ptr<quic::Connection> client_conn_;
   std::unique_ptr<quic::Connection> server_conn_;
   std::unique_ptr<Endpoint> client_ep_;

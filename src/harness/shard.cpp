@@ -283,6 +283,8 @@ void write_population(JsonWriter& w, const PopulationConfig& p) {
   kv_double(w, "p_cross_isp", p.p_cross_isp);
   kv_double(w, "max_loss", p.max_loss);
   kv_u64(w, "time_limit_us", p.time_limit);
+  w.kv("abr", video::to_string(p.abr));
+  kv_u64(w, "abr_chunk_frames", p.abr_chunk_frames);
   w.end_object();
 }
 
@@ -296,6 +298,12 @@ PopulationConfig parse_population(const JsonValue& v) {
   p.p_cross_isp = parse_double(v, "p_cross_isp");
   p.max_loss = parse_double(v, "max_loss");
   p.time_limit = parse_u64(v, "time_limit_us");
+  const std::string abr_key = parse_str(v, "abr");
+  const auto abr = video::abr_algorithm_from_string(abr_key);
+  if (!abr) fail("unknown abr algorithm: " + abr_key);
+  p.abr = *abr;
+  p.abr_chunk_frames =
+      static_cast<std::uint32_t>(parse_u64(v, "abr_chunk_frames"));
   return p;
 }
 
@@ -406,10 +414,18 @@ void write_day_metrics(JsonWriter& w, const DayMetrics& d) {
   write_samples(w, d.rct);
   w.key("first_frame");
   write_samples(w, d.first_frame);
+  w.key("startup_delay");
+  write_samples(w, d.startup_delay);
   kv_double(w, "rebuffer_rate", d.rebuffer_rate);
   kv_double(w, "redundancy_pct", d.redundancy_pct);
   w.kv("sessions", d.sessions);
   w.kv("unfinished_downloads", d.unfinished_downloads);
+  w.key("abr_utility");
+  write_samples(w, d.abr_utility);
+  kv_u64(w, "abr_decisions", d.abr_decisions);
+  kv_u64(w, "abr_switches", d.abr_switches);
+  kv_u64(w, "abr_switch_magnitude", d.abr_switch_magnitude);
+  w.kv("abr_sessions", d.abr_sessions);
   w.key("metrics");
   write_registry(w, d.metrics);
   w.end_object();
@@ -419,10 +435,16 @@ DayMetrics parse_day_metrics(const JsonValue& v) {
   DayMetrics d;
   d.rct = parse_samples(parse_arr(v, "rct"));
   d.first_frame = parse_samples(parse_arr(v, "first_frame"));
+  d.startup_delay = parse_samples(parse_arr(v, "startup_delay"));
   d.rebuffer_rate = parse_double(v, "rebuffer_rate");
   d.redundancy_pct = parse_double(v, "redundancy_pct");
   d.sessions = parse_int(v, "sessions");
   d.unfinished_downloads = parse_int(v, "unfinished_downloads");
+  d.abr_utility = parse_samples(parse_arr(v, "abr_utility"));
+  d.abr_decisions = parse_u64(v, "abr_decisions");
+  d.abr_switches = parse_u64(v, "abr_switches");
+  d.abr_switch_magnitude = parse_u64(v, "abr_switch_magnitude");
+  d.abr_sessions = parse_int(v, "abr_sessions");
   d.metrics = parse_registry(parse_obj(v, "metrics"));
   return d;
 }

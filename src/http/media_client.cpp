@@ -7,10 +7,35 @@
 namespace xlink::http {
 
 MediaClient::MediaClient(quic::Connection& conn,
-                         const video::VideoModel& model, Config config)
-    : conn_(conn), model_(model), config_(std::move(config)) {
-  plan_ = video::ChunkPlan::fixed_size(model_.total_bytes(),
-                                       config_.chunk_bytes);
+                         const video::VideoModel& model, Config config,
+                         std::shared_ptr<const video::RenditionSet> renditions)
+    : conn_(conn),
+      model_(model),
+      config_(std::move(config)),
+      renditions_(std::move(renditions)) {
+  if (config_.abr.algorithm != video::AbrAlgorithm::kFixed) {
+    video::AbrConfig abr_cfg = config_.abr;
+    if (abr_cfg.ladder.bitrates_bps.empty())
+      abr_cfg.ladder = video::BitrateLadder::scaled(model_.spec().bitrate_bps);
+    if (!renditions_)
+      renditions_ = std::make_shared<const video::RenditionSet>(
+          model_.spec(), abr_cfg.ladder);
+    abr_ = video::make_abr_controller(abr_cfg, renditions_->ladder());
+    // Frame-aligned chunks: one rendition decision per chunk_frames frames.
+    const std::uint32_t frames = model_.frame_count();
+    const std::uint32_t per =
+        std::max<std::uint32_t>(1, abr_cfg.chunk_frames);
+    for (std::uint32_t begin = 0; begin < frames; begin += per) {
+      AbrChunk ck;
+      ck.begin_frame = begin;
+      ck.end_frame = std::min(begin + per, frames);
+      abr_chunks_.push_back(ck);
+    }
+    if (abr_chunks_.empty()) abr_chunks_.push_back({0, 0, 0});
+  } else {
+    plan_ = video::ChunkPlan::fixed_size(model_.total_bytes(),
+                                         config_.chunk_bytes);
+  }
   conn_.on_stream_readable = [this](quic::StreamId id) { on_readable(id); };
   conn_.on_stream_data_finished = [this](quic::StreamId id) {
     on_finished_stream(id);
@@ -23,10 +48,59 @@ void MediaClient::start() {
   issue_next();
 }
 
+void MediaClient::issue_abr_chunk(std::size_t index) {
+  AbrChunk& ck = abr_chunks_[index];
+  video::AbrInputs in;
+  in.chunk_index = index;
+  if (player_) in.buffer_level = player_->buffer_level();
+  if (qoe_source_) in.qoe = qoe_source_();
+  if (btlbw_source_) in.btlbw_bps = btlbw_source_();
+  const auto prev = abr_->last_rung();
+  const video::AbrDecision d = abr_->choose(in);
+  ck.rung = d.rung;
+  XLINK_TRACE(trace_,
+              telemetry::Event::abr_decision(
+                  conn_.loop().now(), index, d.rung,
+                  prev ? static_cast<std::uint64_t>(*prev)
+                       : telemetry::kNoValue,
+                  d.estimate_bps != 0 ? d.estimate_bps : telemetry::kNoValue,
+                  static_cast<std::uint64_t>(
+                      sim::to_millis(in.buffer_level))));
+
+  const std::uint32_t frames = ck.end_frame - ck.begin_frame;
+  const std::uint64_t ladder_bps = renditions_->ladder().bitrate(d.rung);
+  chosen_bitrate_frames_ += ladder_bps * frames;
+  top_bitrate_frames_ +=
+      renditions_->ladder().bitrate(renditions_->top_rung()) * frames;
+
+  const video::VideoModel& m = *renditions_->model(d.rung);
+  ChunkMetrics met;
+  met.begin = m.frame_offset(ck.begin_frame);
+  met.end = m.frame_offset(ck.end_frame);
+  met.issued_at = conn_.loop().now();
+
+  const quic::StreamId id = conn_.open_stream();
+  conn_.set_stream_priority(id, -static_cast<int>(index));
+  chunk_streams_.push_back(id);
+  metrics_.push_back(met);
+
+  RangeRequest req;
+  req.resource = video::rendition_resource(config_.resource, d.rung,
+                                           renditions_->top_rung());
+  req.begin = met.begin;
+  req.end = met.end;
+  conn_.stream_send(id, encode_request(req), /*fin=*/true);
+}
+
 void MediaClient::issue_next() {
-  while (next_chunk_ < plan_.chunks.size() &&
+  while (next_chunk_ < chunk_count() &&
          next_chunk_ - completed_ <
              static_cast<std::size_t>(config_.max_concurrent)) {
+    if (abr_) {
+      issue_abr_chunk(next_chunk_);
+      ++next_chunk_;
+      continue;
+    }
     const auto& chunk = plan_.chunks[next_chunk_];
     const quic::StreamId id = conn_.open_stream();
     // Earlier chunks play first: higher stream priority on our requests
@@ -67,7 +141,9 @@ void MediaClient::on_readable(quic::StreamId id) {
       const auto* stream = conn_.recv_stream(id);
       const std::uint64_t end_off = stream->read_offset();
       const std::uint64_t start_off = end_off - data.size();
-      const std::uint64_t base = plan_.chunks[*chunk].begin;
+      // Content bytes depend only on offset and seed, which all
+      // renditions share, so model_.byte_at verifies any rendition.
+      const std::uint64_t base = metrics_[*chunk].begin;
       for (std::uint64_t i = 0; i < data.size(); ++i) {
         if (data[i] != model_.byte_at(base + start_off + i))
           ++content_mismatches_;
@@ -84,6 +160,8 @@ void MediaClient::on_finished_stream(quic::StreamId id) {
   if (m.completed_at) return;
   m.completed_at = conn_.loop().now();
   ++completed_;
+  if (abr_) abr_->on_chunk_downloaded(m.end - m.begin, *m.completed_at -
+                                                           m.issued_at);
   publish_progress();
   issue_next();
   if (all_done()) {
@@ -92,20 +170,93 @@ void MediaClient::on_finished_stream(quic::StreamId id) {
   }
 }
 
+std::uint64_t MediaClient::chunk_have_bytes(std::size_t chunk) const {
+  const auto* stream = conn_.recv_stream(chunk_streams_[chunk]);
+  const std::uint64_t have = stream ? stream->contiguous_received() : 0;
+  return std::min(have, metrics_[chunk].end - metrics_[chunk].begin);
+}
+
 std::uint64_t MediaClient::contiguous_bytes() const {
   std::uint64_t total = 0;
   for (std::size_t i = 0; i < chunk_streams_.size(); ++i) {
-    const auto* stream = conn_.recv_stream(chunk_streams_[i]);
-    const std::uint64_t have = stream ? stream->contiguous_received() : 0;
-    const std::uint64_t size = plan_.chunks[i].end - plan_.chunks[i].begin;
-    total += std::min(have, size);
-    if (have < size) break;  // gap: later chunks are not contiguous yet
+    const std::uint64_t have = chunk_have_bytes(i);
+    total += have;
+    if (have < metrics_[i].end - metrics_[i].begin)
+      break;  // gap: later chunks are not contiguous yet
   }
   return total;
 }
 
+std::uint32_t MediaClient::abr_frames_contiguous() const {
+  std::uint32_t frames = 0;
+  for (std::size_t i = 0; i < chunk_streams_.size(); ++i) {
+    const AbrChunk& ck = abr_chunks_[i];
+    const std::uint64_t have = chunk_have_bytes(i);
+    // frames_in_prefix over this rendition's byte space: offsets below
+    // metrics_[i].begin == frame_offset(begin_frame) count the chunk's
+    // predecessors "for free", so the result is an absolute frame count.
+    const video::VideoModel& m = *renditions_->model(ck.rung);
+    const std::uint32_t in_prefix =
+        m.frames_in_prefix(metrics_[i].begin + have);
+    frames = std::max(frames, std::min(in_prefix, ck.end_frame));
+    if (have < metrics_[i].end - metrics_[i].begin) break;  // gap
+  }
+  return frames;
+}
+
+std::uint64_t MediaClient::abr_bytes_ahead(
+    std::uint32_t playhead_frame) const {
+  const std::uint64_t total = contiguous_bytes();
+  std::uint64_t consumed = 0;
+  for (std::size_t i = 0; i < chunk_streams_.size(); ++i) {
+    const AbrChunk& ck = abr_chunks_[i];
+    if (ck.end_frame <= playhead_frame) {
+      consumed += metrics_[i].end - metrics_[i].begin;
+      continue;
+    }
+    if (ck.begin_frame < playhead_frame) {
+      const video::VideoModel& m = *renditions_->model(ck.rung);
+      consumed += m.frame_offset(playhead_frame) - metrics_[i].begin;
+    }
+    break;
+  }
+  return total > consumed ? total - consumed : 0;
+}
+
+std::uint64_t MediaClient::abr_playhead_bps(
+    std::uint32_t playhead_frame) const {
+  for (std::size_t i = 0; i < chunk_streams_.size(); ++i) {
+    const AbrChunk& ck = abr_chunks_[i];
+    if (playhead_frame >= ck.begin_frame && playhead_frame < ck.end_frame)
+      return renditions_->ladder().bitrate(ck.rung);
+  }
+  return 0;  // playhead past the issued chunks; player keeps its last bps
+}
+
 void MediaClient::publish_progress() {
-  if (player_) player_->on_contiguous_bytes(contiguous_bytes());
+  if (!player_) return;
+  if (abr_) {
+    const std::uint32_t playhead = player_->frames_played();
+    const std::uint32_t avail = abr_frames_contiguous();
+    player_->on_abr_progress(avail, abr_bytes_ahead(playhead),
+                             abr_playhead_bps(playhead));
+    return;
+  }
+  player_->on_contiguous_bytes(contiguous_bytes());
+}
+
+MediaClient::AbrSummary MediaClient::abr_summary() const {
+  AbrSummary s;
+  if (!abr_) return s;
+  s.decisions = abr_->decisions();
+  s.switches = abr_->switches();
+  s.switch_magnitude = abr_->switch_magnitude();
+  s.bitrate_utility =
+      top_bitrate_frames_ > 0
+          ? static_cast<double>(chosen_bitrate_frames_) /
+                static_cast<double>(top_bitrate_frames_)
+          : 0.0;
+  return s;
 }
 
 std::vector<double> MediaClient::completion_times_seconds() const {

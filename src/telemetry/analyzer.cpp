@@ -190,6 +190,26 @@ AnalysisReport analyze(const ParsedTrace& trace,
         touch(path_of(e.path), e.t);
         break;
       }
+      case EventType::kAbrDecision: {
+        AbrReport& a = rep.abr;
+        ++a.decisions;
+        if (e.b >= a.rung_decisions.size()) a.rung_decisions.resize(e.b + 1);
+        ++a.rung_decisions[e.b];
+        if (e.d != kNoValue && e.d != e.b) {
+          ++a.switches;
+          if (e.b > e.d) {
+            ++a.up_switches;
+            a.switch_magnitude += e.b - e.d;
+          } else {
+            ++a.down_switches;
+            a.switch_magnitude += e.d - e.b;
+          }
+        }
+        a.last_rung = e.b;
+        a.estimate_last_bps = e.c == kNoValue ? 0 : e.c;
+        a.buffer_at_decision_ms.add(static_cast<double>(e.extra));
+        break;
+      }
       case EventType::kPathStatus: {
         PathTimeline& p = path_of(e.path);
         touch(p, e.t);
@@ -538,6 +558,29 @@ std::string render_report(const AnalysisReport& rep) {
     os << ct.render();
     os << "rate samples: " << c.rate_samples
        << (c.pacing_seen ? " (pacing engaged)\n" : " (pacing off)\n");
+  }
+
+  if (rep.abr.present()) {
+    const AbrReport& a = rep.abr;
+    os << "\n=== abr ===\n";
+    os << a.decisions << " decision(s), " << a.switches << " switch(es) ("
+       << a.up_switches << " up / " << a.down_switches
+       << " down, magnitude " << a.switch_magnitude << ")\n";
+    os << "rung distribution:";
+    for (std::size_t r = 0; r < a.rung_decisions.size(); ++r)
+      os << " " << r << ":" << a.rung_decisions[r];
+    os << " (last rung " << a.last_rung << ")\n";
+    if (a.buffer_at_decision_ms.count() > 0) {
+      os << "buffer at decision: p50 "
+         << stats::Table::fmt(a.buffer_at_decision_ms.median(), 0)
+         << " ms, min " << stats::Table::fmt(a.buffer_at_decision_ms.min(), 0)
+         << " ms\n";
+    }
+    if (a.estimate_last_bps > 0) {
+      os << "last rate estimate: "
+         << stats::Table::fmt(double(a.estimate_last_bps) / 1e6, 2)
+         << " Mb/s\n";
+    }
   }
 
   if (!rep.failover_timeline.empty()) {

@@ -115,6 +115,23 @@ struct CcReport {
   bool present() const { return rate_samples > 0 || pacing_seen; }
 };
 
+/// ABR controller activity (abr:decision events): how often the chosen
+/// rendition moved, in which direction, and the buffer the controller saw
+/// at decision time.
+struct AbrReport {
+  std::uint64_t decisions = 0;
+  std::uint64_t switches = 0;
+  std::uint64_t up_switches = 0;
+  std::uint64_t down_switches = 0;
+  std::uint64_t switch_magnitude = 0;     // sum |rung delta|
+  std::vector<std::uint64_t> rung_decisions;  // decisions per ladder rung
+  std::uint64_t last_rung = 0;
+  std::uint64_t estimate_last_bps = 0;    // 0 = final decision had none
+  stats::Summary buffer_at_decision_ms;
+
+  bool present() const { return decisions > 0; }
+};
+
 /// One entry of the failover timeline: either an injected fault window
 /// opening/closing (is_fault) or a path-health transition at an endpoint.
 struct FailoverEvent {
@@ -165,6 +182,7 @@ struct AnalysisReport {
   ReinjectionEfficiency reinjection;
   FecReport fec;
   CcReport cc;
+  AbrReport abr;
   std::vector<StallReport> stalls;
   SecurityReport security;
   /// Interleaved fault windows and health transitions, trace order.

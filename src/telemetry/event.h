@@ -71,6 +71,10 @@ enum class EventType : std::uint8_t {
   kCcRateSample,          // path; a=delivery rate (bytes/s), b=windowed-max
                           // btlbw (bytes/s), c=windowed-min rtt (us);
                           // flag bit0=sample is app-limited
+  kAbrDecision,           // a=chunk index, b=chosen ladder rung,
+                          // c=rate estimate used (bps, kNoValue=none),
+                          // d=previous rung (kNoValue=first decision);
+                          // extra=buffer level (ms, saturated)
 };
 
 /// Sentinel for "value not available" in `a`/`b`/`c`.
@@ -270,6 +274,22 @@ struct Event {
             rate_bytes_per_sec,
             btlbw_bytes_per_sec,
             min_rtt_us};
+  }
+  static Event abr_decision(sim::Time t, std::uint64_t chunk,
+                            std::uint64_t rung, std::uint64_t prev_rung,
+                            std::uint64_t estimate_bps,
+                            std::uint64_t buffer_ms) {
+    return {t,
+            EventType::kAbrDecision,
+            Origin::kSession,
+            0,
+            0,
+            static_cast<std::uint32_t>(
+                buffer_ms > 0xffffffffull ? 0xffffffffull : buffer_ms),
+            chunk,
+            rung,
+            estimate_bps,
+            prev_rung};
   }
 };
 

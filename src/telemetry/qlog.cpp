@@ -40,6 +40,7 @@ constexpr NameEntry kNames[] = {
     {EventType::kAuditCheck, "audit:check"},
     {EventType::kFecStashEvicted, "fec:stash_evicted"},
     {EventType::kCcRateSample, "cc:rate_sample"},
+    {EventType::kAbrDecision, "abr:decision"},
 };
 
 const char* origin_name(Origin o) {
@@ -196,6 +197,13 @@ void write_event_data(JsonWriter& w, const Event& e) {
       w.kv("min_rtt_us", e.c);
       w.kv("app_limited", (e.flag & 1) != 0);
       break;
+    case EventType::kAbrDecision:
+      w.kv("chunk", e.a);
+      w.kv("rung", e.b);
+      if (e.d != kNoValue) w.kv("prev_rung", e.d);
+      if (e.c != kNoValue) w.kv("estimate_bps", e.c);
+      w.kv("buffer_ms", std::uint64_t{e.extra});
+      break;
   }
 }
 
@@ -341,6 +349,14 @@ std::optional<Event> event_from_json(const JsonValue& entry) {
                                 data->get_u64("btlbw"),
                                 data->get_u64("min_rtt_us"),
                                 read_bool(*data, "app_limited"));
+      break;
+    case EventType::kAbrDecision:
+      e = Event::abr_decision(
+          e.t, data->get_u64("chunk"), data->get_u64("rung"),
+          data->get("prev_rung") ? data->get_u64("prev_rung") : kNoValue,
+          data->get("estimate_bps") ? data->get_u64("estimate_bps")
+                                    : kNoValue,
+          data->get_u64("buffer_ms"));
       break;
   }
   return e;

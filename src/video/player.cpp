@@ -11,11 +11,37 @@ VideoPlayer::VideoPlayer(sim::EventLoop& loop, const VideoModel& model,
 
 void VideoPlayer::on_contiguous_bytes(std::uint64_t bytes) {
   contiguous_bytes_ = std::max(contiguous_bytes_, bytes);
+  on_progress();
+}
+
+void VideoPlayer::on_abr_progress(std::uint32_t frames_available,
+                                  std::uint64_t bytes_ahead,
+                                  std::uint64_t playhead_bps) {
+  abr_mode_ = true;
+  abr_frames_ = std::max(abr_frames_, frames_available);
+  abr_bytes_ahead_ = bytes_ahead;
+  if (playhead_bps != 0) abr_playhead_bps_ = playhead_bps;
+  on_progress();
+}
+
+std::uint32_t VideoPlayer::available_frames() const {
+  return abr_mode_ ? abr_frames_ : model_.frames_in_prefix(contiguous_bytes_);
+}
+
+void VideoPlayer::on_progress() {
+  // First-frame latency is a delivery metric: it is recorded the moment
+  // frame 0 is render-ready even when a larger startup buffer delays the
+  // actual playback start (startup_delay covers that).
+  if (!first_frame_time_ && available_frames() >= 1) {
+    first_frame_time_ = loop_.now() - start_time_;
+    XLINK_TRACE(trace_, telemetry::Event::player_first_frame(
+                            loop_.now(), *first_frame_time_));
+  }
   if (state_ == State::kStartup) {
     try_start();
   } else if (state_ == State::kRebuffering) {
     // Resume once the stalled frame has fully arrived.
-    if (model_.frames_in_prefix(contiguous_bytes_) > next_frame_) {
+    if (available_frames() > next_frame_) {
       if (loop_.now() == rebuffer_started_at_) {
         // Resolved within the same instant: not a user-visible stall.
         --rebuffer_count_;
@@ -32,11 +58,9 @@ void VideoPlayer::on_contiguous_bytes(std::uint64_t bytes) {
 }
 
 void VideoPlayer::try_start() {
-  const std::uint32_t have = model_.frames_in_prefix(contiguous_bytes_);
+  const std::uint32_t have = available_frames();
   if (have < startup_buffer_frames_) return;
-  first_frame_time_ = loop_.now() - start_time_;
-  XLINK_TRACE(trace_, telemetry::Event::player_first_frame(
-                          loop_.now(), *first_frame_time_));
+  startup_delay_ = loop_.now() - start_time_;
   state_ = State::kPlaying;
   play_started_at_ = loop_.now();
   on_frame_due();  // renders frame 0 immediately
@@ -63,7 +87,7 @@ void VideoPlayer::on_frame_due() {
     if (on_finished) on_finished();
     return;
   }
-  const std::uint32_t available = model_.frames_in_prefix(contiguous_bytes_);
+  const std::uint32_t available = available_frames();
   if (available > next_frame_) {
     ++next_frame_;
     schedule_frame_deadline();
@@ -80,22 +104,24 @@ void VideoPlayer::on_frame_due() {
 
 quic::QoeSignal VideoPlayer::qoe_snapshot() const {
   quic::QoeSignal q;
-  const std::uint32_t available = model_.frames_in_prefix(contiguous_bytes_);
+  const std::uint32_t available = available_frames();
   q.cached_frames = available > next_frame_ ? available - next_frame_ : 0;
   q.cached_bytes = buffered_bytes_ahead();
-  q.bps = model_.spec().bitrate_bps;
+  q.bps = abr_mode_ && abr_playhead_bps_ != 0 ? abr_playhead_bps_
+                                              : model_.spec().bitrate_bps;
   q.fps = model_.spec().fps;
   return q;
 }
 
 std::uint64_t VideoPlayer::buffered_bytes_ahead() const {
+  if (abr_mode_) return abr_bytes_ahead_;
   const std::uint64_t playhead = model_.frame_offset(
       std::min(next_frame_, model_.frame_count()));
   return contiguous_bytes_ > playhead ? contiguous_bytes_ - playhead : 0;
 }
 
 sim::Duration VideoPlayer::buffer_level() const {
-  const std::uint32_t available = model_.frames_in_prefix(contiguous_bytes_);
+  const std::uint32_t available = available_frames();
   const std::uint32_t ahead =
       available > next_frame_ ? available - next_frame_ : 0;
   return static_cast<sim::Duration>(ahead) * model_.frame_interval();

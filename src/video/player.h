@@ -30,14 +30,32 @@ class VideoPlayer {
   /// start of the video.
   void on_contiguous_bytes(std::uint64_t bytes);
 
+  /// ABR-mode progress: the media client splices chunks from different
+  /// renditions, so byte offsets in any single model are meaningless and
+  /// progress arrives pre-resolved as whole frames. `bytes_ahead` is the
+  /// actual (mixed-rendition) bytes buffered past the playhead and
+  /// `playhead_bps` the bitrate of the rendition under the playhead; both
+  /// feed the QoE snapshot.
+  void on_abr_progress(std::uint32_t frames_available,
+                       std::uint64_t bytes_ahead, std::uint64_t playhead_bps);
+
   /// Current QoE snapshot for the feedback channel (cached bytes/frames
   /// ahead of the playhead, bitrate, framerate).
   quic::QoeSignal qoe_snapshot() const;
 
   // ---- metrics ----
-  /// Time from construction (request start) to first frame rendered.
+  /// Time from request start until the first video frame is fully
+  /// delivered (render-ready) -- the paper's first-video-frame latency.
   std::optional<sim::Duration> first_frame_latency() const {
     return first_frame_time_;
+  }
+  /// Time from request start until playback actually starts, i.e. until
+  /// `startup_buffer_frames` are buffered. Equals first_frame_latency()
+  /// with a 1-frame startup buffer; larger buffers start later. Startup
+  /// waiting is NOT a stall: it is excluded from rebuffer time and from
+  /// play time (the denominator of rebuffer_rate()).
+  std::optional<sim::Duration> startup_delay() const {
+    return startup_delay_;
   }
   sim::Duration total_rebuffer_time() const;
   std::uint32_t rebuffer_count() const { return rebuffer_count_; }
@@ -59,6 +77,8 @@ class VideoPlayer {
  private:
   enum class State { kStartup, kPlaying, kRebuffering, kFinished };
 
+  void on_progress();
+  std::uint32_t available_frames() const;
   void try_start();
   void schedule_frame_deadline();
   void on_frame_due();
@@ -69,9 +89,15 @@ class VideoPlayer {
 
   State state_ = State::kStartup;
   std::uint64_t contiguous_bytes_ = 0;
+  // ABR mode: progress arrives as frames, not bytes (see on_abr_progress).
+  bool abr_mode_ = false;
+  std::uint32_t abr_frames_ = 0;
+  std::uint64_t abr_bytes_ahead_ = 0;
+  std::uint64_t abr_playhead_bps_ = 0;
   std::uint32_t next_frame_ = 0;      // next frame to render
   sim::Time start_time_;
   std::optional<sim::Duration> first_frame_time_;
+  std::optional<sim::Duration> startup_delay_;
   sim::Time play_started_at_ = 0;     // current playing-state entry
   sim::Duration play_time_accum_ = 0;
   sim::Time rebuffer_started_at_ = 0;

@@ -44,6 +44,43 @@ std::uint8_t VideoModel::byte_at(std::uint64_t offset) const {
   return static_cast<std::uint8_t>(x);
 }
 
+BitrateLadder BitrateLadder::scaled(std::uint64_t top_bps) {
+  BitrateLadder ladder;
+  ladder.bitrates_bps = {top_bps / 4, top_bps / 2, top_bps * 3 / 4, top_bps};
+  return ladder;
+}
+
+std::size_t BitrateLadder::rung_for_rate(double budget_bps) const {
+  std::size_t best = 0;
+  for (std::size_t r = 1; r < bitrates_bps.size(); ++r) {
+    if (static_cast<double>(bitrates_bps[r]) <= budget_bps) best = r;
+  }
+  return best;
+}
+
+RenditionSet::RenditionSet(const VideoSpec& top_spec, BitrateLadder ladder)
+    : ladder_(std::move(ladder)) {
+  if (ladder_.bitrates_bps.empty())
+    ladder_ = BitrateLadder::scaled(top_spec.bitrate_bps);
+  const std::uint64_t top_bps = ladder_.bitrates_bps.back();
+  models_.reserve(ladder_.rungs());
+  for (std::uint64_t bps : ladder_.bitrates_bps) {
+    VideoSpec spec = top_spec;
+    spec.bitrate_bps = bps;
+    // Scale an explicit I-frame size with the rung; 0 keeps the 12x-average
+    // derivation, which already scales.
+    if (top_spec.first_frame_bytes != 0 && top_bps != 0)
+      spec.first_frame_bytes = top_spec.first_frame_bytes * bps / top_bps;
+    models_.push_back(std::make_shared<const VideoModel>(spec));
+  }
+}
+
+std::string rendition_resource(const std::string& base, std::size_t rung,
+                               std::size_t top_rung) {
+  if (rung >= top_rung) return base;
+  return base + "@" + std::to_string(rung);
+}
+
 ChunkPlan ChunkPlan::fixed_size(std::uint64_t total_bytes,
                                 std::uint64_t chunk_bytes) {
   ChunkPlan plan;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,57 @@ class VideoModel {
   VideoSpec spec_;
   std::vector<std::uint64_t> frame_offsets_;  // size frame_count()+1
 };
+
+/// An ascending bitrate ladder. Rung 0 is the lowest rendition; the top
+/// rung is the native (drawn) bitrate of the session's video.
+struct BitrateLadder {
+  std::vector<std::uint64_t> bitrates_bps;  // ascending
+
+  /// The default four-rung ladder: 25/50/75/100% of the native bitrate.
+  static BitrateLadder scaled(std::uint64_t top_bps);
+
+  std::size_t rungs() const { return bitrates_bps.size(); }
+  std::size_t top_rung() const {
+    return bitrates_bps.empty() ? 0 : bitrates_bps.size() - 1;
+  }
+  std::uint64_t bitrate(std::size_t rung) const {
+    return bitrates_bps.empty()
+               ? 0
+               : bitrates_bps[rung < bitrates_bps.size() ? rung
+                                                         : top_rung()];
+  }
+  /// Highest rung whose bitrate fits within `budget_bps`; rung 0 when even
+  /// the lowest rendition does not fit (the client has to fetch something).
+  std::size_t rung_for_rate(double budget_bps) const;
+};
+
+/// The same video encoded at every rung of a ladder. All renditions share
+/// the source's duration, fps, and seed, so they share one frame grid:
+/// frame k of rung r covers the same play time as frame k of any other
+/// rung, only the byte sizes differ. That is what lets an ABR client
+/// splice chunks from different renditions into one playable timeline.
+class RenditionSet {
+ public:
+  /// `top_spec` describes the native rendition (the ladder's top rung).
+  RenditionSet(const VideoSpec& top_spec, BitrateLadder ladder);
+
+  const BitrateLadder& ladder() const { return ladder_; }
+  std::size_t rungs() const { return models_.size(); }
+  std::size_t top_rung() const { return models_.size() - 1; }
+  const std::shared_ptr<const VideoModel>& model(std::size_t rung) const {
+    return models_[rung < models_.size() ? rung : top_rung()];
+  }
+
+ private:
+  BitrateLadder ladder_;
+  std::vector<std::shared_ptr<const VideoModel>> models_;
+};
+
+/// Resource name a rendition is served under ("video" -> "video@2" for
+/// rung 2). The top rung keeps the base name so fixed-bitrate clients and
+/// ABR clients fetching the native rendition hit the same resource.
+std::string rendition_resource(const std::string& base, std::size_t rung,
+                               std::size_t top_rung);
 
 /// Splits [0, total) into fixed-size chunks (last one short). The media
 /// client requests one chunk per QUIC stream.

@@ -141,6 +141,8 @@ TEST(GridManifest, RoundTripsEveryCellField) {
   spec.cells[0].options_b.pacing = true;
   spec.cells[1].options_a.cc = quic::CcAlgorithm::kBbr;
   spec.cells[1].pop.p_5g = 1.0 / 3.0;        // non-terminating binary fraction
+  spec.cells[1].pop.abr = video::AbrAlgorithm::kHybrid;
+  spec.cells[1].pop.abr_chunk_frames = 45;
   spec.cells[1].day_seed = (1ULL << 62) + 3; // above 2^53: needs string codec
 
   std::ostringstream os;
@@ -177,6 +179,8 @@ TEST(GridManifest, RoundTripsEveryCellField) {
     EXPECT_EQ(a.pop.sessions_per_day, b.pop.sessions_per_day);
     EXPECT_EQ(a.pop.p_5g, b.pop.p_5g);  // bit-exact, not approximately
     EXPECT_EQ(a.pop.time_limit, b.pop.time_limit);
+    EXPECT_EQ(a.pop.abr, b.pop.abr);
+    EXPECT_EQ(a.pop.abr_chunk_frames, b.pop.abr_chunk_frames);
     EXPECT_EQ(a.day_seed, b.day_seed);
     EXPECT_EQ(a.raw_session_seeds, b.raw_session_seeds);
     EXPECT_EQ(a.sample_playtime, b.sample_playtime);
@@ -293,6 +297,43 @@ TEST(GridShard, FecArmMergesIdenticallyAtEveryShardCount) {
     EXPECT_EQ(render(spool.spec(), results), baseline)
         << workers << " workers";
     fs::remove_all(dir);
+  }
+}
+
+TEST(GridShard, AbrArmMergesIdenticallyAtEveryShardAndJobCount) {
+  // The ABR ablation grid rides the same spool contract: the controller
+  // choice and chunking knobs travel through the manifest codec and the
+  // new DayMetrics ABR fields through the cell-result codec, so any
+  // asymmetry in either shows up as a merge mismatch. Uses the real
+  // "abr-smoke" grid (6 arms: {minrtt, xlink} x {rate, buffer, hybrid})
+  // exactly as CI runs it.
+  const GridSpec spec = grids::build_grid("abr-smoke").spec;
+  ASSERT_EQ(spec.cells.size(), 6u);
+  const std::string baseline = render(spec, run_grid_inprocess(spec, 1));
+  ASSERT_NE(baseline.find("abr_decisions"), std::string::npos);
+
+  int combo = 0;
+  for (const int workers : {1, 2, 5}) {
+    for (const unsigned jobs : {1u, 4u}) {
+      const std::string dir =
+          fresh_spool_dir("abr_combo" + std::to_string(combo++));
+      Spool::plan(spec, dir);
+      std::vector<std::thread> crew;
+      for (int w = 0; w < workers; ++w)
+        crew.emplace_back([&dir, jobs] {
+          Spool spool(dir);
+          run_worker(spool, jobs);
+        });
+      for (std::thread& t : crew) t.join();
+
+      Spool spool(dir);
+      std::vector<std::size_t> missing;
+      const auto results = spool.collect(&missing);
+      EXPECT_TRUE(missing.empty());
+      EXPECT_EQ(render(spool.spec(), results), baseline)
+          << workers << " workers, jobs=" << jobs;
+      fs::remove_all(dir);
+    }
   }
 }
 

@@ -153,6 +153,8 @@ std::vector<Event> one_of_each_event() {
       E::fault(290, 1, 0, true, 2),
       E::fault(300, 1, 6, false, 3),
       E::path_health(310, Origin::kServer, 1, 2, 3),
+      E::abr_decision(320, 0, 2, kNoValue, kNoValue, 0),
+      E::abr_decision(330, 7, 1, 2, 1800000, 4200),
   };
 }
 

@@ -158,9 +158,96 @@ TEST_F(PlayerTest, BufferLevelAndQoeSnapshot) {
 TEST_F(PlayerTest, StartupBufferRequirement) {
   VideoPlayer strict(loop_, model_, /*startup_buffer_frames=*/10);
   strict.on_contiguous_bytes(model_.frame_offset(5));
-  EXPECT_FALSE(strict.first_frame_latency().has_value());
-  strict.on_contiguous_bytes(model_.frame_offset(10));
+  // First frame is render-ready (a delivery metric), but playback has not
+  // started: the startup buffer still wants 10 frames.
   EXPECT_TRUE(strict.first_frame_latency().has_value());
+  EXPECT_FALSE(strict.startup_delay().has_value());
+  strict.on_contiguous_bytes(model_.frame_offset(10));
+  EXPECT_TRUE(strict.startup_delay().has_value());
+}
+
+TEST_F(PlayerTest, StartupDelaySplitFromFirstFrameAndRebuffer) {
+  VideoPlayer strict(loop_, model_, /*startup_buffer_frames=*/30);
+  strict.on_contiguous_bytes(model_.frame_offset(1));  // frame 0 ready
+  ASSERT_TRUE(strict.first_frame_latency().has_value());
+  EXPECT_EQ(*strict.first_frame_latency(), sim::Duration{0});
+  // Wait 2 simulated seconds before the startup buffer fills: that wait is
+  // startup delay, not a stall (the paper's QoE model counts it separately).
+  loop_.run_until(sim::seconds(2));
+  strict.on_contiguous_bytes(model_.frame_offset(30));
+  ASSERT_TRUE(strict.startup_delay().has_value());
+  EXPECT_EQ(*strict.startup_delay(), sim::seconds(2));
+  EXPECT_EQ(strict.rebuffer_count(), 0u);
+  EXPECT_EQ(strict.total_rebuffer_time(), sim::Duration{0});
+  // Play time starts at playback start, so the startup wait is also
+  // excluded from the rebuffer-rate denominator.
+  EXPECT_EQ(strict.total_play_time(), sim::Duration{0});
+}
+
+TEST_F(PlayerTest, DefaultStartupBufferKeepsFirstFrameEqualToStartup) {
+  // startup_buffer_frames == 1 (the paper's player): both metrics are the
+  // same instant, preserving every pre-split first-frame result.
+  loop_.run_until(sim::millis(700));
+  player_.on_contiguous_bytes(model_.frame_offset(1));
+  ASSERT_TRUE(player_.first_frame_latency().has_value());
+  ASSERT_TRUE(player_.startup_delay().has_value());
+  EXPECT_EQ(*player_.first_frame_latency(), *player_.startup_delay());
+  EXPECT_EQ(*player_.startup_delay(), sim::millis(700));
+}
+
+TEST(BitrateLadder, ScaledAndRungForRate) {
+  const auto ladder = BitrateLadder::scaled(4'000'000);
+  ASSERT_EQ(ladder.rungs(), 4u);
+  EXPECT_EQ(ladder.bitrate(0), 1'000'000u);
+  EXPECT_EQ(ladder.bitrate(ladder.top_rung()), 4'000'000u);
+  EXPECT_EQ(ladder.rung_for_rate(500'000), 0u);    // nothing fits: bottom
+  EXPECT_EQ(ladder.rung_for_rate(1'000'000), 0u);  // exact fit counts
+  EXPECT_EQ(ladder.rung_for_rate(1'999'999), 0u);
+  EXPECT_EQ(ladder.rung_for_rate(2'000'000), 1u);
+  EXPECT_EQ(ladder.rung_for_rate(2'999'999), 1u);
+  EXPECT_EQ(ladder.rung_for_rate(3'000'000), 2u);
+  EXPECT_EQ(ladder.rung_for_rate(9'000'000'000), 3u);
+}
+
+TEST(RenditionSet, SharedFrameGridScaledBytes) {
+  VideoSpec top = spec_10s();
+  top.first_frame_bytes = 120'000;
+  RenditionSet set(top, BitrateLadder::scaled(top.bitrate_bps));
+  ASSERT_EQ(set.rungs(), 4u);
+  const auto& lowest = *set.model(0);
+  const auto& native = *set.model(set.top_rung());
+  // Same frame grid: frame k of any rung covers the same play time.
+  EXPECT_EQ(lowest.frame_count(), native.frame_count());
+  EXPECT_EQ(lowest.frame_interval(), native.frame_interval());
+  // Lower rung, fewer bytes -- everywhere, including the I-frame.
+  EXPECT_LT(lowest.total_bytes(), native.total_bytes());
+  EXPECT_EQ(lowest.first_frame_bytes(), 30'000u);
+  EXPECT_EQ(native.spec().bitrate_bps, top.bitrate_bps);
+  // All renditions share the content seed: byte_at agrees at any offset.
+  EXPECT_EQ(lowest.byte_at(4242), native.byte_at(4242));
+}
+
+TEST(RenditionSet, ResourceNaming) {
+  EXPECT_EQ(rendition_resource("video", 3, 3), "video");  // top = base name
+  EXPECT_EQ(rendition_resource("video", 0, 3), "video@0");
+  EXPECT_EQ(rendition_resource("video", 2, 3), "video@2");
+}
+
+TEST_F(PlayerTest, AbrProgressDrivesPlaybackAndQoe) {
+  player_.on_abr_progress(/*frames=*/60, /*bytes_ahead=*/500'000,
+                          /*playhead_bps=*/600'000);
+  ASSERT_TRUE(player_.startup_delay().has_value());
+  const auto q = player_.qoe_snapshot();
+  EXPECT_EQ(q.bps, 600'000u);       // rendition under the playhead
+  EXPECT_EQ(q.cached_bytes, 500'000u);
+  EXPECT_NEAR(static_cast<double>(q.cached_frames), 59.0, 1.0);
+  // Stall at frame 60, then resume when more frames arrive.
+  loop_.run_until(sim::seconds(3));
+  EXPECT_EQ(player_.rebuffer_count(), 1u);
+  player_.on_abr_progress(model_.frame_count(), 1'000'000, 2'400'000);
+  loop_.run_until(sim::seconds(15));
+  EXPECT_TRUE(player_.finished());
+  EXPECT_EQ(player_.qoe_snapshot().bps, 2'400'000u);
 }
 
 TEST(QoeCapture, SamplesPeriodicallyAndLags) {

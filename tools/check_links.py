@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Markdown reference checker for the repo's documentation.
+
+Two classes of reference are validated, over every tracked *.md file:
+
+  1. Relative markdown links: [text](path) and [text](path#anchor) must
+     point at a file or directory that exists. http(s)/mailto links are
+     skipped (CI must not depend on the network).
+  2. Backtick code references: `src/...`, `tests/...`, `bench/...`,
+     `tools/...` paths named in prose must exist, so the docs cannot
+     drift from a rename. `path:line` suffixes and `{a,b}` brace groups
+     (e.g. src/video/abr.{h,cpp}) are understood; globs are skipped.
+
+Exit status is the number of broken references (0 = docs are clean).
+"""
+import itertools
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+CODE_PREFIXES = ("src/", "tests/", "bench/", "tools/", "examples/")
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_REF = re.compile(r"`([^`\n]+)`")
+
+
+def expand_braces(ref: str):
+    """src/video/abr.{h,cpp} -> [src/video/abr.h, src/video/abr.cpp]."""
+    m = re.search(r"\{([^{}]+)\}", ref)
+    if not m:
+        return [ref]
+    head, tail = ref[: m.start()], ref[m.end():]
+    out = []
+    for alt in m.group(1).split(","):
+        out.extend(expand_braces(head + alt.strip() + tail))
+    return out
+
+
+def check_md_link(md: Path, target: str):
+    target = target.split("#", 1)[0]
+    if not target or "://" in target or target.startswith("mailto:"):
+        return []
+    path = (md.parent / target).resolve()
+    if not path.exists():
+        return [f"{md.relative_to(ROOT)}: broken link -> {target}"]
+    return []
+
+
+def check_code_ref(md: Path, ref: str):
+    # Strip :line / :line-range suffixes and surrounding punctuation.
+    ref = re.sub(r":\d+(-\d+)?$", "", ref.strip())
+    if not ref.startswith(CODE_PREFIXES) or "*" in ref:
+        return []
+    # Prose like `tools/xlink_grid run fig10` names a command, not a path:
+    # validate only the first whitespace-separated token.
+    ref = ref.split()[0]
+    errors = []
+    for candidate in expand_braces(ref):
+        path = ROOT / candidate
+        # Binaries referenced by their target name (tools/xlink_grid)
+        # exist as <name>.cpp in the tree.
+        if not (path.exists() or path.with_suffix(".cpp").exists()):
+            errors.append(f"{md.relative_to(ROOT)}: missing path -> "
+                          f"{candidate}")
+    return errors
+
+
+def main() -> int:
+    errors = []
+    docs = sorted(
+        p for p in ROOT.rglob("*.md")
+        if not any(part.startswith((".", "build")) for part in p.parts))
+    for md in docs:
+        text = md.read_text(encoding="utf-8")
+        # Drop fenced code blocks: shell samples name files that may not
+        # exist yet (output paths, /tmp spools).
+        text = re.sub(r"```.*?```", "", text, flags=re.S)
+        for m in MD_LINK.finditer(text):
+            errors.extend(check_md_link(md, m.group(1)))
+        for m in CODE_REF.finditer(text):
+            errors.extend(check_code_ref(md, m.group(1)))
+    for e in errors:
+        print(e)
+    print(f"checked {len(docs)} markdown files: "
+          f"{len(errors)} broken reference(s)")
+    return min(len(errors), 127)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
